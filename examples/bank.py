@@ -1,0 +1,139 @@
+"""A small distributed bank — the classic Network Objects demo.
+
+Run:  python examples/bank.py
+
+What it exercises beyond the quickstart:
+
+* network objects returned from methods: each account is its own
+  object, created at the bank and handed to clients as a reference;
+* registered application structs (transaction records) crossing the
+  wire inside ordinary data structures;
+* two concurrent clients sharing one account object — invocations
+  serialise at the owner, where the concrete object lives;
+* distributed GC: when clients drop account references, the bank's
+  dirty sets empty and unneeded account objects become collectable.
+"""
+
+import threading
+from dataclasses import dataclass
+from typing import List
+
+from repro import NetObj, RemoteError, Space, register_struct
+
+
+@register_struct
+@dataclass
+class Transaction:
+    """A plain data record; registered so it can cross the wire."""
+
+    kind: str
+    amount: int
+    balance_after: int
+
+
+class Account(NetObj):
+    """One account: a network object owned by the bank's space."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._balance = 0
+        self._history: List[Transaction] = []
+        self._lock = threading.Lock()
+
+    def deposit(self, amount: int) -> int:
+        if amount <= 0:
+            raise ValueError("deposit must be positive")
+        with self._lock:
+            self._balance += amount
+            self._history.append(
+                Transaction("deposit", amount, self._balance)
+            )
+            return self._balance
+
+    def withdraw(self, amount: int) -> int:
+        with self._lock:
+            if amount > self._balance:
+                raise ValueError(
+                    f"insufficient funds: {self._balance} < {amount}"
+                )
+            self._balance -= amount
+            self._history.append(
+                Transaction("withdraw", amount, self._balance)
+            )
+            return self._balance
+
+    def balance(self) -> int:
+        with self._lock:
+            return self._balance
+
+    def statement(self) -> List[Transaction]:
+        with self._lock:
+            return list(self._history)
+
+
+class Bank(NetObj):
+    """The bank hands out Account references on demand."""
+
+    def __init__(self):
+        self._accounts = {}
+        self._lock = threading.Lock()
+
+    def open_account(self, name: str) -> Account:
+        with self._lock:
+            if name not in self._accounts:
+                self._accounts[name] = Account(name)
+            return self._accounts[name]
+
+    def account_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._accounts)
+
+
+def client_worker(endpoint: str, who: str, rounds: int) -> None:
+    with Space(f"client-{who}") as space:
+        bank = space.import_object(endpoint, "bank")
+        account = bank.open_account("shared")   # a reference result
+        for _ in range(rounds):
+            account.deposit(10)
+        print(f"[{who}] balance now {account.balance()}")
+
+
+def main() -> None:
+    with Space("bank", listen=["tcp://127.0.0.1:0"]) as bank_space:
+        bank_space.serve("bank", Bank())
+        endpoint = bank_space.endpoints[0]
+        print(f"bank serving on {endpoint}")
+
+        # Two clients hammer the same account concurrently.
+        threads = [
+            threading.Thread(target=client_worker, args=(endpoint, who, 50))
+            for who in ("alice", "bob")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Audit from a third client.
+        with Space("auditor") as auditor:
+            bank = auditor.import_object(endpoint, "bank")
+            account = bank.open_account("shared")
+            assert account.balance() == 1000, account.balance()
+            history = account.statement()
+            print(f"audit: {len(history)} transactions, "
+                  f"final balance {history[-1].balance_after}")
+            assert isinstance(history[-1], Transaction)
+
+            # Remote exceptions arrive as RemoteError with the
+            # original kind and a server-side traceback.
+            try:
+                account.withdraw(10_000)
+            except RemoteError as exc:
+                print(f"expected failure: {exc.kind}: {exc.message}")
+                assert exc.kind == "ValueError"
+
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

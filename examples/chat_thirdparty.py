@@ -1,0 +1,116 @@
+"""A chat hub built on third-party reference transfer and callbacks.
+
+Run:  python examples/chat_thirdparty.py
+
+Every participant owns a Mailbox network object and registers it with
+the hub.  Delivering a message means the *hub* invokes a method on an
+object owned by a *client* — the connection is symmetric, exactly as
+in the paper.  When a participant asks for a peer's mailbox, the hub
+hands over a reference it merely holds (it is not the owner): a
+third-party transfer, after which the two participants talk directly
+and the hub is out of the loop.
+"""
+
+import threading
+
+from repro import NetObj, Space
+
+
+class Mailbox(NetObj):
+    """Client-owned message sink."""
+
+    def __init__(self, who: str):
+        self.who = who
+        self.messages = []
+        self._cond = threading.Condition()
+
+    def deliver(self, sender: str, text: str) -> None:
+        with self._cond:
+            self.messages.append((sender, text))
+            self._cond.notify_all()
+
+    def wait_for(self, count: int, timeout: float = 5.0) -> list:
+        with self._cond:
+            self._cond.wait_for(lambda: len(self.messages) >= count,
+                                timeout=timeout)
+            return list(self.messages)
+
+
+class Hub(NetObj):
+    """The rendezvous: holds references to mailboxes it does not own."""
+
+    def __init__(self):
+        self._boxes = {}
+        self._lock = threading.Lock()
+
+    def join(self, who: str, mailbox: Mailbox) -> list:
+        with self._lock:
+            self._boxes[who] = mailbox
+            return sorted(self._boxes)
+
+    def broadcast(self, sender: str, text: str) -> int:
+        with self._lock:
+            targets = [
+                (who, box) for who, box in self._boxes.items()
+                if who != sender
+            ]
+        for _who, box in targets:
+            box.deliver(sender, text)      # hub -> client callback
+        return len(targets)
+
+    def mailbox_of(self, who: str) -> Mailbox:
+        """Third-party transfer: the requester receives a reference to
+        an object owned by another participant."""
+        with self._lock:
+            return self._boxes[who]
+
+
+def main() -> None:
+    with Space("hub", listen=["tcp://127.0.0.1:0"]) as hub_space:
+        hub_space.serve("hub", Hub())
+        endpoint = hub_space.endpoints[0]
+        print(f"hub on {endpoint}")
+
+        alice_space = Space("alice", listen=["tcp://127.0.0.1:0"])
+        bob_space = Space("bob", listen=["tcp://127.0.0.1:0"])
+        try:
+            alice_box = Mailbox("alice")
+            bob_box = Mailbox("bob")
+
+            alice_hub = alice_space.import_object(endpoint, "hub")
+            bob_hub = bob_space.import_object(endpoint, "hub")
+
+            print("alice joins:", alice_hub.join("alice", alice_box))
+            print("bob joins:  ", bob_hub.join("bob", bob_box))
+
+            # Hub-mediated broadcast: the hub calls back into both
+            # client-owned mailboxes.
+            delivered = alice_hub.broadcast("alice", "hello everyone")
+            print(f"broadcast reached {delivered} peer(s)")
+            assert bob_box.wait_for(1) == [("alice", "hello everyone")]
+
+            # Third-party transfer: bob obtains *alice's* mailbox from
+            # the hub and then talks to alice directly — the message
+            # below travels bob -> alice, not through the hub.
+            alices_box_at_bob = bob_hub.mailbox_of("alice")
+            alices_box_at_bob.deliver("bob", "psst, direct message")
+            messages = alice_box.wait_for(1)
+            print("alice received:", messages)
+            assert ("bob", "psst, direct message") in messages
+
+            # The distributed collector now lists BOTH the hub's space
+            # and bob's space in alice's mailbox dirty set.
+            index = alice_space.object_table.export(alice_box).index
+            dirty = alice_space.dgc_owner.dirty_set(index)
+            names = sorted(sid.nickname for sid in dirty)
+            print(f"alice's mailbox dirty set: {names}")
+            assert len(dirty) == 2
+        finally:
+            bob_space.shutdown()
+            alice_space.shutdown()
+
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

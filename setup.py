@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment for this reproduction has no network access and no
+``wheel`` package, so PEP-517 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on modern toolchains via pyproject.toml) work.
+"""
+
+from setuptools import setup
+
+setup()

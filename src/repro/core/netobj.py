@@ -1,0 +1,59 @@
+"""The NetObj base class.
+
+Subclassing :class:`NetObj` declares a network object type: every
+public method (name not starting with ``_``) becomes remotely
+invocable, and the subclass is registered in the global type registry
+under its typecode so importing spaces can build surrogates for it.
+
+A class can serve as a pure *interface* (methods raising
+``NotImplementedError``) with concrete implementations subclassing it;
+clients that only register the interface still narrow marshaled
+references to it — that is the paper's stub-distribution story.
+"""
+
+from __future__ import annotations
+
+from abc import ABCMeta
+from typing import Tuple, Type
+
+from repro.core.typecodes import global_types, typecode_of
+
+
+def remote_methods_of(cls: Type) -> Tuple[str, ...]:
+    """Public methods of ``cls``, i.e. its remote surface.
+
+    Walks the class's own MRO rather than ``dir`` so that metaclass
+    attributes (ABCMeta's ``register`` etc.) do not leak into the
+    remote interface.
+    """
+    names = set()
+    for klass in cls.__mro__:
+        if klass is object:
+            continue
+        for name in klass.__dict__:
+            if name.startswith("_") or name in names:
+                continue
+            if callable(getattr(cls, name, None)):
+                names.add(name)
+    return tuple(sorted(names))
+
+
+class NetObj(metaclass=ABCMeta):
+    """Base class for network objects.
+
+    Instances are *concrete objects* in the space that creates them
+    (their owner).  Passing one through a remote invocation marshals
+    it by wireRep; the receiving space obtains a surrogate whose
+    methods invoke back to the owner.
+
+    Class attributes:
+
+    ``_typecode_``
+        Optional stable wire name for the type; defaults to the
+        class qualname.  Set it when refactoring moves a class, so
+        old peers still narrow correctly.
+    """
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        global_types.register(typecode_of(cls), cls, remote_methods_of(cls))

@@ -1,0 +1,465 @@
+"""The Space: one address space of the distributed system.
+
+A ``Space`` owns every per-process structure of the paper's runtime —
+object table, connection cache, dispatcher, the two halves of the
+distributed collector, the cleanup daemon, the optional pinger and the
+agent — and exposes the user-facing API:
+
+    with Space("server", listen=["tcp://127.0.0.1:0"]) as server:
+        server.serve("bank", BankImpl())
+
+    with Space("client") as client:
+        bank = client.import_object(server.endpoints[0], "bank")
+        bank.deposit("alice", 100)
+
+Everything a surrogate does funnels through :meth:`_invoke_remote`;
+everything a peer asks of us funnels through :meth:`_handle_request`.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.marshalctx import MarshalContext
+from repro.core.netobj import NetObj, remote_methods_of
+from repro.core.objtable import ObjectTable
+from repro.core.typecodes import TypeRegistry, global_types, typechain
+from repro.dgc.client import DgcClient, TransientTable
+from repro.dgc.config import GcConfig
+from repro.dgc.daemon import CleanupDaemon
+from repro.dgc.owner import DgcOwner
+from repro.dgc.pinger import Pinger
+from repro.errors import (
+    CommFailure,
+    NameServiceError,
+    NarrowingError,
+    NetObjError,
+    NoSuchMethodError,
+    NoSuchObjectError,
+    ProtocolError,
+    RemoteError,
+    SpaceShutdownError,
+    UnmarshalError,
+)
+from repro.marshal.pickler import Pickler
+from repro.marshal.registry import StructRegistry, global_registry
+from repro.marshal.unpickler import Unpickler
+from repro.naming.agent import Agent
+from repro.rpc import messages
+from repro.rpc.cache import ConnectionCache
+from repro.rpc.connection import Connection
+from repro.rpc.dispatcher import Dispatcher
+from repro.transport.base import Transport, TransportRegistry
+from repro.transport.inprocess import InProcessTransport
+from repro.transport.tcp import TcpTransport
+from repro.wire.ids import SpaceID, fresh_space_id
+from repro.wire.wirerep import SPECIAL_OBJECT_INDEX, WireRep
+
+#: Fault kinds translated back into our exception types at the caller.
+_FAULT_KINDS = {
+    "NoSuchObjectError": NoSuchObjectError,
+    "NoSuchMethodError": NoSuchMethodError,
+    "NameServiceError": NameServiceError,
+    "NarrowingError": NarrowingError,
+    "UnmarshalError": UnmarshalError,
+    "CommFailure": CommFailure,
+}
+
+
+class Space:
+    """One address space: objects, connections and collector state."""
+
+    def __init__(
+        self,
+        nickname: str = "",
+        listen: Sequence[str] = (),
+        transports: Optional[Sequence[Transport]] = None,
+        types: Optional[TypeRegistry] = None,
+        structs: Optional[StructRegistry] = None,
+        gc: Optional[GcConfig] = None,
+        call_timeout: float = 30.0,
+    ):
+        self.space_id = fresh_space_id(nickname)
+        self.nickname = nickname
+        self.call_timeout = call_timeout
+        self.gc_config = gc if gc is not None else GcConfig()
+        self.types = types if types is not None else global_types
+        self.structs = structs if structs is not None else global_registry
+
+        self.transports = TransportRegistry()
+        if transports is None:
+            transports = [InProcessTransport.default(), TcpTransport()]
+        for transport in transports:
+            self.transports.add(transport)
+
+        self.dispatcher = Dispatcher(name=nickname or str(self.space_id))
+        self.object_table = ObjectTable(self.space_id)
+        self.transient = TransientTable()
+        self.dgc_owner = DgcOwner(self.object_table)
+        self.dgc_client = DgcClient(
+            self.object_table, self.types, self._gc_request,
+            self._invoke_remote, self.gc_config,
+        )
+        self.cleanup_daemon = CleanupDaemon(
+            self.dgc_client, self.gc_config,
+            name=f"gc-cleanup-{nickname or self.space_id.short()}",
+        )
+
+        self._listeners: List = []
+        self._connections: set = set()
+        self._conns_by_peer: Dict[SpaceID, List[Connection]] = {}
+        self._conn_lock = threading.Lock()
+        self._closed = threading.Event()
+
+        self.cache = ConnectionCache(self._dial)
+
+        # The agent is the special object: pinned at index 0 so any
+        # peer can bootstrap from just our endpoint.
+        self.agent = Agent()
+        self.object_table.export(self.agent, pinned=True)
+
+        for endpoint in listen:
+            self.add_listener(endpoint)
+
+        self.pinger: Optional[Pinger] = None
+        if self.gc_config.ping_interval is not None:
+            self.pinger = Pinger(
+                self.dgc_owner, self._ping_client, self.gc_config,
+                name=f"gc-pinger-{nickname or self.space_id.short()}",
+            )
+
+        self._sweeper: Optional[threading.Thread] = None
+        if self.gc_config.transient_ttl is not None:
+            self._sweeper = threading.Thread(
+                target=self._sweep_transients,
+                name=f"gc-sweeper-{nickname or self.space_id.short()}",
+                daemon=True,
+            )
+            self._sweeper.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def __enter__(self) -> "Space":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop serving, close connections, stop the GC daemons."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self.pinger is not None:
+            self.pinger.stop()
+        self.cleanup_daemon.stop()
+        for listener in self._listeners:
+            listener.close()
+        self.cache.close_all()
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+        self.dispatcher.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    # -- listening ---------------------------------------------------------------
+
+    def add_listener(self, endpoint: str) -> str:
+        """Start listening on ``endpoint``; returns the concrete address."""
+        listener = self.transports.listen(endpoint, self._on_accept)
+        self._listeners.append(listener)
+        return listener.endpoint
+
+    @property
+    def endpoints(self) -> List[str]:
+        return [listener.endpoint for listener in self._listeners]
+
+    @property
+    def public_endpoints(self) -> List[str]:
+        """Endpoints embedded in marshaled references we own."""
+        return self.endpoints
+
+    # -- connections ---------------------------------------------------------------
+
+    def _on_accept(self, channel) -> None:
+        try:
+            connection = Connection(
+                channel, self.space_id, self.dispatcher,
+                self._handle_request, on_close=self._on_conn_close,
+                outbound=False,
+            )
+        except (CommFailure, ProtocolError):
+            return
+        self._track(connection)
+
+    def _dial(self, endpoint: str) -> Connection:
+        if self._closed.is_set():
+            raise SpaceShutdownError("space is shut down")
+        channel = self.transports.connect(endpoint)
+        connection = Connection(
+            channel, self.space_id, self.dispatcher,
+            self._handle_request, on_close=self._on_conn_close,
+            outbound=True,
+        )
+        self._track(connection)
+        return connection
+
+    def _track(self, connection: Connection) -> None:
+        with self._conn_lock:
+            self._connections.add(connection)
+            peers = self._conns_by_peer.setdefault(connection.peer_id, [])
+            peers.append(connection)
+        if connection.closed:
+            # Lost a race with teardown; make sure it is untracked.
+            self._on_conn_close(connection)
+
+    def _on_conn_close(self, connection: Connection) -> None:
+        with self._conn_lock:
+            self._connections.discard(connection)
+            peers = self._conns_by_peer.get(connection.peer_id)
+            if peers is not None:
+                if connection in peers:
+                    peers.remove(connection)
+                if not peers:
+                    del self._conns_by_peer[connection.peer_id]
+        self.cache.evict(connection)
+
+    def connection_to(self, peer: SpaceID) -> Optional[Connection]:
+        """Any live connection to ``peer`` (used by the pinger)."""
+        with self._conn_lock:
+            for connection in self._conns_by_peer.get(peer, ()):
+                if not connection.closed:
+                    return connection
+        return None
+
+    def _conn_for_endpoints(self, endpoints: Sequence[str]) -> Connection:
+        failure: Exception = CommFailure("reference carries no endpoints")
+        for endpoint in endpoints:
+            try:
+                return self.cache.get(endpoint)
+            except (CommFailure, SpaceShutdownError) as exc:
+                failure = exc
+        raise failure
+
+    # -- outgoing invocations ---------------------------------------------------------
+
+    def _invoke_remote(self, wirerep: WireRep, endpoints: Sequence[str],
+                       method: str, args: tuple, kwargs: dict):
+        """Entry point for every surrogate method call."""
+        if self._closed.is_set():
+            raise SpaceShutdownError("space is shut down")
+        connection = self._conn_for_endpoints(endpoints)
+        context = MarshalContext(self, connection)
+        args_pickle = Pickler(self.structs, context).dumps((args, kwargs))
+        call = messages.Call(
+            connection.next_call_id(), wirerep, method, args_pickle
+        )
+        reply = connection.call(call, timeout=self.call_timeout)
+        if isinstance(reply, messages.Fault):
+            raise self._fault_to_exception(reply)
+        assert isinstance(reply, messages.Result)
+        context = MarshalContext(self, connection)
+        return Unpickler(self.structs, context).loads(reply.result_pickle)
+
+    @staticmethod
+    def _fault_to_exception(fault: messages.Fault) -> Exception:
+        known = _FAULT_KINDS.get(fault.kind)
+        if known is not None:
+            return known(fault.message)
+        return RemoteError(fault.kind, fault.message, fault.remote_traceback)
+
+    # -- GC plumbing -------------------------------------------------------------------
+
+    def _gc_request(self, endpoints: Sequence[str], kind: str, *,
+                    target: WireRep, seqno: int, strong: bool = False):
+        """Send one dirty or clean call to the owner and await its ack."""
+        connection = self._conn_for_endpoints(endpoints)
+        timeout = self.gc_config.gc_call_timeout
+        if kind == "dirty":
+            request = messages.Dirty(connection.next_call_id(), target, seqno)
+            reply = connection.call(request, timeout=timeout)
+            assert isinstance(reply, messages.DirtyAck)
+            if not reply.ok:
+                raise NoSuchObjectError(reply.error)
+        elif kind == "clean":
+            request = messages.Clean(
+                connection.next_call_id(), target, seqno, strong
+            )
+            connection.call(request, timeout=timeout)
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(f"unknown GC request kind {kind!r}")
+
+    def _sweep_transients(self) -> None:
+        """Expire transient pins whose copy_ack never came (the
+        receiver presumably died mid-transfer); see
+        GcConfig.transient_ttl."""
+        ttl = self.gc_config.transient_ttl
+        interval = self.gc_config.transient_sweep_interval
+        while not self._closed.wait(interval):
+            # One round per helper call: a sleeping thread's frame
+            # locals must not pin the last expired object.
+            self._release_expired(ttl)
+
+    def _release_expired(self, ttl: float) -> None:
+        for copy_id, pinned in self.transient.expire(ttl):
+            entry = self.object_table.exported_entry_for(pinned)
+            if entry is not None and copy_id in entry.tdirty:
+                self.dgc_owner.release_copy(
+                    self.object_table.wirerep_for(entry), copy_id
+                )
+            # Surrogate pins: dropping the strong reference is the
+            # whole release; local collection does the rest.
+
+    def _ping_client(self, client: SpaceID) -> bool:
+        connection = self.connection_to(client)
+        if connection is None:
+            return False
+        request = messages.Ping(connection.next_call_id())
+        try:
+            connection.call(request, timeout=self.gc_config.ping_timeout)
+            return True
+        except NetObjError:
+            return False
+
+    # -- serving -----------------------------------------------------------------------
+
+    def _handle_request(self, connection: Connection,
+                        message: messages.Message) -> None:
+        if isinstance(message, messages.Call):
+            self._serve_call(connection, message)
+        elif isinstance(message, messages.Dirty):
+            ok, error = self._apply_dirty(connection.peer_id, message)
+            self._reply(connection, messages.DirtyAck(message.call_id, ok, error))
+        elif isinstance(message, messages.Clean):
+            self.dgc_owner.handle_clean(
+                connection.peer_id, message.target, message.seqno,
+                message.strong,
+            )
+            self._reply(connection, messages.CleanAck(message.call_id))
+        elif isinstance(message, messages.CopyAck):
+            self._apply_copy_ack(message)
+        elif isinstance(message, messages.Ping):
+            self._reply(connection, messages.PingAck(message.call_id))
+        # Unknown requests are dropped; replies are handled in Connection.
+
+    def _apply_dirty(self, peer: SpaceID, message: messages.Dirty):
+        if message.target.owner != self.space_id:
+            return False, f"not the owner of {message.target}"
+        return self.dgc_owner.handle_dirty(peer, message.target, message.seqno)
+
+    def _apply_copy_ack(self, message: messages.CopyAck) -> None:
+        pinned = self.transient.release(message.copy_id)
+        if pinned is None:
+            return
+        if message.target.owner == self.space_id:
+            self.dgc_owner.handle_copy_ack(message.target, message.copy_id)
+        # For surrogate pins, dropping the strong reference is all the
+        # release there is; local collection handles the rest.
+
+    def _serve_call(self, connection: Connection, call: messages.Call) -> None:
+        try:
+            obj = self._resolve_target(call.target)
+            method = self._resolve_method(obj, call.method)
+            context = MarshalContext(self, connection)
+            args, kwargs = Unpickler(self.structs, context).loads(
+                call.args_pickle
+            )
+            result = method(*args, **kwargs)
+            context = MarshalContext(self, connection)
+            result_pickle = Pickler(self.structs, context).dumps(result)
+            reply = messages.Result(call.call_id, result_pickle)
+        except NetObjError as exc:
+            reply = messages.Fault(
+                call.call_id, type(exc).__name__, str(exc), ""
+            )
+        except Exception as exc:  # noqa: BLE001 - application exception
+            reply = messages.Fault(
+                call.call_id, type(exc).__name__, str(exc),
+                traceback.format_exc(),
+            )
+        self._reply(connection, reply)
+
+    def _resolve_target(self, target: WireRep) -> NetObj:
+        if target.owner != self.space_id:
+            raise NoSuchObjectError(f"not the owner of {target}")
+        entry = self.object_table.exported_entry(target.index)
+        if entry is None:
+            raise NoSuchObjectError(f"no such object: {target}")
+        return entry.obj
+
+    def _resolve_method(self, obj: NetObj, name: str):
+        if name not in remote_methods_of(type(obj)):
+            raise NoSuchMethodError(
+                f"{type(obj).__qualname__} has no remote method {name!r}"
+            )
+        return getattr(obj, name)
+
+    def _reply(self, connection: Connection, message) -> None:
+        try:
+            connection.send(message)
+        except CommFailure:
+            pass  # peer vanished; nothing to tell it
+
+    # -- public API ----------------------------------------------------------------------
+
+    def serve(self, name: str, obj: NetObj) -> None:
+        """Publish ``obj`` under ``name`` in this space's agent."""
+        if not isinstance(obj, NetObj):
+            raise TypeError(
+                f"serve() needs a NetObj, got {type(obj).__qualname__}"
+            )
+        self.agent.put(name, obj)
+
+    def unserve(self, name: str) -> None:
+        self.agent.remove(name)
+
+    def import_object(self, endpoint: str, name: Optional[str] = None):
+        """Bootstrap from a peer: its agent, or the object it serves
+        under ``name``.
+
+        This is the only way to obtain a first reference into another
+        space; every further reference arrives through method calls.
+        """
+        if self._closed.is_set():
+            raise SpaceShutdownError("space is shut down")
+        connection = self.cache.get(endpoint)
+        if connection.peer_id == self.space_id:
+            return self.agent if name is None else self.agent.get(name)
+        agent_rep = WireRep(connection.peer_id, SPECIAL_OBJECT_INDEX)
+        agent_chain = tuple(typechain(Agent))
+        agent_surrogate = self.dgc_client.acquire_ref(
+            agent_rep, (endpoint,), agent_chain
+        )
+        if name is None:
+            return agent_surrogate
+        return agent_surrogate.get(name)
+
+    # -- diagnostics ----------------------------------------------------------------------
+
+    def gc_stats(self) -> dict:
+        """A snapshot of collector counters (tests and benchmarks)."""
+        return {
+            "exported": self.object_table.exported_count(),
+            "surrogates": self.dgc_client.live_surrogates(),
+            "ref_entries": self.dgc_client.entry_count(),
+            "transient_pins": len(self.transient),
+            "dirty_calls_sent": self.dgc_client.dirty_calls_sent,
+            "clean_calls_sent": self.dgc_client.clean_calls_sent,
+            "dirty_calls_seen": self.dgc_owner.dirty_calls_seen,
+            "clean_calls_seen": self.dgc_owner.clean_calls_seen,
+            "objects_dropped": self.dgc_owner.objects_dropped,
+            "resurrections": self.dgc_client.resurrections,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Space {self.space_id} endpoints={self.endpoints}>"
+
+
+#: Re-exported for the package root.
+__all__ = ["GcConfig", "Space"]

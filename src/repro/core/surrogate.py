@@ -1,0 +1,72 @@
+"""Surrogates: client-side proxies for remote network objects.
+
+There is at most one surrogate per object per space (the object table
+guarantees it).  A surrogate's generated methods forward to the
+space's invocation machinery; its collection by the *local* garbage
+collector is what eventually triggers a clean call to the owner, so a
+surrogate must never secretly retain anything that keeps it alive.
+
+The generated class is registered as a virtual subclass of the
+interface it narrows to, so ``isinstance(ref, BankInterface)`` behaves
+the same for surrogates as for local concrete objects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Type
+
+from repro.wire.wirerep import WireRep
+
+
+class Surrogate:
+    """Common behaviour of all generated surrogate classes."""
+
+    _surrogate_typecode_ = "<abstract>"
+
+    def __init__(self, invoker, wirerep: WireRep, endpoints: Tuple[str, ...],
+                 chain: Tuple[str, ...]):
+        # ``invoker(wirerep, endpoints, method, args, kwargs)`` is the
+        # space's invocation entry point; storing the bound method (and
+        # not the space) keeps the surrogate's footprint obvious.
+        self._invoker = invoker
+        self._wirerep = wirerep
+        self._endpoints = endpoints
+        self._chain = chain
+
+    def _invoke(self, method: str, args: tuple, kwargs: dict):
+        return self._invoker(self._wirerep, self._endpoints, method, args, kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<surrogate {self._surrogate_typecode_} for {self._wirerep}>"
+        )
+
+    def __reduce__(self):
+        raise TypeError(
+            "surrogates cross spaces via network-object marshaling, "
+            "not via pickle"
+        )
+
+
+def _make_method(name: str):
+    def method(self, *args, **kwargs):
+        return self._invoke(name, args, kwargs)
+
+    method.__name__ = name
+    method.__qualname__ = f"Surrogate.{name}"
+    method.__doc__ = f"Remote invocation of {name!r} at the object's owner."
+    return method
+
+
+def build_surrogate_class(typecode: str, interface: Type,
+                          methods: Sequence[str]) -> Type:
+    """Generate the surrogate class for one interface typecode."""
+    namespace = {"_surrogate_typecode_": typecode}
+    for name in methods:
+        namespace[name] = _make_method(name)
+    surrogate_cls = type(f"Surrogate[{typecode}]", (Surrogate,), namespace)
+    register = getattr(interface, "register", None)
+    if callable(register):
+        # ABCMeta virtual subclassing: isinstance(surrogate, interface).
+        register(surrogate_cls)
+    return surrogate_cls

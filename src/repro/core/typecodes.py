@@ -1,0 +1,113 @@
+"""Typecodes and the narrowest-surrogate rule.
+
+Every :class:`~repro.core.netobj.NetObj` subclass has a *typecode* — a
+stable string naming the interface.  A marshaled reference carries the
+owner's full typecode chain (most-derived first); the importing space
+walks the chain and builds its surrogate from the first typecode it
+knows.  This is the paper's type negotiation: the client gets "the
+narrowest surrogate for which it has stubs", and a client lacking the
+derived stubs can still talk to the object through a base interface.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple, Type
+
+from repro.errors import NarrowingError
+
+
+class TypeRegistry:
+    """typecode → (class, remote method names, surrogate class).
+
+    Registration happens automatically from ``NetObj.__init_subclass__``
+    into :data:`global_types`; isolated registries exist only for tests.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Tuple[Type, Tuple[str, ...]]] = {}
+        self._surrogate_classes: Dict[str, Type] = {}
+
+    def register(self, typecode: str, cls: Type, methods: Sequence[str]) -> None:
+        with self._lock:
+            existing = self._entries.get(typecode)
+            if existing is not None and existing[0] is not cls:
+                raise ValueError(
+                    f"typecode {typecode!r} already registered for "
+                    f"{existing[0].__qualname__}"
+                )
+            self._entries[typecode] = (cls, tuple(methods))
+            # A stale surrogate class may exist from a previous
+            # registration of the same typecode; rebuild lazily.
+            self._surrogate_classes.pop(typecode, None)
+
+    def knows(self, typecode: str) -> bool:
+        with self._lock:
+            return typecode in self._entries
+
+    def class_for(self, typecode: str) -> Type:
+        with self._lock:
+            return self._entries[typecode][0]
+
+    def methods_for(self, typecode: str) -> Tuple[str, ...]:
+        with self._lock:
+            return self._entries[typecode][1]
+
+    def narrow(self, chain: Sequence[str]) -> str:
+        """First typecode of ``chain`` registered locally.
+
+        Raises :class:`NarrowingError` when no typecode is known —
+        the client has no stubs at all for this object.
+        """
+        with self._lock:
+            for typecode in chain:
+                if typecode in self._entries:
+                    return typecode
+        raise NarrowingError(
+            f"no registered stubs for any of {list(chain)!r}"
+        )
+
+    def surrogate_class(self, typecode: str) -> Type:
+        """The (cached) generated surrogate class for ``typecode``."""
+        from repro.core.surrogate import build_surrogate_class
+
+        with self._lock:
+            cached = self._surrogate_classes.get(typecode)
+            if cached is not None:
+                return cached
+            cls, methods = self._entries[typecode]
+            surrogate_cls = build_surrogate_class(typecode, cls, methods)
+            self._surrogate_classes[typecode] = surrogate_cls
+            return surrogate_cls
+
+
+#: Registry used by default; NetObj subclasses self-register here.
+global_types = TypeRegistry()
+
+
+def typecode_of(cls: Type) -> str:
+    """The typecode of a NetObj subclass (override with ``_typecode_``).
+
+    Defaults to ``module.QualName`` so same-named interfaces in
+    different modules cannot collide on the wire.  Peers must agree on
+    typecodes, so refactorings that move a class should pin the old
+    name via ``_typecode_``.
+    """
+    explicit = cls.__dict__.get("_typecode_")
+    if explicit is not None:
+        return explicit
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def typechain(cls: Type) -> List[str]:
+    """Typecode chain of ``cls``: most-derived first, NetObj excluded."""
+    from repro.core.netobj import NetObj
+
+    chain = []
+    for ancestor in cls.__mro__:
+        if ancestor is NetObj:
+            break
+        if isinstance(ancestor, type) and issubclass(ancestor, NetObj):
+            chain.append(typecode_of(ancestor))
+    return chain

@@ -1,0 +1,22 @@
+"""The distributed garbage collector: Birrell's reference listing.
+
+The collector keeps, per concrete object, the *dirty set* of client
+spaces holding surrogates (:mod:`repro.dgc.owner`) and, per imported
+reference, a five-state life cycle at the client
+(:mod:`repro.dgc.client`) — including the ``ccitnil`` state that the
+original description omitted and that the later formalisation showed
+to be necessary for correctness when a copy of a reference arrives
+while its clean call is still in transit.
+
+Runtime pieces: the cleanup daemon retries clean calls
+(:mod:`repro.dgc.daemon`), the pinger detects dead clients and purges
+their dirty entries (:mod:`repro.dgc.pinger`), and sequence numbers
+order clean/dirty calls in the face of message reordering.
+"""
+
+from repro.dgc.config import GcConfig
+from repro.dgc.states import RefState
+from repro.dgc.owner import DgcOwner
+from repro.dgc.client import DgcClient, TransientTable
+
+__all__ = ["DgcClient", "DgcOwner", "GcConfig", "RefState", "TransientTable"]

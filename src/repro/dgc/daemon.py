@@ -1,0 +1,99 @@
+"""The cleaning daemon.
+
+From the paper: the wireRep of a collected surrogate "is put on a
+queue of objects to be processed later by a cleaning demon.  This
+demon is responsible for sending clean calls to the owner. [...] When
+a clean call fails, the cleanup demon merely leaves the request on its
+queue, keeping the same sequence number.  The clean call will be
+repeated until it succeeds, or until the owner's termination is
+detected."
+
+One daemon thread per space drains the queue; each item runs the
+three-step clean cycle on :class:`~repro.dgc.client.DgcClient`
+(claim → send with retries at the *same* sequence number → apply).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from repro.dgc.client import DgcClient
+from repro.dgc.config import GcConfig
+from repro.errors import NetObjError
+from repro.wire.wirerep import WireRep
+
+_STOP = object()
+
+
+class CleanupDaemon:
+    """The per-space cleaning-demon thread (see module docstring)."""
+    def __init__(self, client: DgcClient, config: GcConfig,
+                 name: str = "gc-cleanup"):
+        self._client = client
+        self._config = config
+        self._queue: "queue.Queue" = queue.Queue()
+        self._stop_event = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+        client.attach_daemon(self)
+        # Statistics.
+        self.cleans_completed = 0
+        self.cleans_abandoned = 0
+        self.retries = 0
+
+    def enqueue(self, wirerep: WireRep) -> None:
+        self._idle.clear()
+        self._queue.put(wirerep)
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self._queue.put(_STOP)
+        self._thread.join(timeout=5)
+
+    def wait_idle(self, timeout: float = 10.0) -> bool:
+        """Block until the queue has fully drained (for tests)."""
+        return self._idle.wait(timeout)
+
+    # -- worker -------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop_event.is_set():
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            try:
+                self._process(item)
+            except Exception:  # noqa: BLE001 - daemon must survive anything
+                import traceback
+
+                traceback.print_exc()
+            finally:
+                if self._queue.empty():
+                    self._idle.set()
+
+    def _process(self, wirerep: WireRep) -> None:
+        claim = self._client.begin_clean(wirerep)
+        if claim is None:
+            return  # cancelled (resurrection) or moot
+        entry, seqno, strong = claim
+        delivered = False
+        for attempt in range(self._config.clean_max_retries):
+            if self._stop_event.is_set():
+                break
+            try:
+                self._client.send_clean(entry, seqno, strong)
+                delivered = True
+                break
+            except NetObjError:
+                self.retries += 1
+                if self._stop_event.wait(self._config.clean_retry_interval):
+                    break
+        if delivered:
+            self.cleans_completed += 1
+        else:
+            self.cleans_abandoned += 1
+        self._client.finish_clean(entry, delivered)

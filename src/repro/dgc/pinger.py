@@ -1,0 +1,83 @@
+"""Client-liveness detection at the owner.
+
+From the paper (§2.4): "[the] collector detects termination by having
+each process periodically ping the clients that have surrogates for
+its objects.  If the ping is not acknowledged after sufficient time,
+the client is assumed to have died, and is removed from all dirty
+sets at that owner."
+
+We ping over the existing (symmetric) connection to the client; a
+client with no live connection cannot be probed at all, which counts
+as a failed ping.  After ``ping_max_failures`` consecutive failures
+the client is purged from every dirty set — at which point objects it
+alone kept alive become locally collectable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict
+
+from repro.dgc.config import GcConfig
+from repro.dgc.owner import DgcOwner
+from repro.errors import NetObjError
+from repro.wire.ids import SpaceID
+
+#: ``ping(client_id) -> bool`` — provided by the space; True on a
+#: timely acknowledgement.
+PingFn = Callable[[SpaceID], bool]
+
+
+class Pinger:
+    """Periodic client-liveness prober (see module docstring)."""
+    def __init__(self, owner: DgcOwner, ping: PingFn, config: GcConfig,
+                 name: str = "gc-pinger"):
+        if config.ping_interval is None:
+            raise ValueError("Pinger requires ping_interval to be set")
+        self._owner = owner
+        self._ping = ping
+        self._config = config
+        self._failures: Dict[SpaceID, int] = {}
+        self._stop_event = threading.Event()
+        self.clients_purged = 0
+        self.pings_sent = 0
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self._thread.join(timeout=5)
+
+    def _run(self) -> None:
+        interval = self._config.ping_interval
+        while not self._stop_event.wait(interval):
+            try:
+                self._round()
+            except Exception:  # noqa: BLE001 - pinger must survive anything
+                import traceback
+
+                traceback.print_exc()
+
+    def _round(self) -> None:
+        clients = self._owner.clients()
+        # Forget failure counts of clients that cleaned up properly.
+        for known in list(self._failures):
+            if known not in clients:
+                del self._failures[known]
+        for client in clients:
+            if self._stop_event.is_set():
+                return
+            self.pings_sent += 1
+            try:
+                alive = self._ping(client)
+            except NetObjError:
+                alive = False
+            if alive:
+                self._failures[client] = 0
+                continue
+            count = self._failures.get(client, 0) + 1
+            self._failures[client] = count
+            if count >= self._config.ping_max_failures:
+                self._owner.purge_client(client)
+                self.clients_purged += 1
+                del self._failures[client]

@@ -1,0 +1,35 @@
+"""The reference life-cycle states at a client space.
+
+These are the receive-table states of the formal model (and of
+:mod:`repro.model`): a reference in a given space is always in exactly
+one of them, and the permitted transitions are the cube edges of the
+formalisation's state diagram.
+
+========== =====================================================
+state       meaning at this space
+========== =====================================================
+NONEXISTENT the reference is unknown here (``⊥``)
+NIL         received, dirty call not yet acknowledged; unusable
+OK          registered with the owner; usable
+CCIT        clean call in transit; being forgotten
+CCITNIL     clean in transit *but* a fresh copy arrived — after
+            the clean is acknowledged a new dirty cycle starts
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RefState(enum.Enum):
+    """The five receive-table states (see module docstring)."""
+    NONEXISTENT = "bottom"
+    NIL = "nil"
+    OK = "ok"
+    CCIT = "ccit"
+    CCITNIL = "ccitnil"
+
+    def usable(self) -> bool:
+        """May application code invoke through this reference?"""
+        return self is RefState.OK

@@ -1,0 +1,16 @@
+"""A small explicit local heap with root-based reachability.
+
+The distributed collector's client side is driven by the *local*
+collector: a clean call happens when the local collector finds a
+surrogate unreachable.  The runtime uses CPython's collector for
+this; the model and the property tests need a deterministic stand-in,
+which this package provides — objects, fields, roots, mark-based
+reachability and a mark-sweep collect, with remote references as
+first-class leaf values so "which remote refs are locally reachable"
+is a direct query.
+"""
+
+from repro.localheap.heap import Heap, RemoteRef
+from repro.localheap.reachability import reachable_from
+
+__all__ = ["Heap", "RemoteRef", "reachable_from"]

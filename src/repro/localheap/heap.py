@@ -1,0 +1,118 @@
+"""The heap: objects, fields, roots, allocation and collection."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Set, Union
+
+from repro.localheap.reachability import reachable_from
+
+
+@dataclass(frozen=True)
+class RemoteRef:
+    """A leaf heap value naming a remote reference (by index)."""
+
+    ref: int
+
+
+FieldValue = Union[int, RemoteRef, None]  # local object id, remote ref, NULL
+
+
+class Heap:
+    """An explicit heap for one simulated process.
+
+    Objects are identified by integers and hold a fixed-free list of
+    fields; each field is NULL, a local object id, or a
+    :class:`RemoteRef`.  Roots are distinguished object ids (stack
+    slots, globals).  ``collect`` is a mark-sweep over the object
+    graph; ``reachable_remote_refs`` answers the only question the
+    distributed collector asks of the local one.
+    """
+
+    def __init__(self) -> None:
+        self._objects: Dict[int, List[FieldValue]] = {}
+        self._roots: Set[int] = set()
+        self._ids = itertools.count(1)
+        self.collections = 0
+        self.collected_total = 0
+
+    # -- mutation -----------------------------------------------------------------
+
+    def allocate(self, nfields: int = 2, root: bool = False) -> int:
+        obj = next(self._ids)
+        self._objects[obj] = [None] * nfields
+        if root:
+            self._roots.add(obj)
+        return obj
+
+    def add_root(self, obj: int) -> None:
+        self._check(obj)
+        self._roots.add(obj)
+
+    def remove_root(self, obj: int) -> None:
+        self._roots.discard(obj)
+
+    def set_field(self, obj: int, slot: int, value: FieldValue) -> None:
+        self._check(obj)
+        if isinstance(value, int):
+            self._check(value)
+        self._objects[obj][slot] = value
+
+    def _check(self, obj: int) -> None:
+        if obj not in self._objects:
+            raise KeyError(f"no such heap object {obj}")
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, obj: int) -> bool:
+        return obj in self._objects
+
+    def roots(self) -> Set[int]:
+        return set(self._roots)
+
+    def fields(self, obj: int) -> List[FieldValue]:
+        self._check(obj)
+        return list(self._objects[obj])
+
+    def edges(self):
+        """All (src, dst) local edges — for reference checks."""
+        for obj, fields in self._objects.items():
+            for value in fields:
+                if isinstance(value, int):
+                    yield (obj, value)
+
+    def reachable_objects(self) -> Set[int]:
+        def successors(obj: int):
+            return [
+                value for value in self._objects[obj]
+                if isinstance(value, int)
+            ]
+
+        return reachable_from(self._roots, successors)
+
+    def reachable_remote_refs(self) -> Set[int]:
+        """Remote reference indices held in live objects."""
+        live = self.reachable_objects()
+        refs: Set[int] = set()
+        for obj in live:
+            for value in self._objects[obj]:
+                if isinstance(value, RemoteRef):
+                    refs.add(value.ref)
+        return refs
+
+    # -- collection -----------------------------------------------------------------
+
+    def collect(self) -> Set[int]:
+        """Mark-sweep; returns the ids reclaimed."""
+        live = self.reachable_objects()
+        dead = set(self._objects) - live
+        for obj in dead:
+            del self._objects[obj]
+        self._roots &= live
+        self.collections += 1
+        self.collected_total += len(dead)
+        return dead

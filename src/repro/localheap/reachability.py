@@ -1,0 +1,27 @@
+"""Root-based reachability (iterative mark)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Set, TypeVar
+
+Node = TypeVar("Node")
+
+
+def reachable_from(
+    roots: Iterable[Node],
+    successors: Callable[[Node], Iterable[Node]],
+) -> Set[Node]:
+    """The transitive closure of ``successors`` from ``roots``.
+
+    Iterative (no recursion limit concerns for deep object chains) and
+    each node's successors are expanded exactly once.
+    """
+    marked: Set[Node] = set(roots)
+    stack = list(marked)
+    while stack:
+        node = stack.pop()
+        for successor in successors(node):
+            if successor not in marked:
+                marked.add(successor)
+                stack.append(successor)
+    return marked

@@ -1,0 +1,35 @@
+"""Pickles: the marshaling subsystem of Network Objects.
+
+The paper marshals ordinary data with *pickles* — a graph-preserving
+binary serialisation — and marshals network objects specially, by
+wireRep.  This package is a from-scratch implementation of both halves:
+
+* :class:`Pickler` / :class:`Unpickler` encode the supported value
+  universe (None, bool, int, float, str, bytes, bytearray, list,
+  tuple, dict, set, frozenset, registered application structs) while
+  preserving sharing and cycles.
+* Values recognised by an optional *network-object handler* are
+  delegated to it, so the object runtime can substitute wireReps on
+  the way out and surrogates on the way in without this package
+  knowing anything about spaces or garbage collection.
+
+Unlike the standard library's ``pickle``, unpickling data can only
+construct types that were explicitly registered — a requirement both
+of the reproduction (the original pickles are type-checked) and of
+basic prudence when reading bytes off a network.
+"""
+
+from repro.marshal.registry import StructRegistry, global_registry, register_struct
+from repro.marshal.pickler import NetObjHandler, Pickler, dumps
+from repro.marshal.unpickler import Unpickler, loads
+
+__all__ = [
+    "NetObjHandler",
+    "Pickler",
+    "StructRegistry",
+    "Unpickler",
+    "dumps",
+    "global_registry",
+    "loads",
+    "register_struct",
+]

@@ -1,0 +1,290 @@
+"""The pickler: Python values → bytes.
+
+Encoding is a straightforward recursive descent with two twists that
+the reproduction depends on:
+
+* **Sharing and cycles are preserved.**  Memoizable values receive
+  consecutive memo ids as their tags are emitted; repeats are emitted
+  as back-references.  Mutable containers are memoized *before* their
+  elements so self-referential structures terminate.
+* **Network objects are delegated** to a :class:`NetObjHandler`, which
+  is where the object runtime swaps in wireReps and where the
+  distributed collector records the copy (the transient dirty entry of
+  the algorithm).  The pickler itself stays GC-agnostic.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Protocol
+
+from repro.errors import MarshalError
+from repro.marshal import tags
+from repro.marshal.registry import StructRegistry, global_registry
+from repro.wire.varint import write_uvarint
+
+_FLOAT_STRUCT = struct.Struct("!d")
+
+#: Values needing more than this many varint bytes use INT_BIG.
+_UVARINT_MAX = (1 << 63) - 1
+
+#: Maximum container-nesting depth.  Deeper graphs raise MarshalError /
+#: UnmarshalError instead of exhausting the interpreter stack — which
+#: matters twice over for the unpickler, whose input is remote data.
+#: 256 keeps the encoder's ~3 Python frames per level comfortably
+#: under the default interpreter recursion limit.
+MAX_DEPTH = 256
+
+
+class NetObjHandler(Protocol):
+    """Hook through which the object runtime plugs into pickling.
+
+    ``recognizes`` decides whether a value is a network object (either
+    a concrete exported object or a surrogate).  ``marshal`` returns
+    the payload bytes to embed — typically the wireRep plus typecode
+    chain — and performs whatever bookkeeping the sender requires
+    (e.g. recording a transient dirty entry).  ``unmarshal`` is the
+    mirror image used by the unpickler.
+    """
+
+    def recognizes(self, value: object) -> bool: ...
+
+    def marshal(self, value: object) -> bytes: ...
+
+    def unmarshal(self, payload: bytes) -> object: ...
+
+
+class Pickler:
+    """Single-use encoder for one value graph.
+
+    A fresh pickler (or a call to :meth:`reset`) must be used per
+    message: memo ids are scoped to one pickle, matching the lockstep
+    decoder in :class:`~repro.marshal.unpickler.Unpickler`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[StructRegistry] = None,
+        netobj_handler: Optional[NetObjHandler] = None,
+    ):
+        self._registry = registry if registry is not None else global_registry
+        self._handler = netobj_handler
+        self._out = bytearray()
+        self._memo_by_id: dict[int, int] = {}
+        self._memo_by_value: dict[tuple, int] = {}
+        self._keepalive: list[object] = []
+        self._next_memo = 0
+        self._depth = 0
+
+    def reset(self) -> None:
+        self._out = bytearray()
+        self._memo_by_id.clear()
+        self._memo_by_value.clear()
+        self._keepalive.clear()
+        self._next_memo = 0
+        self._depth = 0
+
+    def dumps(self, value: object) -> bytes:
+        """Encode ``value`` and return the pickle bytes."""
+        self._write(value)
+        result = bytes(self._out)
+        self.reset()
+        return result
+
+    # -- memo management ----------------------------------------------------
+
+    def _assign_memo_id(self, value: object, by_value: bool = False) -> int:
+        memo_id = self._next_memo
+        self._next_memo += 1
+        if by_value:
+            self._memo_by_value[(type(value), value)] = memo_id
+        else:
+            self._memo_by_id[id(value)] = memo_id
+            # Hold a reference so id() cannot be recycled mid-pickle.
+            self._keepalive.append(value)
+        return memo_id
+
+    def _write_ref(self, memo_id: int) -> None:
+        self._out.append(tags.REF)
+        write_uvarint(self._out, memo_id)
+
+    # -- encoders -------------------------------------------------------------
+
+    def _write(self, value: object) -> None:
+        self._depth += 1
+        if self._depth > MAX_DEPTH:
+            self._depth -= 1
+            raise MarshalError(
+                f"value nesting exceeds {MAX_DEPTH} levels"
+            )
+        try:
+            self._write_inner(value)
+        finally:
+            self._depth -= 1
+
+    def _write_inner(self, value: object) -> None:
+        out = self._out
+        if value is None:
+            out.append(tags.NONE)
+        elif value is True:
+            out.append(tags.TRUE)
+        elif value is False:
+            out.append(tags.FALSE)
+        elif type(value) is int:
+            self._write_int(value)
+        elif type(value) is float:
+            out.append(tags.FLOAT)
+            out += _FLOAT_STRUCT.pack(value)
+        elif type(value) is str:
+            self._write_str(value)
+        elif type(value) is bytes:
+            self._write_bytes(value)
+        elif type(value) is bytearray:
+            self._write_bytearray(value)
+        elif type(value) is list:
+            self._write_list(value)
+        elif type(value) is tuple:
+            self._write_tuple(value)
+        elif type(value) is dict:
+            self._write_dict(value)
+        elif type(value) is set:
+            self._write_set(tags.SET, value)
+        elif type(value) is frozenset:
+            self._write_set(tags.FROZENSET, value)
+        elif self._handler is not None and self._handler.recognizes(value):
+            self._write_netobj(value)
+        else:
+            self._write_struct(value)
+
+    def _write_int(self, value: int) -> None:
+        out = self._out
+        if 0 <= value <= _UVARINT_MAX:
+            out.append(tags.INT_POS)
+            write_uvarint(out, value)
+        elif -_UVARINT_MAX - 1 <= value < 0:
+            out.append(tags.INT_NEG)
+            write_uvarint(out, -1 - value)
+        else:
+            raw = value.to_bytes(
+                (value.bit_length() + 8) // 8, "little", signed=True
+            )
+            out.append(tags.INT_BIG)
+            write_uvarint(out, len(raw))
+            out += raw
+
+    def _write_str(self, value: str) -> None:
+        memo_id = self._memo_by_value.get((str, value))
+        if memo_id is not None:
+            self._write_ref(memo_id)
+            return
+        self._assign_memo_id(value, by_value=True)
+        encoded = value.encode("utf-8")
+        self._out.append(tags.STR)
+        write_uvarint(self._out, len(encoded))
+        self._out += encoded
+
+    def _write_bytes(self, value: bytes) -> None:
+        memo_id = self._memo_by_value.get((bytes, value))
+        if memo_id is not None:
+            self._write_ref(memo_id)
+            return
+        self._assign_memo_id(value, by_value=True)
+        self._out.append(tags.BYTES)
+        write_uvarint(self._out, len(value))
+        self._out += value
+
+    def _write_bytearray(self, value: bytearray) -> None:
+        # Mutable, so identity-memoized: two occurrences of the *same*
+        # bytearray stay aliased after a round trip.
+        memo_id = self._memo_by_id.get(id(value))
+        if memo_id is not None:
+            self._write_ref(memo_id)
+            return
+        self._assign_memo_id(value)
+        self._out.append(tags.BYTEARRAY)
+        write_uvarint(self._out, len(value))
+        self._out += value
+
+    def _write_list(self, value: list) -> None:
+        memo_id = self._memo_by_id.get(id(value))
+        if memo_id is not None:
+            self._write_ref(memo_id)
+            return
+        self._assign_memo_id(value)
+        self._out.append(tags.LIST)
+        write_uvarint(self._out, len(value))
+        for item in value:
+            self._write(item)
+
+    def _write_tuple(self, value: tuple) -> None:
+        memo_id = self._memo_by_id.get(id(value))
+        if memo_id is not None:
+            self._write_ref(memo_id)
+            return
+        self._assign_memo_id(value)
+        self._out.append(tags.TUPLE)
+        write_uvarint(self._out, len(value))
+        for item in value:
+            self._write(item)
+
+    def _write_dict(self, value: dict) -> None:
+        memo_id = self._memo_by_id.get(id(value))
+        if memo_id is not None:
+            self._write_ref(memo_id)
+            return
+        self._assign_memo_id(value)
+        self._out.append(tags.DICT)
+        write_uvarint(self._out, len(value))
+        for key, item in value.items():
+            self._write(key)
+            self._write(item)
+
+    def _write_set(self, tag: int, value) -> None:
+        memo_id = self._memo_by_id.get(id(value))
+        if memo_id is not None:
+            self._write_ref(memo_id)
+            return
+        self._assign_memo_id(value)
+        self._out.append(tag)
+        write_uvarint(self._out, len(value))
+        for item in value:
+            self._write(item)
+
+    def _write_netobj(self, value: object) -> None:
+        memo_id = self._memo_by_id.get(id(value))
+        if memo_id is not None:
+            self._write_ref(memo_id)
+            return
+        self._assign_memo_id(value)
+        payload = self._handler.marshal(value)
+        self._out.append(tags.NETOBJ)
+        write_uvarint(self._out, len(payload))
+        self._out += payload
+
+    def _write_struct(self, value: object) -> None:
+        codec = self._registry.codec_for_instance(value)
+        if codec is None:
+            raise MarshalError(
+                f"cannot pickle value of unregistered type "
+                f"{type(value).__qualname__}"
+            )
+        memo_id = self._memo_by_id.get(id(value))
+        if memo_id is not None:
+            self._write_ref(memo_id)
+            return
+        self._assign_memo_id(value)
+        self._out.append(tags.STRUCT)
+        self._write_str(codec.name)
+        fields = codec.disassemble(value)
+        write_uvarint(self._out, len(fields))
+        for field_value in fields:
+            self._write(field_value)
+
+
+def dumps(
+    value: object,
+    registry: Optional[StructRegistry] = None,
+    netobj_handler: Optional[NetObjHandler] = None,
+) -> bytes:
+    """One-shot convenience wrapper around :class:`Pickler`."""
+    return Pickler(registry, netobj_handler).dumps(value)

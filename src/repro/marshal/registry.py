@@ -1,0 +1,163 @@
+"""Registry of application struct types that may cross the wire.
+
+The original pickles machinery marshals any Modula-3 value whose type
+is known on both sides.  We reproduce the "known on both sides" rule
+with an explicit registry: an application registers a class under a
+stable name (on every space that will see it), and instances are then
+marshaled field-by-field.  Unregistered types are rejected with
+:class:`~repro.errors.MarshalError` rather than silently mis-encoded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, Type
+
+from repro.errors import MarshalError, UnmarshalError
+
+
+class StructCodec:
+    """How to take a registered class apart and put it back together."""
+
+    def __init__(
+        self,
+        name: str,
+        cls: Type,
+        fields: Sequence[str],
+        factory: Optional[Callable[..., object]] = None,
+    ):
+        self.name = name
+        self.cls = cls
+        self.fields = tuple(fields)
+        self.factory = factory
+
+    def disassemble(self, obj: object) -> Tuple[object, ...]:
+        try:
+            return tuple(getattr(obj, f) for f in self.fields)
+        except AttributeError as exc:
+            raise MarshalError(
+                f"instance of {self.name} missing field: {exc}"
+            ) from exc
+
+    def precreate(self) -> object:
+        """Allocate an empty instance (fields filled in later).
+
+        This two-phase construction lets struct instances participate
+        in cyclic graphs.  Not available when an explicit ``factory``
+        was registered.
+        """
+        return self.cls.__new__(self.cls)
+
+    def fill(self, obj: object, values: Sequence[object]) -> None:
+        self._check_arity(values)
+        for field, value in zip(self.fields, values):
+            object.__setattr__(obj, field, value)
+
+    def assemble(self, values: Sequence[object]) -> object:
+        """Single-phase construction through the registered factory."""
+        self._check_arity(values)
+        assert self.factory is not None
+        return self.factory(*values)
+
+    def _check_arity(self, values: Sequence[object]) -> None:
+        if len(values) != len(self.fields):
+            raise UnmarshalError(
+                f"struct {self.name}: expected {len(self.fields)} fields, "
+                f"got {len(values)}"
+            )
+
+
+class StructRegistry:
+    """Thread-safe name ↔ codec mapping.
+
+    Spaces normally share :data:`global_registry`; tests that need
+    isolation may build private registries and hand them to the
+    pickler/unpickler directly.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_name: Dict[str, StructCodec] = {}
+        self._by_cls: Dict[Type, StructCodec] = {}
+
+    def register(
+        self,
+        cls: Type,
+        fields: Optional[Iterable[str]] = None,
+        name: Optional[str] = None,
+        factory: Optional[Callable[..., object]] = None,
+    ) -> Type:
+        """Register ``cls`` for marshaling; returns ``cls`` (decorator-friendly).
+
+        ``fields`` defaults to the dataclass fields of ``cls`` (it must
+        then be a dataclass).  By default instances are rebuilt with
+        ``__new__`` + setattr — which allows cyclic object graphs but
+        skips ``__init__``/``__post_init__``; pass ``factory`` (e.g.
+        the class itself) to force constructor-based rebuilding.
+        """
+        if fields is None:
+            if not dataclasses.is_dataclass(cls):
+                raise TypeError(
+                    f"{cls.__name__}: pass fields= explicitly for "
+                    "non-dataclass types"
+                )
+            fields = [f.name for f in dataclasses.fields(cls)]
+        struct_name = name if name is not None else cls.__qualname__
+        codec = StructCodec(struct_name, cls, list(fields), factory)
+        with self._lock:
+            existing = self._by_name.get(struct_name)
+            if existing is not None and existing.cls is not cls:
+                raise ValueError(
+                    f"struct name {struct_name!r} already registered "
+                    f"for {existing.cls!r}"
+                )
+            self._by_name[struct_name] = codec
+            self._by_cls[cls] = codec
+        return cls
+
+    def codec_for_instance(self, obj: object) -> Optional[StructCodec]:
+        return self._by_cls.get(type(obj))
+
+    def codec_for_name(self, name: str) -> StructCodec:
+        codec = self._by_name.get(name)
+        if codec is None:
+            raise UnmarshalError(f"unknown struct type {name!r}")
+        return codec
+
+    def clear(self) -> None:
+        with self._lock:
+            self._by_name.clear()
+            self._by_cls.clear()
+
+
+#: The default registry used by spaces unless told otherwise.
+global_registry = StructRegistry()
+
+
+def register_struct(
+    cls: Optional[Type] = None,
+    *,
+    fields: Optional[Iterable[str]] = None,
+    name: Optional[str] = None,
+    factory: Optional[Callable[..., object]] = None,
+):
+    """Class decorator registering a type in :data:`global_registry`.
+
+    Usage::
+
+        @register_struct
+        @dataclass
+        class Deposit:
+            account: str
+            amount: int
+    """
+    if cls is not None:
+        return global_registry.register(cls, fields=fields, name=name, factory=factory)
+
+    def decorate(inner_cls: Type) -> Type:
+        return global_registry.register(
+            inner_cls, fields=fields, name=name, factory=factory
+        )
+
+    return decorate

@@ -1,0 +1,210 @@
+"""The unpickler: bytes → Python values.
+
+Decoding mirrors :class:`~repro.marshal.pickler.Pickler` exactly,
+including the memo-id assignment order.  Mutable containers are entered
+into the memo *before* their elements are decoded, so cycles and
+sharing reconstruct faithfully.  Tuples and frozensets reserve a memo
+slot first and fill it after construction; a back-reference into an
+unfilled slot (a genuinely cyclic tuple, which CPython cannot build
+through public APIs anyway) is reported as corrupt data.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.errors import UnmarshalError
+from repro.marshal import tags
+from repro.marshal.pickler import MAX_DEPTH, NetObjHandler
+from repro.marshal.registry import StructRegistry, global_registry
+from repro.wire.varint import read_uvarint
+
+_FLOAT_STRUCT = struct.Struct("!d")
+
+_UNFILLED = object()
+
+
+class Unpickler:
+    """Decoder for pickles produced by :class:`Pickler`."""
+
+    def __init__(
+        self,
+        registry: Optional[StructRegistry] = None,
+        netobj_handler: Optional[NetObjHandler] = None,
+    ):
+        self._registry = registry if registry is not None else global_registry
+        self._handler = netobj_handler
+
+    def loads(self, data: bytes) -> object:
+        """Decode one value from ``data``; all bytes must be consumed."""
+        memo: List[object] = []
+        value, offset = self._read(data, 0, memo)
+        if offset != len(data):
+            raise UnmarshalError(
+                f"trailing garbage: {len(data) - offset} bytes after pickle"
+            )
+        return value
+
+    # -- decoders -------------------------------------------------------------
+
+    def _read(self, data: bytes, offset: int, memo: List[object],
+              depth: int = 0):
+        if depth > MAX_DEPTH:
+            raise UnmarshalError(
+                f"pickle nesting exceeds {MAX_DEPTH} levels"
+            )
+        if offset >= len(data):
+            raise UnmarshalError("truncated pickle")
+        tag = data[offset]
+        offset += 1
+
+        if tag == tags.NONE:
+            return None, offset
+        if tag == tags.TRUE:
+            return True, offset
+        if tag == tags.FALSE:
+            return False, offset
+        if tag == tags.INT_POS:
+            return read_uvarint(data, offset)
+        if tag == tags.INT_NEG:
+            magnitude, offset = read_uvarint(data, offset)
+            return -1 - magnitude, offset
+        if tag == tags.INT_BIG:
+            length, offset = read_uvarint(data, offset)
+            raw, offset = self._take(data, offset, length)
+            return int.from_bytes(raw, "little", signed=True), offset
+        if tag == tags.FLOAT:
+            raw, offset = self._take(data, offset, _FLOAT_STRUCT.size)
+            return _FLOAT_STRUCT.unpack(raw)[0], offset
+        if tag == tags.STR:
+            length, offset = read_uvarint(data, offset)
+            raw, offset = self._take(data, offset, length)
+            try:
+                value = raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise UnmarshalError(f"invalid UTF-8 in string: {exc}") from exc
+            memo.append(value)
+            return value, offset
+        if tag == tags.BYTES:
+            length, offset = read_uvarint(data, offset)
+            raw, offset = self._take(data, offset, length)
+            memo.append(raw)
+            return raw, offset
+        if tag == tags.BYTEARRAY:
+            length, offset = read_uvarint(data, offset)
+            raw, offset = self._take(data, offset, length)
+            value = bytearray(raw)
+            memo.append(value)
+            return value, offset
+        if tag == tags.LIST:
+            count, offset = read_uvarint(data, offset)
+            value: list = []
+            memo.append(value)
+            for _ in range(count):
+                item, offset = self._read(data, offset, memo, depth + 1)
+                value.append(item)
+            return value, offset
+        if tag == tags.TUPLE:
+            count, offset = read_uvarint(data, offset)
+            slot = len(memo)
+            memo.append(_UNFILLED)
+            items = []
+            for _ in range(count):
+                item, offset = self._read(data, offset, memo, depth + 1)
+                items.append(item)
+            value = tuple(items)
+            memo[slot] = value
+            return value, offset
+        if tag == tags.DICT:
+            count, offset = read_uvarint(data, offset)
+            value: dict = {}
+            memo.append(value)
+            for _ in range(count):
+                key, offset = self._read(data, offset, memo, depth + 1)
+                item, offset = self._read(data, offset, memo, depth + 1)
+                value[key] = item
+            return value, offset
+        if tag == tags.SET:
+            count, offset = read_uvarint(data, offset)
+            value: set = set()
+            memo.append(value)
+            for _ in range(count):
+                item, offset = self._read(data, offset, memo, depth + 1)
+                value.add(item)
+            return value, offset
+        if tag == tags.FROZENSET:
+            count, offset = read_uvarint(data, offset)
+            slot = len(memo)
+            memo.append(_UNFILLED)
+            items = []
+            for _ in range(count):
+                item, offset = self._read(data, offset, memo, depth + 1)
+                items.append(item)
+            value = frozenset(items)
+            memo[slot] = value
+            return value, offset
+        if tag == tags.REF:
+            memo_id, offset = read_uvarint(data, offset)
+            if memo_id >= len(memo):
+                raise UnmarshalError(f"dangling memo reference {memo_id}")
+            value = memo[memo_id]
+            if value is _UNFILLED:
+                raise UnmarshalError(
+                    f"back-reference into unconstructed value {memo_id}"
+                )
+            return value, offset
+        if tag == tags.STRUCT:
+            slot = len(memo)
+            memo.append(_UNFILLED)
+            name, offset = self._read(data, offset, memo, depth + 1)
+            if not isinstance(name, str):
+                raise UnmarshalError("struct name is not a string")
+            codec = self._registry.codec_for_name(name)
+            count, offset = read_uvarint(data, offset)
+            if codec.factory is None:
+                # Two-phase build: instance visible in the memo while
+                # its fields decode, so structs may sit on cycles.
+                value = codec.precreate()
+                memo[slot] = value
+                values = []
+                for _ in range(count):
+                    item, offset = self._read(data, offset, memo, depth + 1)
+                    values.append(item)
+                codec.fill(value, values)
+            else:
+                values = []
+                for _ in range(count):
+                    item, offset = self._read(data, offset, memo, depth + 1)
+                    values.append(item)
+                value = codec.assemble(values)
+                memo[slot] = value
+            return value, offset
+        if tag == tags.NETOBJ:
+            if self._handler is None:
+                raise UnmarshalError(
+                    "pickle contains a network object but no handler is set"
+                )
+            length, offset = read_uvarint(data, offset)
+            raw, offset = self._take(data, offset, length)
+            value = self._handler.unmarshal(raw)
+            memo.append(value)
+            return value, offset
+
+        raise UnmarshalError(f"unknown pickle tag {tags.tag_name(tag)}")
+
+    @staticmethod
+    def _take(data: bytes, offset: int, length: int):
+        end = offset + length
+        if end > len(data):
+            raise UnmarshalError("truncated pickle payload")
+        return data[offset:end], end
+
+
+def loads(
+    data: bytes,
+    registry: Optional[StructRegistry] = None,
+    netobj_handler: Optional[NetObjHandler] = None,
+) -> object:
+    """One-shot convenience wrapper around :class:`Unpickler`."""
+    return Unpickler(registry, netobj_handler).loads(data)

@@ -1,0 +1,46 @@
+"""The formal model: Birrell's algorithm as an abstract state machine.
+
+This package is a literal, executable transcription of the
+formalisation of the Network Objects collector — the thirteen
+transition rules over the five receive-table states, with channels as
+bags of messages between process pairs.  On top of the machine sit:
+
+* :mod:`repro.model.invariants` — the paper's lemmas and the safety
+  theorem as executable predicates;
+* :mod:`repro.model.measure` — the termination measure whose strict
+  decrease (outside ``make_copy``/``finalize``) yields liveness;
+* :mod:`repro.model.explorer` — exhaustive enumeration of every
+  reachable configuration of bounded instances, checking all
+  invariants in each;
+* :mod:`repro.model.variants` — the naive counter (whose race the
+  explorer finds), the FIFO-channel variant, the owner optimisations
+  and three related algorithms (Lermen–Maurer, weighted, indirect)
+  for the message-cost comparisons.
+
+The runtime collector in :mod:`repro.dgc` implements the same state
+machine against real threads and sockets; this model is the oracle
+that pins down what "the same" means.
+"""
+
+from repro.model.state import Configuration, Msg, initial_configuration
+from repro.model.machine import Machine, Transition
+from repro.model.rules import ALL_RULES, GC_RULES, MUTATOR_RULES
+from repro.model.invariants import all_violations, check_all
+from repro.model.measure import termination_measure
+from repro.model.explorer import ExplorationResult, explore
+
+__all__ = [
+    "ALL_RULES",
+    "Configuration",
+    "ExplorationResult",
+    "GC_RULES",
+    "Machine",
+    "MUTATOR_RULES",
+    "Msg",
+    "Transition",
+    "all_violations",
+    "check_all",
+    "explore",
+    "initial_configuration",
+    "termination_measure",
+]

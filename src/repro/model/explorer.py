@@ -1,0 +1,116 @@
+"""Exhaustive exploration of bounded instances of the machine.
+
+Breadth-first enumeration of every configuration reachable from an
+initial state, firing every enabled transition at every configuration
+and evaluating a checker in each.  The instance is kept finite by the
+``copies_left`` budget in the configuration (bounding mutator fan-out)
+— all collector activity then terminates by the measure.
+
+This is the E5 experiment: the safety invariants hold in *every*
+reachable configuration, not merely along sampled runs — and the same
+explorer run against the naive-counting variant finds its race within
+a handful of states.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.model.invariants import all_violations
+from repro.model.machine import Machine
+from repro.model.state import Configuration
+
+
+@dataclass
+class Violation:
+    config: Configuration
+    messages: List[str]
+    trace: Tuple[str, ...]
+
+
+@dataclass
+class ExplorationResult:
+    states: int
+    transitions: int
+    quiescent_states: int
+    max_depth: int
+    violations: List[Violation] = field(default_factory=list)
+    rule_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{self.states} states, {self.transitions} transitions, "
+            f"{self.quiescent_states} quiescent, depth {self.max_depth}: "
+            f"{status}"
+        )
+
+
+def explore(
+    initial: Configuration,
+    machine: Optional[Machine] = None,
+    checker: Callable[[Configuration], List[str]] = all_violations,
+    max_states: int = 2_000_000,
+    stop_at_first_violation: bool = True,
+    keep_traces: bool = True,
+) -> ExplorationResult:
+    """BFS over reachable configurations, checking each one.
+
+    ``keep_traces`` records, per state, the rule path from the initial
+    configuration (memory-heavier; invaluable in violation reports).
+    """
+    if machine is None:
+        machine = Machine()
+    result = ExplorationResult(
+        states=0, transitions=0, quiescent_states=0, max_depth=0
+    )
+    seen = {initial}
+    traces: Dict[Configuration, Tuple[str, ...]] = {initial: ()}
+    queue = collections.deque([(initial, 0)])
+
+    def record(config: Configuration, depth: int) -> bool:
+        """Check a newly discovered state; returns False to abort."""
+        result.states += 1
+        result.max_depth = max(result.max_depth, depth)
+        messages = checker(config)
+        if messages:
+            trace = traces.get(config, ()) if keep_traces else ()
+            result.violations.append(Violation(config, messages, trace))
+            if stop_at_first_violation:
+                return False
+        return True
+
+    if not record(initial, 0):
+        return result
+
+    while queue:
+        config, depth = queue.popleft()
+        transitions = machine.enabled(config)
+        if not transitions:
+            result.quiescent_states += 1
+            continue
+        for transition in transitions:
+            successor = transition.fire(config)
+            result.transitions += 1
+            name = transition.rule.name
+            result.rule_counts[name] = result.rule_counts.get(name, 0) + 1
+            if successor in seen:
+                continue
+            seen.add(successor)
+            if keep_traces:
+                traces[successor] = traces[config] + (str(transition),)
+            if not record(successor, depth + 1):
+                return result
+            if result.states >= max_states:
+                raise RuntimeError(
+                    f"state space exceeded {max_states} states; "
+                    "tighten the copies_left budget"
+                )
+            queue.append((successor, depth + 1))
+    return result

@@ -1,0 +1,371 @@
+"""The formalisation's lemmas and safety theorem, as executable checks.
+
+Each function returns a list of violation descriptions (empty when the
+property holds).  The explorer evaluates every check in every reachable
+configuration; the hypothesis tests evaluate them along random runs.
+
+One divergence from the paper's statements: the owner's own receive
+table entry is pinned at OK in our initial configuration (it makes the
+mutator's first ``make_copy`` expressible), so lemmas quantified over
+"any process p1" are checked for p1 ≠ owner(r) where the paper's
+context implies a client.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.dgc.states import RefState
+from repro.model.state import Configuration
+
+Check = Callable[[Configuration], List[str]]
+
+_USABLE = (RefState.OK, RefState.NIL, RefState.CCITNIL)
+
+
+def _clients(config: Configuration, ref: int):
+    for proc in range(config.nprocs):
+        if proc != config.owner[ref]:
+            yield proc
+
+
+def lemma1_ccitnil_has_pending_dirty(config: Configuration) -> List[str]:
+    """ccitnil ⇒ a dirty call is scheduled."""
+    violations = []
+    for ref in range(config.nrefs):
+        for proc in range(config.nprocs):
+            if (config.rec_of(proc, ref) is RefState.CCITNIL
+                    and (proc, ref) not in config.dirty_call_todo):
+                violations.append(
+                    f"L1: p{proc}/r{ref} is ccitnil without dirty_call_todo"
+                )
+    return violations
+
+
+def lemma2_clean_todo_implies_ok(config: Configuration) -> List[str]:
+    """A scheduled clean call implies state OK."""
+    return [
+        f"L2: clean_call_todo holds p{proc}/r{ref} in state "
+        f"{config.rec_of(proc, ref).name}"
+        for proc, ref in config.clean_call_todo
+        if config.rec_of(proc, ref) is not RefState.OK
+    ]
+
+
+def invariant1_transient_entries(config: Configuration) -> List[str]:
+    """Invariant 1 (Lemma 3): a transient dirty entry exists iff
+    exactly one of {copy in transit, blocked entry, copy_ack in
+    transit, copy_ack_todo entry} does."""
+    violations = []
+    # Gather, per (sender, receiver, ref, id), which of the four terms hold.
+    terms = {}
+
+    def mark(key, term):
+        terms.setdefault(key, []).append(term)
+
+    for msg in config.msgs:
+        if msg[0] == "copy":
+            _, src, dst, ref, copy_id = msg
+            mark((src, dst, ref, copy_id), "copy-in-transit")
+        elif msg[0] == "copy_ack":
+            _, src, dst, ref, copy_id = msg
+            mark((dst, src, ref, copy_id), "copy_ack-in-transit")
+    for proc, ref, copy_id, sender in config.blocked:
+        mark((sender, proc, ref, copy_id), "blocked")
+    for proc, copy_id, dest, ref in config.copy_ack_todo:
+        mark((dest, proc, ref, copy_id), "copy_ack_todo")
+
+    tdirty_keys = {
+        (sender, receiver, ref, copy_id)
+        for (sender, ref, receiver, copy_id) in config.tdirty
+    }
+    for key, active in terms.items():
+        if len(active) > 1:
+            violations.append(f"I1: terms not mutually exclusive for {key}: {active}")
+        if key not in tdirty_keys:
+            violations.append(f"I1: {active} for {key} without transient entry")
+    for key in tdirty_keys:
+        if key not in terms:
+            violations.append(f"I1: transient entry {key} with no active term")
+    return violations
+
+
+def lemma4_clean_cycle_states(config: Configuration) -> List[str]:
+    """Clean traffic for (p1, r) implies p1 is ccit/ccitnil, and the
+    three clean-cycle stages are mutually exclusive."""
+    violations = []
+    stages = {}
+    for msg in config.msgs:
+        if msg[0] == "clean":
+            _, src, dst, ref = msg
+            stages.setdefault((src, ref), []).append("clean-in-transit")
+        elif msg[0] == "clean_ack":
+            _, src, dst, ref = msg
+            stages.setdefault((dst, ref), []).append("clean_ack-in-transit")
+    for proc, client, ref in config.clean_ack_todo:
+        stages.setdefault((client, ref), []).append("clean_ack_todo")
+    for (proc, ref), active in stages.items():
+        if len(active) > 1:
+            violations.append(
+                f"L4: clean stages overlap for p{proc}/r{ref}: {active}"
+            )
+        state = config.rec_of(proc, ref)
+        if state not in (RefState.CCIT, RefState.CCITNIL):
+            violations.append(
+                f"L4: {active} for p{proc}/r{ref} in state {state.name}"
+            )
+    return violations
+
+
+def lemma5_dirty_cycle_states(config: Configuration) -> List[str]:
+    """Dirty traffic implies nil (or ccitnil while merely scheduled),
+    and the four dirty-cycle stages are mutually exclusive."""
+    violations = []
+    stages = {}
+    for proc, ref in config.dirty_call_todo:
+        stages.setdefault((proc, ref), []).append("dirty_call_todo")
+        state = config.rec_of(proc, ref)
+        if state not in (RefState.NIL, RefState.CCITNIL):
+            violations.append(
+                f"L5a: dirty_call_todo for p{proc}/r{ref} in {state.name}"
+            )
+    for msg in config.msgs:
+        if msg[0] == "dirty":
+            _, src, dst, ref = msg
+            stages.setdefault((src, ref), []).append("dirty-in-transit")
+            if config.rec_of(src, ref) is not RefState.NIL:
+                violations.append(
+                    f"L5b: dirty in transit for p{src}/r{ref} in "
+                    f"{config.rec_of(src, ref).name}"
+                )
+        elif msg[0] == "dirty_ack":
+            _, src, dst, ref = msg
+            stages.setdefault((dst, ref), []).append("dirty_ack-in-transit")
+            if config.rec_of(dst, ref) is not RefState.NIL:
+                violations.append(
+                    f"L5b: dirty_ack in transit for p{dst}/r{ref} in "
+                    f"{config.rec_of(dst, ref).name}"
+                )
+    for proc, client, ref in config.dirty_ack_todo:
+        stages.setdefault((client, ref), []).append("dirty_ack_todo")
+        if config.rec_of(client, ref) is not RefState.NIL:
+            violations.append(
+                f"L5b: dirty_ack_todo for p{client}/r{ref} in "
+                f"{config.rec_of(client, ref).name}"
+            )
+    for (proc, ref), active in stages.items():
+        if len(active) > 1:
+            violations.append(
+                f"L5c: dirty stages overlap for p{proc}/r{ref}: {active}"
+            )
+    return violations
+
+
+def invariant2_permanent_entries(config: Configuration) -> List[str]:
+    """Invariant 2 (Lemma 6): for a client p1,
+    pdirty ∨ dirty-in-transit ∨ dirty scheduled
+      ⟺  clean-in-transit ∨ state ∈ {OK, nil, ccitnil}."""
+    violations = []
+    for ref in range(config.nrefs):
+        owner = config.owner[ref]
+        for p1 in _clients(config, ref):
+            lhs = (
+                (owner, ref, p1) in config.pdirty
+                or ("dirty", p1, owner, ref) in config.msgs
+                or (p1, ref) in config.dirty_call_todo
+            )
+            rhs = (
+                ("clean", p1, owner, ref) in config.msgs
+                or config.rec_of(p1, ref) in _USABLE
+            )
+            if lhs != rhs:
+                violations.append(
+                    f"I2: mismatch for p{p1}/r{ref}: lhs={lhs} rhs={rhs} "
+                    f"state={config.rec_of(p1, ref).name}"
+                )
+    return violations
+
+
+def lemma7_transient_implies_ok(config: Configuration) -> List[str]:
+    """Lemma 7: a transient dirty entry implies the sender is OK."""
+    return [
+        f"L7: transient entry for p{sender}/r{ref} in state "
+        f"{config.rec_of(sender, ref).name}"
+        for (sender, ref, _receiver, _copy_id) in config.tdirty
+        if config.rec_of(sender, ref) is not RefState.OK
+    ]
+
+
+def lemma8_unregistered_has_blocked(config: Configuration) -> List[str]:
+    """Lemma 8: an unregistered reference with dirty traffic pending
+    has a blocked deserialisation behind it."""
+    violations = []
+    blocked_keys = {(proc, ref) for proc, ref, _id, _s in config.blocked}
+    for ref in range(config.nrefs):
+        owner = config.owner[ref]
+        for p1 in _clients(config, ref):
+            state = config.rec_of(p1, ref)
+            if state not in (RefState.NIL, RefState.CCITNIL):
+                continue
+            dirty_pending = (
+                ("dirty", p1, owner, ref) in config.msgs
+                or (p1, ref) in config.dirty_call_todo
+            )
+            if dirty_pending and (p1, ref) not in blocked_keys:
+                violations.append(
+                    f"L8: p{p1}/r{ref} {state.name} with dirty pending "
+                    "but no blocked entry"
+                )
+    return violations
+
+
+def safety1_usable_reference(config: Configuration) -> List[str]:
+    """Lemma 9: a usable client reference appears in the dirty set."""
+    violations = []
+    for ref in range(config.nrefs):
+        owner = config.owner[ref]
+        for p1 in _clients(config, ref):
+            if (config.rec_of(p1, ref) is RefState.OK
+                    and (owner, ref, p1) not in config.pdirty):
+                violations.append(
+                    f"S1: p{p1} has usable r{ref} but is not in the dirty set"
+                )
+    return violations
+
+
+def _owner_entry_exists(config: Configuration, ref: int) -> bool:
+    owner = config.owner[ref]
+    has_pdirty = any(
+        entry[0] == owner and entry[1] == ref for entry in config.pdirty
+    )
+    has_tdirty = any(
+        entry[0] == owner and entry[1] == ref for entry in config.tdirty
+    )
+    return has_pdirty or has_tdirty
+
+
+def safety2_reference_in_transit(config: Configuration) -> List[str]:
+    """Lemma 10: a copy in transit is covered by a dirty entry."""
+    violations = []
+    for msg in config.msgs:
+        if msg[0] != "copy":
+            continue
+        _, src, dst, ref, copy_id = msg
+        owner = config.owner[ref]
+        if src == owner:
+            if (src, ref, dst, copy_id) not in config.tdirty:
+                violations.append(
+                    f"S2: owner-sent copy {msg} without transient entry"
+                )
+        elif (owner, ref, src) not in config.pdirty:
+            violations.append(
+                f"S2: copy {msg} in transit but sender p{src} not dirty"
+            )
+    return violations
+
+
+def safety3_unusable_reference(config: Configuration) -> List[str]:
+    """Lemma 11: nil/ccitnil somewhere ⇒ the owner has *some* entry."""
+    violations = []
+    for ref in range(config.nrefs):
+        for p1 in _clients(config, ref):
+            state = config.rec_of(p1, ref)
+            if state in (RefState.NIL, RefState.CCITNIL):
+                if not _owner_entry_exists(config, ref):
+                    violations.append(
+                        f"S3: p{p1}/r{ref} is {state.name} but the owner "
+                        "has no dirty entry at all"
+                    )
+    return violations
+
+
+def safety_theorem(config: Configuration) -> List[str]:
+    """Definition 12 / Theorem 13: while any potentially usable remote
+    reference or in-transit copy exists, the owner's dirty tables are
+    non-empty — so the owner cannot reclaim the object."""
+    violations = []
+    for ref in range(config.nrefs):
+        alive_remotely = any(
+            config.rec_of(p1, ref) in _USABLE
+            for p1 in _clients(config, ref)
+        ) or any(
+            msg[0] == "copy" and msg[3] == ref for msg in config.msgs
+        )
+        if alive_remotely and not _owner_entry_exists(config, ref):
+            violations.append(
+                f"SAFETY: r{ref} remotely alive but owner's dirty "
+                "tables are empty"
+            )
+    return violations
+
+
+def lemma19_blocked_matches_dirty_cycle(config: Configuration) -> List[str]:
+    """Lemma 19: blocked entries exist iff a dirty-cycle stage is active."""
+    violations = []
+    blocked_keys = {(proc, ref) for proc, ref, _id, _s in config.blocked}
+    for ref in range(config.nrefs):
+        owner = config.owner[ref]
+        for p1 in _clients(config, ref):
+            stage_active = (
+                (p1, ref) in config.dirty_call_todo
+                or ("dirty", p1, owner, ref) in config.msgs
+                or (owner, p1, ref) in config.dirty_ack_todo
+                or ("dirty_ack", owner, p1, ref) in config.msgs
+            )
+            has_blocked = (p1, ref) in blocked_keys
+            if stage_active != has_blocked:
+                violations.append(
+                    f"L19: p{p1}/r{ref}: dirty stage {stage_active} vs "
+                    f"blocked {has_blocked}"
+                )
+    return violations
+
+
+def lemma20_nil_is_blocked(config: Configuration) -> List[str]:
+    """Lemma 20: a nil reference always has a blocked entry."""
+    blocked_keys = {(proc, ref) for proc, ref, _id, _s in config.blocked}
+    return [
+        f"L20: p{p1}/r{ref} is nil without a blocked entry"
+        for ref in range(config.nrefs)
+        for p1 in _clients(config, ref)
+        if config.rec_of(p1, ref) is RefState.NIL
+        and (p1, ref) not in blocked_keys
+    ]
+
+
+ALL_CHECKS: "tuple[Check, ...]" = (
+    lemma1_ccitnil_has_pending_dirty,
+    lemma2_clean_todo_implies_ok,
+    invariant1_transient_entries,
+    lemma4_clean_cycle_states,
+    lemma5_dirty_cycle_states,
+    invariant2_permanent_entries,
+    lemma7_transient_implies_ok,
+    lemma8_unregistered_has_blocked,
+    safety1_usable_reference,
+    safety2_reference_in_transit,
+    safety3_unusable_reference,
+    safety_theorem,
+    lemma19_blocked_matches_dirty_cycle,
+    lemma20_nil_is_blocked,
+)
+
+
+def all_violations(config: Configuration) -> List[str]:
+    """Run every check; returns the concatenated violations."""
+    violations: List[str] = []
+    for check in ALL_CHECKS:
+        violations.extend(check(config))
+    return violations
+
+
+def check_all(config: Configuration) -> None:
+    """Assert that every invariant holds (raises with a state dump)."""
+    violations = all_violations(config)
+    if violations:
+        raise AssertionError(
+            "invariant violations:\n  "
+            + "\n  ".join(violations)
+            + "\nin\n"
+            + config.describe()
+        )

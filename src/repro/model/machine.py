@@ -1,0 +1,90 @@
+"""Driving the abstract machine: enabled transitions, firing, runs."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.model.rules import ALL_RULES, Rule
+from repro.model.state import Configuration
+
+
+@dataclass(frozen=True)
+class Transition:
+    rule: Rule
+    params: Tuple
+
+    def fire(self, config: Configuration) -> Configuration:
+        return self.rule.fire(config, self.params)
+
+    def __str__(self) -> str:
+        return f"{self.rule.name}{self.params}"
+
+
+class Machine:
+    """One rule set over configurations (default: the full algorithm)."""
+
+    def __init__(self, rules: Sequence[Rule] = ALL_RULES):
+        self.rules = tuple(rules)
+
+    def enabled(self, config: Configuration) -> List[Transition]:
+        transitions = []
+        for rule in self.rules:
+            for params in rule.candidates(config):
+                transitions.append(Transition(rule, params))
+        return transitions
+
+    def enabled_gc_only(self, config: Configuration) -> List[Transition]:
+        """Collector transitions only (the liveness argument's subset)."""
+        transitions = []
+        for rule in self.rules:
+            if rule.mutator:
+                continue
+            for params in rule.candidates(config):
+                transitions.append(Transition(rule, params))
+        return transitions
+
+    def run_random(
+        self,
+        config: Configuration,
+        seed: int = 0,
+        max_steps: int = 10_000,
+        observer: Optional[Callable[[Configuration, Transition], None]] = None,
+        require_quiescence: bool = True,
+    ) -> Configuration:
+        """Fire uniformly random enabled transitions until quiescence.
+
+        With ``require_quiescence`` False, simply returns the state
+        after ``max_steps`` (useful for sampling mid-run states).
+        """
+        rng = random.Random(seed)
+        for _ in range(max_steps):
+            transitions = self.enabled(config)
+            if not transitions:
+                return config
+            transition = rng.choice(transitions)
+            successor = transition.fire(config)
+            if observer is not None:
+                observer(successor, transition)
+            config = successor
+        if require_quiescence:
+            raise RuntimeError(f"no quiescence within {max_steps} steps")
+        return config
+
+    def run_to_gc_quiescence(
+        self,
+        config: Configuration,
+        max_steps: int = 100_000,
+    ) -> Configuration:
+        """Drain every collector transition (mutator idle).
+
+        Termination is guaranteed by the measure (Lemma 17); the step
+        bound is a belt-and-braces guard against modeling bugs.
+        """
+        for _ in range(max_steps):
+            transitions = self.enabled_gc_only(config)
+            if not transitions:
+                return config
+            config = transitions[0].fire(config)
+        raise RuntimeError("collector failed to quiesce (measure bug?)")

@@ -1,0 +1,350 @@
+"""The transition rules (Figures 9–12 of the formalisation).
+
+Each rule lists its enabled parameter tuples for a configuration and
+produces the successor configuration when fired.  Rule bodies follow
+the pseudo-statements of the formalisation line by line; assertions
+encode the formalisation's assert-comments.
+
+``make_copy`` and ``mutator_drop`` are the *mutator's* transitions —
+the application copying and discarding references; ``finalize`` is the
+local collector noticing unreachability.  Everything else is the
+distributed reference-listing algorithm proper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Tuple
+
+from repro.dgc.states import RefState
+from repro.model.state import Configuration
+
+Params = Tuple
+
+
+class Rule:
+    """A named transition schema."""
+
+    name: str = "<rule>"
+    #: True for transitions initiated by the application/local GC,
+    #: which the liveness argument excludes from the measure.
+    mutator: bool = False
+
+    def candidates(self, config: Configuration) -> Iterable[Params]:
+        raise NotImplementedError
+
+    def fire(self, config: Configuration, params: Params) -> Configuration:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<rule {self.name}>"
+
+
+class MakeCopy(Rule):
+    """p1 sends reference r to p2 (argument or result of a call)."""
+
+    name = "make_copy"
+    mutator = True
+
+    def candidates(self, config):
+        if config.copies_left <= 0:
+            return
+        for ref in range(config.nrefs):
+            for p1 in range(config.nprocs):
+                if config.rec_of(p1, ref) is not RefState.OK:
+                    continue
+                if not config.is_reachable(p1, ref):
+                    continue
+                for p2 in range(config.nprocs):
+                    if p1 != p2:
+                        yield (p1, p2, ref)
+
+    def fire(self, config, params):
+        p1, p2, ref = params
+        copy_id = config.next_id
+        config = config.replace(
+            next_id=copy_id + 1,
+            copies_left=config.copies_left - 1,
+            tdirty=config.tdirty | {(p1, ref, p2, copy_id)},
+        )
+        return config.send(("copy", p1, p2, ref, copy_id))
+
+
+class ReceiveCopy(Rule):
+    """Receive a reference copy: the right-shift of the state cube."""
+    name = "receive_copy"
+
+    def candidates(self, config):
+        for msg in config.msgs_of_kind("copy"):
+            yield msg
+
+    def fire(self, config, params):
+        _, p1, p2, ref, copy_id = params
+        config = config.receive(params)
+        state = config.rec_of(p2, ref)
+        if state in (RefState.NIL, RefState.CCITNIL):
+            return config.replace(
+                blocked=config.blocked | {(p2, ref, copy_id, p1)}
+            )
+        if state in (RefState.NONEXISTENT, RefState.CCIT):
+            new_state = (
+                RefState.NIL if state is RefState.NONEXISTENT
+                else RefState.CCITNIL
+            )
+            config = config.with_rec(p2, ref, new_state)
+            return config.replace(
+                dirty_call_todo=config.dirty_call_todo | {(p2, ref)},
+                blocked=config.blocked | {(p2, ref, copy_id, p1)},
+            )
+        assert state is RefState.OK
+        # Note 4: cancel a pending clean call and resurrect in place.
+        return config.replace(
+            clean_call_todo=config.clean_call_todo - {(p2, ref)},
+            copy_ack_todo=config.copy_ack_todo | {(p2, copy_id, p1, ref)},
+            reachable=config.reachable | {(p2, ref)},
+        )
+
+
+class DoCopyAck(Rule):
+    """Emit a scheduled copy acknowledgement."""
+    name = "do_copy_ack"
+
+    def candidates(self, config):
+        return list(config.copy_ack_todo)
+
+    def fire(self, config, params):
+        proc, copy_id, dest, ref = params
+        config = config.replace(copy_ack_todo=config.copy_ack_todo - {params})
+        return config.send(("copy_ack", proc, dest, ref, copy_id))
+
+
+class ReceiveCopyAck(Rule):
+    """Receive a copy ack: the sender's transient entry is released."""
+    name = "receive_copy_ack"
+
+    def candidates(self, config):
+        for msg in config.msgs_of_kind("copy_ack"):
+            yield msg
+
+    def fire(self, config, params):
+        _, src, dst, ref, copy_id = params
+        config = config.receive(params)
+        entry = (dst, ref, src, copy_id)
+        assert entry in config.tdirty, "copy_ack without transient entry"
+        return config.replace(tdirty=config.tdirty - {entry})
+
+
+class DoDirtyCall(Rule):
+    """Note 5: postponed while the state is ccitnil, so a fresh dirty
+    can never overtake the preceding clean."""
+
+    name = "do_dirty_call"
+
+    def candidates(self, config):
+        for proc, ref in config.dirty_call_todo:
+            if config.rec_of(proc, ref) is not RefState.CCITNIL:
+                yield (proc, ref)
+
+    def fire(self, config, params):
+        proc, ref = params
+        config = config.replace(
+            dirty_call_todo=config.dirty_call_todo - {params}
+        )
+        return config.send(("dirty", proc, config.owner[ref], ref))
+
+
+class ReceiveDirty(Rule):
+    """Owner receives a dirty call: permanent entry + ack scheduled."""
+    name = "receive_dirty"
+
+    def candidates(self, config):
+        for msg in config.msgs_of_kind("dirty"):
+            yield msg
+
+    def fire(self, config, params):
+        _, p1, p2, ref = params
+        assert p2 == config.owner[ref]
+        config = config.receive(params)
+        return config.replace(
+            pdirty=config.pdirty | {(p2, ref, p1)},
+            dirty_ack_todo=config.dirty_ack_todo | {(p2, p1, ref)},
+        )
+
+
+class DoDirtyAck(Rule):
+    """Emit a scheduled dirty acknowledgement."""
+    name = "do_dirty_ack"
+
+    def candidates(self, config):
+        return list(config.dirty_ack_todo)
+
+    def fire(self, config, params):
+        proc, client, ref = params
+        config = config.replace(
+            dirty_ack_todo=config.dirty_ack_todo - {params}
+        )
+        return config.send(("dirty_ack", proc, client, ref))
+
+
+class ReceiveDirtyAck(Rule):
+    """Note 7/8: blocked copy-acks are released and the deserialising
+    threads resume — the reference becomes usable (OK)."""
+
+    name = "receive_dirty_ack"
+
+    def candidates(self, config):
+        for msg in config.msgs_of_kind("dirty_ack"):
+            yield msg
+
+    def fire(self, config, params):
+        _, src, dst, ref = params
+        config = config.receive(params)
+        released = {
+            (dst, copy_id, sender, ref)
+            for (proc, blocked_ref, copy_id, sender) in config.blocked
+            if proc == dst and blocked_ref == ref
+        }
+        remaining = {
+            entry for entry in config.blocked
+            if not (entry[0] == dst and entry[1] == ref)
+        }
+        config = config.replace(
+            copy_ack_todo=config.copy_ack_todo | released,
+            blocked=frozenset(remaining),
+            reachable=config.reachable | {(dst, ref)},
+        )
+        return config.with_rec(dst, ref, RefState.OK)
+
+
+class Finalize(Rule):
+    """The local collector found the reference locally unreachable.
+
+    Local reachability includes the transient dirty table (Note 2 of
+    the formalisation makes it a root of the local collector), so a
+    reference with an in-flight copy can never be finalized — that is
+    precisely what keeps the sender in the owner's dirty set until the
+    receiver's acknowledgement.
+    """
+
+    name = "finalize"
+    mutator = True
+
+    def candidates(self, config):
+        for ref in range(config.nrefs):
+            for proc in range(config.nprocs):
+                if proc == config.owner[ref]:
+                    continue
+                if config.rec_of(proc, ref) is not RefState.OK:
+                    continue
+                if config.is_reachable(proc, ref):
+                    continue
+                if (proc, ref) in config.clean_call_todo:
+                    continue
+                if config.tdirty_of(proc, ref):
+                    continue  # transient dirty table is a GC root
+                yield (proc, ref)
+
+    def fire(self, config, params):
+        return config.replace(
+            clean_call_todo=config.clean_call_todo | {params}
+        )
+
+
+class DoCleanCall(Rule):
+    """Send a scheduled clean call; the reference enters ccit."""
+    name = "do_clean_call"
+
+    def candidates(self, config):
+        return list(config.clean_call_todo)
+
+    def fire(self, config, params):
+        proc, ref = params
+        assert config.rec_of(proc, ref) is RefState.OK  # Lemma 2
+        config = config.replace(
+            clean_call_todo=config.clean_call_todo - {params}
+        )
+        config = config.with_rec(proc, ref, RefState.CCIT)
+        return config.send(("clean", proc, config.owner[ref], ref))
+
+
+class ReceiveClean(Rule):
+    """Owner receives a clean call: permanent entry removed."""
+    name = "receive_clean"
+
+    def candidates(self, config):
+        for msg in config.msgs_of_kind("clean"):
+            yield msg
+
+    def fire(self, config, params):
+        _, p1, p2, ref = params
+        assert p2 == config.owner[ref]
+        config = config.receive(params)
+        return config.replace(
+            pdirty=config.pdirty - {(p2, ref, p1)},
+            clean_ack_todo=config.clean_ack_todo | {(p2, p1, ref)},
+        )
+
+
+class DoCleanAck(Rule):
+    """Emit a scheduled clean acknowledgement."""
+    name = "do_clean_ack"
+
+    def candidates(self, config):
+        return list(config.clean_ack_todo)
+
+    def fire(self, config, params):
+        proc, client, ref = params
+        config = config.replace(
+            clean_ack_todo=config.clean_ack_todo - {params}
+        )
+        return config.send(("clean_ack", proc, client, ref))
+
+
+class ReceiveCleanAck(Rule):
+    """Note 11: ccit reverts to ⊥; ccitnil moves to nil, re-enabling
+    the postponed dirty call."""
+
+    name = "receive_clean_ack"
+
+    def candidates(self, config):
+        for msg in config.msgs_of_kind("clean_ack"):
+            yield msg
+
+    def fire(self, config, params):
+        _, src, dst, ref = params
+        config = config.receive(params)
+        state = config.rec_of(dst, ref)
+        if state is RefState.CCITNIL:
+            return config.with_rec(dst, ref, RefState.NIL)
+        assert state is RefState.CCIT
+        return config.with_rec(dst, ref, RefState.NONEXISTENT)
+
+
+class MutatorDrop(Rule):
+    """The application discards its last local use of a reference."""
+
+    name = "mutator_drop"
+    mutator = True
+
+    def candidates(self, config):
+        for proc, ref in config.reachable:
+            if proc != config.owner[ref]:
+                yield (proc, ref)
+
+    def fire(self, config, params):
+        return config.replace(reachable=config.reachable - {params})
+
+
+#: The collector's own transitions (measure-decreasing, Lemma 16).
+GC_RULES = (
+    ReceiveCopy(), DoCopyAck(), ReceiveCopyAck(),
+    DoDirtyCall(), ReceiveDirty(), DoDirtyAck(), ReceiveDirtyAck(),
+    DoCleanCall(), ReceiveClean(), DoCleanAck(), ReceiveCleanAck(),
+)
+
+#: Application-driven transitions.
+MUTATOR_RULES = (MakeCopy(), Finalize(), MutatorDrop())
+
+ALL_RULES = GC_RULES + MUTATOR_RULES
+
+RULES_BY_NAME = {rule.name: rule for rule in ALL_RULES}

@@ -1,0 +1,186 @@
+"""Scripted scenarios over the abstract machine, with message accounting.
+
+The GC-overhead experiment (E4) asks: for a given mutator behaviour —
+who copies what to whom, who drops what — how many collector messages
+does each algorithm send?  This module drives the *base* machine
+through scripted mutator events, draining collector activity to
+quiescence between events, and counts messages by kind.
+
+Events:
+    ("copy", src, dst)   — src sends the reference to dst
+    ("drop", proc)       — proc's application drops the reference
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Tuple
+
+from repro.dgc.states import RefState
+from repro.model.invariants import check_all
+from repro.model.machine import Machine, Transition
+from repro.model.rules import RULES_BY_NAME
+from repro.model.state import initial_configuration
+
+#: Rules that place a message in a channel, and the message they send.
+_SENDING_RULES = {
+    "make_copy": "copy",
+    "do_copy_ack": "copy_ack",
+    "do_dirty_call": "dirty",
+    "do_dirty_ack": "dirty_ack",
+    "do_clean_call": "clean",
+    "do_clean_ack": "clean_ack",
+}
+
+Event = Tuple
+
+
+class ScenarioRun:
+    """Execute mutator events on the base machine, counting messages.
+
+    Collector activity is drained deterministically after each event;
+    every intermediate configuration is checked against the full
+    invariant suite, so a scenario run is also a correctness test.
+    """
+
+    def __init__(self, nprocs: int, owner: int = 0, check: bool = True):
+        self.machine = Machine()
+        self.check = check
+        self.config = initial_configuration(
+            nprocs=nprocs, nrefs=1, owner=(owner,), copies_left=0
+        )
+        self.messages: Counter = Counter()
+        self.steps = 0
+
+    # -- events -------------------------------------------------------------------
+
+    def copy(self, src: int, dst: int) -> "ScenarioRun":
+        self._fire("make_copy", (src, dst, 0),
+                   budget=self.config.copies_left + 1)
+        self._drain()
+        return self
+
+    def drop(self, proc: int, drain: bool = True) -> "ScenarioRun":
+        """Drop the reference at ``proc``.
+
+        With ``drain=False`` the clean call is scheduled but not yet
+        sent when the method returns — the window in which a fresh
+        copy cancels it (the Note-4 resurrection optimisation), which
+        the ablation benchmark measures.
+        """
+        self._fire("mutator_drop", (proc, 0))
+        self._maybe_finalize(proc)
+        if drain:
+            self._drain()
+        return self
+
+    def total_gc_messages(self) -> int:
+        """Messages excluding the mutator's own copy payloads."""
+        return sum(count for kind, count in self.messages.items()
+                   if kind != "copy")
+
+    def holders(self) -> List[int]:
+        return [
+            proc for proc in range(self.config.nprocs)
+            if self.config.rec_of(proc, 0) is not RefState.NONEXISTENT
+            and proc != self.config.owner[0]
+        ]
+
+    def owner_entry_exists(self) -> bool:
+        owner = self.config.owner[0]
+        return bool(
+            self.config.pdirty_of(owner, 0)
+            or self.config.tdirty_of(owner, 0)
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _fire(self, rule_name: str, params, budget: int = None) -> None:
+        if budget is not None:
+            self.config = self.config.replace(copies_left=budget)
+        rule = RULES_BY_NAME[rule_name]
+        if params not in set(rule.candidates(self.config)):
+            raise ValueError(
+                f"{rule_name}{params} not enabled in\n"
+                + self.config.describe()
+            )
+        self._apply(Transition(rule, params))
+
+    def _maybe_finalize(self, proc: int) -> None:
+        rule = RULES_BY_NAME["finalize"]
+        if (proc, 0) in set(rule.candidates(self.config)):
+            self._apply(Transition(rule, (proc, 0)))
+
+    def _drain(self) -> None:
+        """Run collector transitions (plus any finalize they unlock)
+        to quiescence, deterministically."""
+        while True:
+            transitions = self.machine.enabled_gc_only(self.config)
+            if not transitions:
+                # A copy_ack may have unpinned a dropped reference.
+                finalizes = list(
+                    RULES_BY_NAME["finalize"].candidates(self.config)
+                )
+                if not finalizes:
+                    return
+                self._apply(
+                    Transition(RULES_BY_NAME["finalize"], finalizes[0])
+                )
+                continue
+            self._apply(transitions[0])
+
+    def _apply(self, transition: Transition) -> None:
+        sent = _SENDING_RULES.get(transition.rule.name)
+        if sent is not None:
+            self.messages[sent] += 1
+        self.config = transition.fire(self.config)
+        self.steps += 1
+        if self.check:
+            check_all(self.config)
+
+
+def run_events(nprocs: int, events: Iterable[Event],
+               check: bool = True) -> ScenarioRun:
+    """Run a list of ``("copy", src, dst)`` / ``("drop", p)`` events."""
+    run = ScenarioRun(nprocs, check=check)
+    for event in events:
+        if event[0] == "copy":
+            run.copy(event[1], event[2])
+        elif event[0] == "drop":
+            run.drop(event[1])
+        else:
+            raise ValueError(f"unknown scenario event {event!r}")
+    return run
+
+
+# -- canonical scenarios (shared by tests and the E4 benchmark) ------------------
+
+def import_and_drop() -> List[Event]:
+    """Owner hands the reference to one client, who later drops it."""
+    return [("copy", 0, 1), ("drop", 1)]
+
+
+def third_party() -> List[Event]:
+    """Owner → A, A → B (triangle), then both drop."""
+    return [("copy", 0, 1), ("copy", 1, 2), ("drop", 1), ("drop", 2)]
+
+
+def figure_one_race() -> List[Event]:
+    """A hands to B and drops immediately (paper Figure 1)."""
+    return [("copy", 0, 1), ("copy", 1, 2), ("drop", 1), ("drop", 2)]
+
+
+def fan_out(clients: int) -> List[Event]:
+    """Owner shares with N clients; all drop."""
+    events: List[Event] = [("copy", 0, i + 1) for i in range(clients)]
+    events += [("drop", i + 1) for i in range(clients)]
+    return events
+
+
+def churn(rounds: int) -> List[Event]:
+    """One client repeatedly imports and drops (cycle stress)."""
+    events: List[Event] = []
+    for _ in range(rounds):
+        events.append(("copy", 0, 1))
+        events.append(("drop", 1))
+    return events

@@ -1,0 +1,149 @@
+"""Configurations of the abstract machine.
+
+A configuration is the complete global state: the receive tables, the
+dirty tables (transient and permanent), the to-do tables that decouple
+receiving a message from reacting to it, the blocked table, the message
+channels, and the mutator's local-reachability relation.
+
+Configurations are immutable and hashable so the explorer can memoise
+them.  Tables are frozensets of tuples; the receive table is a flat
+tuple indexed by (process, reference).  Channels are a frozenset too:
+in the fault-free algorithm no two in-transit messages can be equal
+(copy/copy_ack messages carry unique ids; dirty/clean/ack uniqueness
+per (process, reference) is Lemmas 4/5 — which the machine asserts on
+every send).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Tuple
+
+from repro.dgc.states import RefState
+
+# Message tuples.  Layouts:
+#   ("copy",      src, dst, ref, id)
+#   ("copy_ack",  src, dst, ref, id)
+#   ("dirty",     src, dst, ref)
+#   ("dirty_ack", src, dst, ref)
+#   ("clean",     src, dst, ref)
+#   ("clean_ack", src, dst, ref)
+Msg = Tuple
+
+
+@dataclass(frozen=True)
+class Configuration:
+    nprocs: int
+    owner: Tuple[int, ...]            # ref -> owning process
+    rec: Tuple[RefState, ...]         # flat (proc, ref) -> state
+    # Transient dirty entries: (holder, ref, receiver, copy_id).
+    # The holder is the sender of the copy; formally
+    # tdirty_T(p1, r) ∋ (p1, p2, id).
+    tdirty: FrozenSet[Tuple[int, int, int, int]] = frozenset()
+    # Permanent dirty entries: (owner, ref, client).
+    pdirty: FrozenSet[Tuple[int, int, int]] = frozenset()
+    # Blocked deserialisations: (proc, ref, copy_id, sender).
+    blocked: FrozenSet[Tuple[int, int, int, int]] = frozenset()
+    # copy_ack_todo: (proc, copy_id, dest, ref).
+    copy_ack_todo: FrozenSet[Tuple[int, int, int, int]] = frozenset()
+    # dirty_ack_todo: (proc, client, ref).
+    dirty_ack_todo: FrozenSet[Tuple[int, int, int]] = frozenset()
+    # clean_ack_todo: (proc, client, ref).
+    clean_ack_todo: FrozenSet[Tuple[int, int, int]] = frozenset()
+    # dirty_call_todo / clean_call_todo: (proc, ref).
+    dirty_call_todo: FrozenSet[Tuple[int, int]] = frozenset()
+    clean_call_todo: FrozenSet[Tuple[int, int]] = frozenset()
+    msgs: FrozenSet[Msg] = frozenset()
+    # Mutator state: (proc, ref) pairs the application can still reach.
+    reachable: FrozenSet[Tuple[int, int]] = frozenset()
+    # Fresh-id source for copy messages.
+    next_id: int = 1
+    # Budget on further make_copy firings (keeps exploration finite).
+    copies_left: int = 0
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def nrefs(self) -> int:
+        return len(self.owner)
+
+    def rec_of(self, proc: int, ref: int) -> RefState:
+        return self.rec[proc * self.nrefs + ref]
+
+    def with_rec(self, proc: int, ref: int, state: RefState) -> "Configuration":
+        index = proc * self.nrefs + ref
+        rec = self.rec[:index] + (state,) + self.rec[index + 1:]
+        return replace(self, rec=rec)
+
+    def send(self, msg: Msg) -> "Configuration":
+        assert msg not in self.msgs, f"duplicate in-transit message {msg}"
+        return replace(self, msgs=self.msgs | {msg})
+
+    def receive(self, msg: Msg) -> "Configuration":
+        assert msg in self.msgs, f"receiving absent message {msg}"
+        return replace(self, msgs=self.msgs - {msg})
+
+    def replace(self, **changes) -> "Configuration":
+        return replace(self, **changes)
+
+    # -- queries used by rules and invariants ------------------------------------------
+
+    def msgs_of_kind(self, kind: str):
+        return [msg for msg in self.msgs if msg[0] == kind]
+
+    def is_reachable(self, proc: int, ref: int) -> bool:
+        return (proc, ref) in self.reachable
+
+    def tdirty_of(self, proc: int, ref: int):
+        return {t for t in self.tdirty if t[0] == proc and t[1] == ref}
+
+    def pdirty_of(self, proc: int, ref: int):
+        return {t[2] for t in self.pdirty if t[0] == proc and t[1] == ref}
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump (for violation reports)."""
+        lines = [f"Configuration({self.nprocs} procs, {self.nrefs} refs)"]
+        for ref in range(self.nrefs):
+            states = ", ".join(
+                f"p{proc}={self.rec_of(proc, ref).name}"
+                for proc in range(self.nprocs)
+            )
+            lines.append(f"  r{ref} (owner p{self.owner[ref]}): {states}")
+        for name in ("tdirty", "pdirty", "blocked", "copy_ack_todo",
+                     "dirty_ack_todo", "clean_ack_todo",
+                     "dirty_call_todo", "clean_call_todo", "reachable"):
+            value = getattr(self, name)
+            if value:
+                lines.append(f"  {name} = {sorted(value)}")
+        if self.msgs:
+            lines.append(f"  msgs = {sorted(self.msgs)}")
+        return "\n".join(lines)
+
+
+def initial_configuration(nprocs: int = 3, nrefs: int = 1,
+                          owner: Tuple[int, ...] = None,
+                          copies_left: int = 3) -> Configuration:
+    """The machine's initial state.
+
+    All tables are empty and all channels drained; each reference is
+    OK and locally reachable at its owner (the owner holds its own
+    object), matching the instant after allocation.
+    """
+    if owner is None:
+        owner = tuple(ref % nprocs for ref in range(nrefs))
+    if len(owner) != nrefs:
+        raise ValueError("owner tuple must have one entry per reference")
+    if any(not 0 <= p < nprocs for p in owner):
+        raise ValueError("owner process out of range")
+    rec = [RefState.NONEXISTENT] * (nprocs * nrefs)
+    reachable = set()
+    for ref, owning in enumerate(owner):
+        rec[owning * nrefs + ref] = RefState.OK
+        reachable.add((owning, ref))
+    return Configuration(
+        nprocs=nprocs,
+        owner=tuple(owner),
+        rec=tuple(rec),
+        reachable=frozenset(reachable),
+        copies_left=copies_left,
+    )

@@ -1,0 +1,336 @@
+"""Sequential cost models for the E4 message-overhead comparison.
+
+Each model simulates one shared object (owned by process 0) under a
+scripted event sequence — ``copy(src, dst)`` and ``drop(proc)`` — with
+messages delivered immediately and in order (the cost question is
+orthogonal to the race conditions, which the machines in
+:mod:`repro.model` and the sibling variant modules cover).  Every
+model counts its control messages by kind and checks its own books:
+the object must still be collectable exactly when the last reference
+dies.
+
+Implemented models:
+
+=====================  ========================================================
+BirrellCounting        the base algorithm (delegates to the real machine)
+BirrellFifoCounting    Section 5.1: FIFO channels, no clean_ack
+BirrellOwnerOptCounting Section 5.2: sender-is-owner / receiver-is-owner
+                       short circuits on top of FIFO
+LermenMaurer           sender notifies owner (inc), owner acks receiver, dec
+WeightedRC             weights halve on copy; decrement-only, plus
+                       "send more weight" requests at weight 1
+IndirectRC             Piquer's diffusion tree; decrements flow to the
+                       copy's parent, zombies pin parents
+=====================  ========================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Set, Tuple
+
+Event = Tuple
+
+
+class CountingModel:
+    """Base: event interface, message counter, common assertions."""
+
+    name = "<model>"
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.messages: Counter = Counter()
+        self.holders: Set[int] = {0}
+
+    # -- event interface -------------------------------------------------------
+
+    def copy(self, src: int, dst: int) -> None:
+        raise NotImplementedError
+
+    def drop(self, proc: int) -> None:
+        raise NotImplementedError
+
+    def run(self, events: Sequence[Event]) -> "CountingModel":
+        for event in events:
+            if event[0] == "copy":
+                self.copy(event[1], event[2])
+            elif event[0] == "drop":
+                self.drop(event[1])
+            else:
+                raise ValueError(f"unknown event {event!r}")
+        return self
+
+    # -- results ---------------------------------------------------------------
+
+    def total_gc_messages(self) -> int:
+        return sum(self.messages.values())
+
+    def collected(self) -> bool:
+        """Is the object reclaimable at the owner?"""
+        raise NotImplementedError
+
+    def _send(self, kind: str, count: int = 1) -> None:
+        self.messages[kind] += count
+
+
+class BirrellCounting(CountingModel):
+    """The base algorithm — counts from the actual abstract machine."""
+
+    name = "birrell"
+
+    def __init__(self, nprocs: int):
+        super().__init__(nprocs)
+        from repro.model.scenario import ScenarioRun
+
+        self._run = ScenarioRun(nprocs, check=False)
+
+    def copy(self, src: int, dst: int) -> None:
+        self._run.copy(src, dst)
+        self.holders.add(dst)
+
+    def drop(self, proc: int) -> None:
+        self._run.drop(proc)
+        self.holders.discard(proc)
+
+    def total_gc_messages(self) -> int:
+        return self._run.total_gc_messages()
+
+    @property
+    def messages(self):  # type: ignore[override]
+        counts = Counter(self._run.messages)
+        counts.pop("copy", None)
+        return counts
+
+    @messages.setter
+    def messages(self, value):  # the base __init__ assigns; ignore
+        pass
+
+    def collected(self) -> bool:
+        return not self._run.owner_entry_exists()
+
+
+class BirrellFifoCounting(CountingModel):
+    """FIFO variant: per fresh import — dirty, dirty_ack, copy_ack;
+    per discard — clean.  No clean_ack, no blocking."""
+
+    name = "birrell-fifo"
+
+    def __init__(self, nprocs: int):
+        super().__init__(nprocs)
+        self.registered: Set[int] = set()
+
+    def copy(self, src: int, dst: int) -> None:
+        if dst != 0 and dst not in self.registered:
+            self._send("dirty")
+            self._send("dirty_ack")
+            self.registered.add(dst)
+        self._send("copy_ack")
+        self.holders.add(dst)
+
+    def drop(self, proc: int) -> None:
+        self.holders.discard(proc)
+        if proc in self.registered:
+            self.registered.discard(proc)
+            self._send("clean")
+
+    def collected(self) -> bool:
+        return not self.registered
+
+
+class BirrellOwnerOptCounting(CountingModel):
+    """Owner optimisations over FIFO (Section 5.2).
+
+    sender-is-owner: the owner adds the permanent entry directly; the
+    receiver makes no dirty call and sends no copy_ack.
+    receiver-is-owner: no transient entry, no ack of any kind.
+    Third-party copies pay the full FIFO cost.
+    """
+
+    name = "birrell-owner-opt"
+
+    def __init__(self, nprocs: int):
+        super().__init__(nprocs)
+        self.registered: Set[int] = set()
+
+    def copy(self, src: int, dst: int) -> None:
+        if dst == 0:
+            pass  # receiver is owner: reference comes home for free
+        elif src == 0:
+            self.registered.add(dst)  # direct permanent entry
+        else:
+            if dst not in self.registered:
+                self._send("dirty")
+                self._send("dirty_ack")
+                self.registered.add(dst)
+            self._send("copy_ack")
+        self.holders.add(dst)
+
+    def drop(self, proc: int) -> None:
+        self.holders.discard(proc)
+        if proc in self.registered:
+            self.registered.discard(proc)
+            self._send("clean")
+
+    def collected(self) -> bool:
+        return not self.registered
+
+
+class LermenMaurer(CountingModel):
+    """Lermen & Maurer 1986: on each copy the *sender* notifies the
+    owner (inc), and the owner acknowledges the *receiver*; decrements
+    wait until the receiver's inc/ack counts match."""
+
+    name = "lermen-maurer"
+
+    def __init__(self, nprocs: int):
+        super().__init__(nprocs)
+        self.counter = 0  # owner's count of remote references
+        self.refs: Counter = Counter()  # references held per process
+
+    def copy(self, src: int, dst: int) -> None:
+        if dst == 0:
+            # Home again: the owner recognises its own identifier and
+            # creates no counted remote reference.
+            self.holders.add(dst)
+            return
+        self._send("inc")   # sender -> owner
+        self.counter += 1
+        self._send("ack")   # owner -> receiver
+        self.refs[dst] += 1
+        self.holders.add(dst)
+
+    def drop(self, proc: int) -> None:
+        """L&M has no per-process dedup (no object table): a process
+        that received k copies holds k references and must send k
+        decrements when its application lets go."""
+        self.holders.discard(proc)
+        held = self.refs.pop(proc, 0)
+        for _ in range(held):
+            self._send("dec")
+            self.counter -= 1
+        assert self.counter >= 0, "L&M counter went negative"
+
+    def collected(self) -> bool:
+        return self.counter == 0
+
+
+class WeightedRC(CountingModel):
+    """Weighted reference counting (Bevan / Watson & Watson).
+
+    The object starts with total weight 2**max_weight_log; each copy
+    halves the sender's weight; a drop returns the reference's weight
+    in a decrement message.  A copy from a weight-1 reference requests
+    more weight from the owner first (the "2a" message of the paper's
+    Figure 14(g)).  Invariant: object weight equals the sum of all
+    reference weights — checked on every event.
+    """
+
+    name = "weighted"
+
+    def __init__(self, nprocs: int, max_weight_log: int = 16):
+        super().__init__(nprocs)
+        self.object_weight = 1 << max_weight_log
+        self.ref_weight: Dict[int, int] = {0: self.object_weight}
+        self.max_weight_log = max_weight_log
+
+    def copy(self, src: int, dst: int) -> None:
+        weight = self.ref_weight[src]
+        if weight <= 1:
+            # Request more weight from the owner (request + grant).
+            self._send("more_weight_request")
+            self._send("more_weight_grant")
+            grant = 1 << self.max_weight_log
+            self.object_weight += grant
+            weight += grant
+        half = weight // 2
+        self.ref_weight[src] = weight - half
+        self.ref_weight[dst] = self.ref_weight.get(dst, 0) + half
+        self.holders.add(dst)
+        self._check()
+
+    def drop(self, proc: int) -> None:
+        weight = self.ref_weight.pop(proc)
+        self.holders.discard(proc)
+        self._send("dec")   # carries the weight back to the owner
+        self.object_weight -= weight
+        self._check()
+
+    def _check(self) -> None:
+        assert self.object_weight == sum(self.ref_weight.values()), (
+            "WRC weight invariant broken"
+        )
+
+    def collected(self) -> bool:
+        return self.object_weight - self.ref_weight.get(0, 0) == 0
+
+
+class IndirectRC(CountingModel):
+    """Piquer's indirect reference counting over a diffusion tree.
+
+    Each process counts the copies it made; a dropped reference sends
+    its decrement to its *parent* in the diffusion tree (the process
+    it first received the reference from), not to the owner.  A parent
+    whose local reference died but whose counter is non-zero lingers
+    as a *zombie* — the structural drawback the paper notes.
+    """
+
+    name = "indirect"
+
+    def __init__(self, nprocs: int):
+        super().__init__(nprocs)
+        self.parent: Dict[int, int] = {}      # proc -> diffusion parent
+        self.copies_out: Counter = Counter()  # proc -> children count
+        self.alive: Set[int] = {0}            # locally-held references
+        self.zombies: Set[int] = set()
+
+    def copy(self, src: int, dst: int) -> None:
+        if dst in self.alive or dst in self.zombies or dst == 0:
+            # Existing entry (or owner): no new tree edge; the copy is
+            # simply redundant from the tree's point of view.
+            self.alive.add(dst)
+            self.zombies.discard(dst)
+            self.holders.add(dst)
+            return
+        self.parent[dst] = src
+        self.copies_out[src] += 1
+        self.alive.add(dst)
+        self.holders.add(dst)
+
+    def drop(self, proc: int) -> None:
+        self.holders.discard(proc)
+        self.alive.discard(proc)
+        self._maybe_release(proc)
+
+    def _maybe_release(self, proc: int) -> None:
+        if proc == 0 or proc in self.alive:
+            return
+        if self.copies_out[proc] > 0:
+            self.zombies.add(proc)  # pinned by children
+            return
+        self.zombies.discard(proc)
+        parent = self.parent.pop(proc, None)
+        if parent is None:
+            return
+        self._send("dec")  # to the parent, not the owner
+        self.copies_out[parent] -= 1
+        if parent not in self.alive:
+            self._maybe_release(parent)
+
+    def collected(self) -> bool:
+        return (
+            self.copies_out[0] == 0
+            and not self.alive - {0}
+            and not self.zombies
+        )
+
+
+def all_models(nprocs: int) -> List[CountingModel]:
+    """One fresh instance of every cost model."""
+    return [
+        BirrellCounting(nprocs),
+        BirrellFifoCounting(nprocs),
+        BirrellOwnerOptCounting(nprocs),
+        LermenMaurer(nprocs),
+        WeightedRC(nprocs),
+        IndirectRC(nprocs),
+    ]

@@ -1,0 +1,423 @@
+"""The fault-tolerant algorithm under message loss, timeouts and
+retries — the Section-6 extension the formalisation left as future
+work, mechanised.
+
+Faults modelled (each bounded by a budget so exploration stays finite):
+
+* ``lose`` — any in-transit message silently vanishes;
+* ``timeout_dirty`` — a client waiting in nil gives up (it cannot know
+  whether the owner saw the dirty call) and schedules a **strong
+  clean** with a *higher* sequence number, per §2.3;
+* ``timeout_clean`` — a client in ccit/ccitnil re-sends its clean call
+  with the **same** sequence number, per §2.3.
+
+Timeouts are modelled as always-enabled (spurious timeouts included):
+an over-approximation of any real timer, so safety verified here
+covers every timer discipline.
+
+Sequence numbers follow §2: the owner keeps ``seqno(O, P)``, the
+largest seen per client, and applies an operation only if its number
+is greater.  The module exposes ``use_seqnos=False`` as a negative
+control: the explorer then finds the duplicated-clean race in which a
+retried clean call, arriving after a newer dirty, removes a *live*
+client from the dirty set — exactly the failure the sequence numbers
+exist to prevent.
+
+One reference, owned by process 0, as in the other variant machines.
+Channels here are multisets (duplicates are the whole point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, List, Tuple
+
+from repro.dgc.states import RefState
+
+# Message layouts (channels are a multiset: tuples + a uid for copies,
+# and a duplicate counter for re-sent cleans):
+#   ("copy",      src, dst, copy_id)
+#   ("copy_ack",  src, dst, copy_id)
+#   ("dirty",     client, seq)
+#   ("dirty_ack", client, seq)
+#   ("clean",     client, seq, strong, attempt)
+#   ("clean_ack", client, seq, attempt)
+Msg = Tuple
+
+
+def _bag_add(bag, msg):
+    items = dict(bag)
+    items[msg] = items.get(msg, 0) + 1
+    return tuple(sorted(items.items()))
+
+
+def _bag_remove(bag, msg):
+    items = dict(bag)
+    if items[msg] == 1:
+        del items[msg]
+    else:
+        items[msg] -= 1
+    return tuple(sorted(items.items()))
+
+
+@dataclass(frozen=True)
+class ClientState:
+    state: RefState = RefState.NONEXISTENT
+    seq: int = 0                 # this client's seqno counter
+    dirty_seq: int = 0           # seq of the dirty cycle in flight
+    clean_seq: int = 0           # seq of the clean cycle in flight
+    clean_strong: bool = False
+    clean_attempt: int = 0
+    reachable: bool = False
+    # Copy acks deferred until OK: (copy_id, sender).
+    blocked: FrozenSet[Tuple[int, int]] = frozenset()
+
+
+@dataclass(frozen=True)
+class FaultyConfiguration:
+    nprocs: int
+    use_seqnos: bool = True
+    clients: Tuple[ClientState, ...] = ()
+    # Owner state.
+    pdirty: FrozenSet[int] = frozenset()
+    seen: Tuple[int, ...] = ()            # seqno(O, P) per process
+    tdirty: FrozenSet[Tuple[int, int, int]] = frozenset()  # (snd, rcv, id)
+    owner_reachable: bool = True
+    # Channels as a multiset: ((msg, count), ...) sorted.
+    msgs: Tuple = ()
+    next_id: int = 1
+    copies_left: int = 0
+    losses_left: int = 0
+    timeouts_left: int = 0
+
+    def client(self, proc: int) -> ClientState:
+        return self.clients[proc]
+
+    def with_client(self, proc: int, **changes) -> "FaultyConfiguration":
+        clients = list(self.clients)
+        clients[proc] = replace(clients[proc], **changes)
+        return replace(self, clients=tuple(clients))
+
+    def send(self, msg: Msg) -> "FaultyConfiguration":
+        return replace(self, msgs=_bag_add(self.msgs, msg))
+
+    def receive(self, msg: Msg) -> "FaultyConfiguration":
+        return replace(self, msgs=_bag_remove(self.msgs, msg))
+
+    def all_msgs(self):
+        for msg, count in self.msgs:
+            for _ in range(count):
+                yield msg
+        # NB: duplicates yielded once per occurrence for loss, but
+        # receive/deliver only needs distinct messages.
+
+    def distinct_msgs(self):
+        return [msg for msg, _count in self.msgs]
+
+    def describe(self) -> str:
+        lines = [f"faulty(seqnos={self.use_seqnos})"]
+        for proc in range(1, self.nprocs):
+            client = self.clients[proc]
+            lines.append(
+                f"  p{proc}: {client.state.name} seq={client.seq} "
+                f"reach={client.reachable} blocked={sorted(client.blocked)}"
+            )
+        lines.append(f"  pdirty={sorted(self.pdirty)} seen={self.seen} "
+                     f"tdirty={sorted(self.tdirty)}")
+        lines.append(f"  msgs={self.msgs}")
+        return "\n".join(lines)
+
+
+def initial_faulty(nprocs: int = 2, copies_left: int = 2,
+                   losses_left: int = 1, timeouts_left: int = 2,
+                   use_seqnos: bool = True) -> FaultyConfiguration:
+    """Initial configuration with fault budgets (see module docstring)."""
+    return FaultyConfiguration(
+        nprocs=nprocs,
+        use_seqnos=use_seqnos,
+        clients=tuple(ClientState() for _ in range(nprocs)),
+        seen=tuple(0 for _ in range(nprocs)),
+        copies_left=copies_left,
+        losses_left=losses_left,
+        timeouts_left=timeouts_left,
+    )
+
+
+@dataclass(frozen=True)
+class _Transition:
+    kind: str
+    params: Tuple
+
+    @property
+    def rule(self):
+        return self
+
+    @property
+    def name(self) -> str:
+        return self.kind
+
+    def fire(self, config):
+        return _fire(config, self.kind, self.params)
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.params}"
+
+
+def _owner_apply(config: FaultyConfiguration, client: int, seq: int,
+                 add: bool) -> FaultyConfiguration:
+    """Apply a dirty (add) or clean (remove) under the seqno rule."""
+    if config.use_seqnos:
+        if seq <= config.seen[client]:
+            return config  # stale: no effect
+        seen = list(config.seen)
+        seen[client] = seq
+        config = replace(config, seen=tuple(seen))
+    if add:
+        return replace(config, pdirty=config.pdirty | {client})
+    return replace(config, pdirty=config.pdirty - {client})
+
+
+def _fire(config: FaultyConfiguration, kind: str, params) -> FaultyConfiguration:
+    if kind == "lose":
+        (msg,) = params
+        return replace(
+            config,
+            msgs=_bag_remove(config.msgs, msg),
+            losses_left=config.losses_left - 1,
+        )
+
+    if kind == "make_copy":
+        src, dst = params
+        copy_id = config.next_id
+        config = replace(
+            config,
+            next_id=copy_id + 1,
+            copies_left=config.copies_left - 1,
+            tdirty=config.tdirty | {(src, dst, copy_id)},
+        )
+        return config.send(("copy", src, dst, copy_id))
+
+    if kind == "receive_copy":
+        (msg,) = params
+        _, src, dst, copy_id = msg
+        config = config.receive(msg)
+        if dst == 0:
+            # Owner: resolve concrete, ack immediately.
+            return config.send(("copy_ack", dst, src, copy_id))
+        client = config.client(dst)
+        if client.state is RefState.OK:
+            config = config.with_client(dst, reachable=True)
+            return config.send(("copy_ack", dst, src, copy_id))
+        if client.state in (RefState.NIL, RefState.CCITNIL):
+            return config.with_client(
+                dst, blocked=client.blocked | {(copy_id, src)},
+                reachable=True,
+            )
+        if client.state is RefState.CCIT:
+            # Fresh copy while clean in transit: park; the dirty is
+            # postponed until the clean cycle resolves.
+            return config.with_client(
+                dst, state=RefState.CCITNIL,
+                blocked=client.blocked | {(copy_id, src)},
+                reachable=True,
+            )
+        # NONEXISTENT: start a dirty cycle.
+        seq = client.seq + 1
+        config = config.with_client(
+            dst, state=RefState.NIL, seq=seq, dirty_seq=seq,
+            blocked=client.blocked | {(copy_id, src)},
+            reachable=True,
+        )
+        return config.send(("dirty", dst, seq))
+
+    if kind == "receive_copy_ack":
+        (msg,) = params
+        _, src, dst, copy_id = msg
+        config = config.receive(msg)
+        entry = (dst, src, copy_id)
+        if entry in config.tdirty:
+            config = replace(config, tdirty=config.tdirty - {entry})
+        return config
+
+    if kind == "receive_dirty":
+        (msg,) = params
+        _, client, seq = msg
+        config = config.receive(msg)
+        config = _owner_apply(config, client, seq, add=True)
+        return config.send(("dirty_ack", client, seq))
+
+    if kind == "receive_dirty_ack":
+        (msg,) = params
+        _, proc, seq = msg
+        config = config.receive(msg)
+        client = config.client(proc)
+        if client.state is not RefState.NIL or seq != client.dirty_seq:
+            return config  # stale ack from an abandoned cycle
+        acks = client.blocked
+        config = config.with_client(
+            proc, state=RefState.OK, blocked=frozenset(),
+        )
+        for copy_id, sender in sorted(acks):
+            config = config.send(("copy_ack", proc, sender, copy_id))
+        return config
+
+    if kind == "timeout_dirty":
+        (proc,) = params
+        client = config.client(proc)
+        # §2.3: no surrogate is created; a strong clean with a fresh,
+        # higher sequence number chases the possibly-delivered dirty.
+        seq = client.seq + 1
+        config = config.with_client(
+            proc, state=RefState.CCIT, seq=seq, clean_seq=seq,
+            clean_strong=True, clean_attempt=1,
+            blocked=frozenset(), reachable=False,
+        )
+        config = replace(config, timeouts_left=config.timeouts_left - 1)
+        return config.send(("clean", proc, seq, True, 1))
+
+    if kind == "drop":
+        (proc,) = params
+        return config.with_client(proc, reachable=False)
+
+    if kind == "finalize":
+        (proc,) = params
+        client = config.client(proc)
+        seq = client.seq + 1
+        config = config.with_client(
+            proc, state=RefState.CCIT, seq=seq, clean_seq=seq,
+            clean_strong=False, clean_attempt=1,
+        )
+        return config.send(("clean", proc, seq, False, 1))
+
+    if kind == "timeout_clean":
+        (proc,) = params
+        client = config.client(proc)
+        # §2.3: "the cleanup demon merely leaves the request on its
+        # queue, keeping the same sequence number" — a re-send.
+        attempt = client.clean_attempt + 1
+        config = config.with_client(proc, clean_attempt=attempt)
+        config = replace(config, timeouts_left=config.timeouts_left - 1)
+        return config.send(
+            ("clean", proc, client.clean_seq, client.clean_strong, attempt)
+        )
+
+    if kind == "receive_clean":
+        (msg,) = params
+        _, client, seq, _strong, _attempt = msg
+        config = config.receive(msg)
+        config = _owner_apply(config, client, seq, add=False)
+        return config.send(("clean_ack", client, seq, _attempt))
+
+    if kind == "receive_clean_ack":
+        (msg,) = params
+        _, proc, seq, _attempt = msg
+        config = config.receive(msg)
+        client = config.client(proc)
+        if (client.state not in (RefState.CCIT, RefState.CCITNIL)
+                or seq != client.clean_seq):
+            return config  # stale
+        if client.state is RefState.CCIT:
+            return config.with_client(
+                proc, state=RefState.NONEXISTENT,
+                clean_attempt=0, clean_strong=False,
+            )
+        # CCITNIL: the postponed dirty cycle starts now.
+        new_seq = client.seq + 1
+        config = config.with_client(
+            proc, state=RefState.NIL, seq=new_seq, dirty_seq=new_seq,
+            clean_attempt=0, clean_strong=False,
+        )
+        return config.send(("dirty", proc, new_seq))
+
+    raise ValueError(kind)
+
+
+class FaultyMachine:
+    """Duck-type compatible with :func:`repro.model.explorer.explore`."""
+
+    def enabled(self, config: FaultyConfiguration) -> List[_Transition]:
+        transitions = []
+        # Faults.
+        if config.losses_left > 0:
+            for msg in config.distinct_msgs():
+                transitions.append(_Transition("lose", (msg,)))
+        if config.timeouts_left > 0:
+            for proc in range(1, config.nprocs):
+                client = config.client(proc)
+                if client.state is RefState.NIL:
+                    transitions.append(_Transition("timeout_dirty", (proc,)))
+                if client.state in (RefState.CCIT, RefState.CCITNIL):
+                    transitions.append(_Transition("timeout_clean", (proc,)))
+        # Mutator.
+        if config.copies_left > 0:
+            senders = [0] if config.owner_reachable else []
+            senders += [
+                proc for proc in range(1, config.nprocs)
+                if config.client(proc).state is RefState.OK
+                and config.client(proc).reachable
+            ]
+            for src in senders:
+                for dst in range(config.nprocs):
+                    if dst != src:
+                        transitions.append(
+                            _Transition("make_copy", (src, dst))
+                        )
+        for proc in range(1, config.nprocs):
+            client = config.client(proc)
+            if client.reachable and client.state is RefState.OK:
+                transitions.append(_Transition("drop", (proc,)))
+            if (client.state is RefState.OK and not client.reachable
+                    and not any(t[0] == proc for t in config.tdirty)
+                    and not client.blocked):
+                transitions.append(_Transition("finalize", (proc,)))
+        # Deliveries.
+        for msg in config.distinct_msgs():
+            kind = {
+                "copy": "receive_copy",
+                "copy_ack": "receive_copy_ack",
+                "dirty": "receive_dirty",
+                "dirty_ack": "receive_dirty_ack",
+                "clean": "receive_clean",
+                "clean_ack": "receive_clean_ack",
+            }[msg[0]]
+            transitions.append(_Transition(kind, (msg,)))
+        return transitions
+
+
+def faulty_safety_violations(config: FaultyConfiguration) -> List[str]:
+    """Safety under faults: while any client finds the reference
+    usable (OK) or a copy is in transit, the owner's tables protect
+    the object."""
+    usable = [
+        proc for proc in range(1, config.nprocs)
+        if config.client(proc).state is RefState.OK
+    ]
+    copies = [msg for msg in config.distinct_msgs() if msg[0] == "copy"]
+    if not usable and not copies:
+        return []
+    protected = bool(config.pdirty) or any(
+        sender == 0 for (sender, _dst, _id) in config.tdirty
+    )
+    if protected:
+        return []
+    return [
+        f"FAULTY-UNSAFE: usable at {usable}, copies {copies}, but the "
+        f"owner's dirty tables are empty\n{config.describe()}"
+    ]
+
+
+def faulty_leak_violations(config: FaultyConfiguration) -> List[str]:
+    """Leak check, meaningful only at quiescence: no messages, no
+    usable/unsettled client state, yet a permanent dirty entry
+    remains — the object can never be collected."""
+    if config.msgs:
+        return []
+    for proc in range(1, config.nprocs):
+        if config.client(proc).state is not RefState.NONEXISTENT:
+            return []
+    if config.pdirty:
+        return [
+            f"LEAK: all clients gone, channels empty, but pdirty="
+            f"{sorted(config.pdirty)}\n{config.describe()}"
+        ]
+    return []

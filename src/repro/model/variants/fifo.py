@@ -1,0 +1,279 @@
+"""The FIFO-channel variant of the algorithm (Section 5.1).
+
+With reliable FIFO channels between each process and a reference's
+owner, clean messages cannot overtake dirty messages, which removes
+most of the base machinery:
+
+* a received reference is usable immediately (no blocked
+  deserialisation): the receive table needs only the states ⊥ and OK;
+* ``clean_ack`` disappears — it only existed to mark the
+  ccitnil → nil transition, and ccitnil itself is gone;
+* ``dirty_ack`` survives, because the *copy* acknowledgement must
+  still wait for it: releasing the sender's transient entry before our
+  dirty call has registered would reopen the naive-counting race
+  (dirty and clean travel on *different* channels to the owner, so
+  FIFO between any one pair cannot order them).
+
+The model tracks per-reference ``dirty_unacked`` instead of the nil
+state; finalize is deferred while a dirty is unacknowledged or copies
+are pinned — the simple way to keep the clean behind the dirty on the
+owner-bound channel without modelling call queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, List, Tuple
+
+Msg = Tuple
+
+
+def _fifo_send(channels, src: int, dst: int, payload: Tuple):
+    key = (src, dst)
+    queues = dict(channels)
+    queues[key] = queues.get(key, ()) + (payload,)
+    return tuple(sorted(queues.items()))
+
+
+def _fifo_pop(channels, src: int, dst: int):
+    key = (src, dst)
+    queues = dict(channels)
+    head, *rest = queues[key]
+    if rest:
+        queues[key] = tuple(rest)
+    else:
+        del queues[key]
+    return head, tuple(sorted(queues.items()))
+
+
+@dataclass(frozen=True)
+class FifoConfiguration:
+    """One reference owned by process 0 over FIFO channels.
+
+    ``channels`` maps (src, dst) → tuple of payloads, delivered
+    head-first only.
+    """
+
+    nprocs: int
+    # usable: processes whose receive table says OK.
+    usable: FrozenSet[int] = frozenset()
+    # dirty_unacked: OK processes whose dirty call is still in flight.
+    dirty_unacked: FrozenSet[int] = frozenset()
+    # blocked copy-acks: (proc, copy_id, sender) awaiting our dirty_ack.
+    blocked: FrozenSet[Tuple[int, int, int]] = frozenset()
+    copy_ack_todo: FrozenSet[Tuple[int, int, int]] = frozenset()
+    # transient entries: (sender, receiver, copy_id).
+    tdirty: FrozenSet[Tuple[int, int, int]] = frozenset()
+    pdirty: FrozenSet[int] = frozenset()
+    reachable: FrozenSet[int] = frozenset({0})
+    channels: Tuple = ()
+    next_id: int = 1
+    copies_left: int = 0
+
+    def channel(self, src: int, dst: int) -> Tuple:
+        return dict(self.channels).get((src, dst), ())
+
+    def describe(self) -> str:
+        return (
+            f"fifo(usable={sorted(self.usable)}, "
+            f"unacked={sorted(self.dirty_unacked)}, "
+            f"pdirty={sorted(self.pdirty)}, tdirty={sorted(self.tdirty)}, "
+            f"channels={self.channels})"
+        )
+
+
+def initial_fifo(nprocs: int = 3, copies_left: int = 3) -> FifoConfiguration:
+    """Initial FIFO-variant configuration: owner holds the reference."""
+    return FifoConfiguration(
+        nprocs=nprocs, usable=frozenset({0}), copies_left=copies_left
+    )
+
+
+@dataclass(frozen=True)
+class _Transition:
+    kind: str
+    params: Tuple
+
+    @property
+    def rule(self):
+        return self
+
+    @property
+    def name(self) -> str:
+        return self.kind
+
+    def fire(self, config):
+        return _fire(config, self.kind, self.params)
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.params}"
+
+
+#: Message kinds, for the accounting in scenario runs.
+GC_KINDS = ("dirty", "dirty_ack", "clean", "copy_ack")
+
+
+def _fire(config: FifoConfiguration, kind, params) -> FifoConfiguration:
+    if kind == "make_copy":
+        src, dst = params
+        copy_id = config.next_id
+        channels = _fifo_send(config.channels, src, dst, ("copy", copy_id))
+        return replace(
+            config,
+            next_id=copy_id + 1,
+            copies_left=config.copies_left - 1,
+            tdirty=config.tdirty | {(src, dst, copy_id)},
+            channels=channels,
+        )
+    if kind == "deliver":
+        src, dst = params
+        payload, channels = _fifo_pop(config.channels, src, dst)
+        config = replace(config, channels=channels)
+        return _deliver(config, src, dst, payload)
+    if kind == "do_copy_ack":
+        proc, copy_id, sender = params
+        channels = _fifo_send(
+            config.channels, proc, sender, ("copy_ack", copy_id)
+        )
+        return replace(
+            config,
+            copy_ack_todo=config.copy_ack_todo - {params},
+            channels=channels,
+        )
+    if kind == "drop":
+        (proc,) = params
+        return replace(config, reachable=config.reachable - {proc})
+    if kind == "finalize":
+        (proc,) = params
+        # Send the clean immediately: FIFO keeps it behind our dirty.
+        channels = _fifo_send(config.channels, proc, 0, ("clean",))
+        return replace(
+            config,
+            usable=config.usable - {proc},
+            channels=channels,
+        )
+    raise ValueError(kind)
+
+
+def _deliver(config, src, dst, payload) -> FifoConfiguration:
+    kind = payload[0]
+    if kind == "copy":
+        copy_id = payload[1]
+        if dst == 0:
+            # Home again: owner acks straight away; no dirty call.
+            return replace(
+                config,
+                copy_ack_todo=config.copy_ack_todo | {(dst, copy_id, src)},
+            )
+        if dst in config.usable:
+            if dst in config.dirty_unacked:
+                return replace(
+                    config,
+                    blocked=config.blocked | {(dst, copy_id, src)},
+                    reachable=config.reachable | {dst},
+                )
+            return replace(
+                config,
+                copy_ack_todo=config.copy_ack_todo | {(dst, copy_id, src)},
+                reachable=config.reachable | {dst},
+            )
+        # Unknown reference: usable immediately, dirty in flight.
+        channels = _fifo_send(config.channels, dst, 0, ("dirty",))
+        return replace(
+            config,
+            usable=config.usable | {dst},
+            dirty_unacked=config.dirty_unacked | {dst},
+            blocked=config.blocked | {(dst, copy_id, src)},
+            reachable=config.reachable | {dst},
+            channels=channels,
+        )
+    if kind == "dirty":
+        channels = _fifo_send(config.channels, 0, src, ("dirty_ack",))
+        return replace(
+            config,
+            pdirty=config.pdirty | {src},
+            channels=channels,
+        )
+    if kind == "dirty_ack":
+        released = {
+            (proc, copy_id, sender)
+            for (proc, copy_id, sender) in config.blocked
+            if proc == dst
+        }
+        return replace(
+            config,
+            dirty_unacked=config.dirty_unacked - {dst},
+            blocked=config.blocked - released,
+            copy_ack_todo=config.copy_ack_todo | released,
+        )
+    if kind == "clean":
+        return replace(config, pdirty=config.pdirty - {src})
+    if kind == "copy_ack":
+        copy_id = payload[1]
+        return replace(
+            config,
+            tdirty=config.tdirty - {(dst, src, copy_id)},
+        )
+    raise ValueError(payload)
+
+
+class FifoMachine:
+    """Duck-type compatible with the generic explorer."""
+
+    def enabled(self, config: FifoConfiguration) -> List[_Transition]:
+        transitions = []
+        if config.copies_left > 0:
+            for src in config.usable:
+                if src != 0 and src in config.dirty_unacked:
+                    continue  # still registering; cannot forward yet
+                if src != 0 and src not in config.reachable:
+                    continue
+                for dst in range(config.nprocs):
+                    if dst != src:
+                        transitions.append(
+                            _Transition("make_copy", (src, dst))
+                        )
+        for (src, dst), queue in config.channels:
+            if queue:
+                transitions.append(_Transition("deliver", (src, dst)))
+        for entry in config.copy_ack_todo:
+            transitions.append(_Transition("do_copy_ack", entry))
+        for proc in config.reachable:
+            if proc != 0:
+                transitions.append(_Transition("drop", (proc,)))
+        for proc in config.usable:
+            if proc == 0 or proc in config.reachable:
+                continue
+            if proc in config.dirty_unacked:
+                continue
+            if any(t[0] == proc for t in config.tdirty):
+                continue  # transient dirty table is a local GC root
+            if any(b[0] == proc for b in config.blocked):
+                continue
+            transitions.append(_Transition("finalize", (proc,)))
+        return transitions
+
+
+def fifo_violations(config: FifoConfiguration) -> List[str]:
+    """Safety for the FIFO variant: while any non-owner process finds
+    the reference usable, or a copy is in transit, the owner's dirty
+    tables (pdirty ∪ owner-sent transient entries) are non-empty."""
+    remote_usable = any(proc != 0 for proc in config.usable)
+    copy_in_transit = any(
+        payload[0] == "copy"
+        for _pair, queue in config.channels
+        for payload in queue
+    )
+    if not (remote_usable or copy_in_transit):
+        return []
+    owner_entries = bool(config.pdirty) or any(
+        sender == 0 for (sender, _dst, _id) in config.tdirty
+    )
+    if owner_entries:
+        return []
+    # A copy from a dirty-listed client also protects the object;
+    # check the full coverage the safety theorem actually needs.
+    return [
+        "FIFO-UNSAFE: remote reference alive but owner's dirty "
+        f"tables empty in {config.describe()}"
+    ]

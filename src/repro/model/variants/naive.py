@@ -1,0 +1,157 @@
+"""Naive distributed reference counting — the broken strawman.
+
+Section 2.2 of the formalisation (and every paper in this family)
+motivates the real algorithms with this one: keep a counter at the
+owner, send ``inc`` when a reference is copied and ``dec`` when one is
+discarded.  Because an in-flight ``dec`` can overtake an in-flight
+``inc``, the counter can touch zero while references are alive, and
+the object is reclaimed under a live reference — Figure 1 of the
+paper.
+
+The machine below is exactly that protocol; run the explorer over it
+and it produces the Figure-1 interleaving as a counterexample trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, List, Tuple
+
+Msg = Tuple  # ("ref", src, dst, id) | ("inc", src) | ("dec", src)
+
+
+@dataclass(frozen=True)
+class NaiveConfiguration:
+    """One object owned by process 0; counter-based accounting."""
+
+    nprocs: int
+    counter: int = 0
+    freed: bool = False
+    ever_positive: bool = False
+    holders: FrozenSet[int] = frozenset()
+    msgs: FrozenSet[Msg] = frozenset()
+    next_id: int = 1
+    copies_left: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"naive(counter={self.counter}, freed={self.freed}, "
+            f"holders={sorted(self.holders)}, msgs={sorted(self.msgs)})"
+        )
+
+
+def initial_naive(nprocs: int = 3, copies_left: int = 3) -> NaiveConfiguration:
+    """Initial naive-counting configuration: nothing shared yet."""
+    return NaiveConfiguration(nprocs=nprocs, copies_left=copies_left)
+
+
+@dataclass(frozen=True)
+class _Transition:
+    kind: str
+    params: Tuple
+
+    @property
+    def rule(self):  # duck-typed for the generic explorer
+        return self
+
+    @property
+    def name(self) -> str:
+        return self.kind
+
+    def fire(self, config: NaiveConfiguration) -> NaiveConfiguration:
+        return _fire(config, self.kind, self.params)
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.params}"
+
+
+def _fire(config, kind, params) -> NaiveConfiguration:
+    if kind == "copy":
+        src, dst = params
+        ref_msg = ("ref", src, dst, config.next_id)
+        inc_msg = ("inc", config.next_id)
+        return replace(
+            config,
+            next_id=config.next_id + 1,
+            copies_left=config.copies_left - 1,
+            msgs=config.msgs | {ref_msg, inc_msg},
+        )
+    if kind == "receive_ref":
+        (msg,) = params
+        return replace(
+            config,
+            msgs=config.msgs - {msg},
+            holders=config.holders | {msg[2]},
+        )
+    if kind == "receive_inc":
+        (msg,) = params
+        return replace(
+            config,
+            msgs=config.msgs - {msg},
+            counter=config.counter + 1,
+            ever_positive=True,
+        )
+    if kind == "receive_dec":
+        (msg,) = params
+        counter = config.counter - 1
+        return replace(
+            config,
+            msgs=config.msgs - {msg},
+            counter=counter,
+            freed=config.freed or counter <= 0,
+        )
+    if kind == "drop":
+        (proc,) = params
+        dec_msg = ("dec", config.next_id)
+        return replace(
+            config,
+            next_id=config.next_id + 1,
+            holders=config.holders - {proc},
+            msgs=config.msgs | {dec_msg},
+        )
+    raise ValueError(kind)
+
+
+class NaiveMachine:
+    """Duck-type compatible with :func:`repro.model.explorer.explore`."""
+
+    def enabled(self, config: NaiveConfiguration) -> List[_Transition]:
+        transitions = []
+        if config.copies_left > 0:
+            # Holders may forward their reference at any time — even
+            # after the owner (wrongly) freed the object; the owner
+            # itself only sends while the object exists.
+            senders = set(config.holders)
+            if not config.freed:
+                senders.add(0)
+            for src in senders:
+                for dst in range(config.nprocs):
+                    if dst != src and dst != 0:
+                        transitions.append(_Transition("copy", (src, dst)))
+        for msg in config.msgs:
+            if msg[0] == "ref":
+                transitions.append(_Transition("receive_ref", (msg,)))
+            elif msg[0] == "inc":
+                transitions.append(_Transition("receive_inc", (msg,)))
+            elif msg[0] == "dec":
+                transitions.append(_Transition("receive_dec", (msg,)))
+        for holder in config.holders:
+            transitions.append(_Transition("drop", (holder,)))
+        return transitions
+
+
+def naive_violations(config: NaiveConfiguration) -> List[str]:
+    """Safety for the naive protocol: freed implies nothing alive.
+
+    A violation is an object reclaimed while a process still holds a
+    reference or one is still in transit — exactly the Figure-1 race.
+    """
+    if not config.freed:
+        return []
+    in_transit = any(msg[0] == "ref" for msg in config.msgs)
+    if config.holders or in_transit:
+        return [
+            f"NAIVE-UNSAFE: object freed while holders="
+            f"{sorted(config.holders)} in_transit={in_transit}"
+        ]
+    return []

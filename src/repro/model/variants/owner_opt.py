@@ -1,0 +1,326 @@
+"""The owner-optimised variant (Section 5.2) as an explorable machine.
+
+On top of FIFO channels (Section 5.1), two short circuits:
+
+* **sender is owner** — the owner adds the receiver to its permanent
+  dirty set *at send time*; the receiver makes no dirty call and sends
+  no copy acknowledgement;
+* **receiver is owner** — a reference going home needs no transient
+  entry and no acknowledgement at all.
+
+The section warns both tricks are racy unless *application* messages
+are ordered with collector messages.  Exploring this machine shows the
+warning **understates the problem**: even with full per-pair FIFO, the
+literal §5.2.1 protocol (owner adds the permanent entry at send time,
+receiver never acknowledges) is unsafe when the owner sends the same
+reference to the same client twice — the client's clean call (channel
+client→owner) races the second copy (channel owner→client), two
+channels no FIFO discipline can order.  This is an instance of the
+"parallel sending to the same destination" under-specification the
+formalisation lists as weakness 3(d) of Birrell's presentation, and
+the explorer derives the 6-step counterexample mechanically
+(`test_literal_spec_unsafe_even_ordered`).
+
+``repaired=True`` runs the sound refinement this suggests: an
+owner-sent copy creates a *transient* entry and acts as an implicit
+dirty call — the receiver acknowledges it (no dirty/dirty_ack round
+trip), and the acknowledgement promotes the transient entry to the
+permanent set.  With per-pair FIFO (clean and copy_ack share the
+client→owner channel) the explorer verifies safety; with
+``ordered=False`` it still finds the race, which is the ordering
+requirement the paper *does* state.  Cost: 2 messages per
+owner→client import/drop cycle instead of the paper's claimed 1 —
+the price of closing the hole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, List, Tuple
+
+from repro.model.variants.fifo import _fifo_pop, _fifo_send
+
+
+@dataclass(frozen=True)
+class OwnerOptConfiguration:
+    """One reference owned by process 0; owner-optimised protocol."""
+
+    nprocs: int
+    ordered: bool = True       # FIFO per pair incl. application copies
+    repaired: bool = False     # owner-sent copies acked (sound variant)
+    usable: FrozenSet[int] = frozenset({0})
+    dirty_unacked: FrozenSet[int] = frozenset()
+    blocked: FrozenSet[Tuple[int, int, int]] = frozenset()
+    copy_ack_todo: FrozenSet[Tuple[int, int, int]] = frozenset()
+    tdirty: FrozenSet[Tuple[int, int, int]] = frozenset()
+    pdirty: FrozenSet[int] = frozenset()
+    reachable: FrozenSet[int] = frozenset({0})
+    channels: Tuple = ()
+    next_id: int = 1
+    copies_left: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"owner-opt(ordered={self.ordered}, "
+            f"usable={sorted(self.usable)}, pdirty={sorted(self.pdirty)}, "
+            f"tdirty={sorted(self.tdirty)}, channels={self.channels})"
+        )
+
+
+def initial_owner_opt(nprocs: int = 3, copies_left: int = 3,
+                      ordered: bool = True,
+                      repaired: bool = False) -> OwnerOptConfiguration:
+    """Initial owner-optimised configuration (see module docstring)."""
+    return OwnerOptConfiguration(
+        nprocs=nprocs, ordered=ordered, repaired=repaired,
+        copies_left=copies_left,
+    )
+
+
+@dataclass(frozen=True)
+class _Transition:
+    kind: str
+    params: Tuple
+
+    @property
+    def rule(self):
+        return self
+
+    @property
+    def name(self) -> str:
+        return self.kind
+
+    def fire(self, config):
+        return _fire(config, self.kind, self.params)
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.params}"
+
+
+def _fire(config: OwnerOptConfiguration, kind, params):
+    if kind == "make_copy":
+        src, dst = params
+        copy_id = config.next_id
+        config = replace(
+            config,
+            next_id=copy_id + 1,
+            copies_left=config.copies_left - 1,
+        )
+        if src == 0:
+            if config.repaired:
+                # Sound variant: transient entry until the receiver's
+                # copy_ack, which then promotes it to the dirty set.
+                config = replace(
+                    config, tdirty=config.tdirty | {(src, dst, copy_id)}
+                )
+            else:
+                # Literal §5.2.1: direct permanent entry, no ack.
+                config = replace(config, pdirty=config.pdirty | {dst})
+        elif dst != 0:
+            config = replace(
+                config, tdirty=config.tdirty | {(src, dst, copy_id)}
+            )
+        # Receiver-is-owner (dst == 0): no transient entry at all —
+        # the owner's own table reaches the object.
+        channels = _fifo_send(config.channels, src, dst, ("copy", copy_id))
+        return replace(config, channels=channels)
+
+    if kind == "deliver":
+        src, dst, payload = params
+        if config.ordered:
+            head, channels = _fifo_pop(config.channels, src, dst)
+            assert head == payload
+        else:
+            channels = _remove_any(config.channels, src, dst, payload)
+        config = replace(config, channels=channels)
+        return _deliver(config, src, dst, payload)
+
+    if kind == "do_copy_ack":
+        proc, copy_id, sender = params
+        channels = _fifo_send(
+            config.channels, proc, sender, ("copy_ack", copy_id)
+        )
+        return replace(
+            config,
+            copy_ack_todo=config.copy_ack_todo - {params},
+            channels=channels,
+        )
+
+    if kind == "drop":
+        (proc,) = params
+        return replace(config, reachable=config.reachable - {proc})
+
+    if kind == "finalize":
+        (proc,) = params
+        channels = _fifo_send(config.channels, proc, 0, ("clean",))
+        return replace(
+            config, usable=config.usable - {proc}, channels=channels
+        )
+
+    raise ValueError(kind)
+
+
+def _remove_any(channels, src, dst, payload):
+    """Unordered delivery: take ``payload`` from anywhere in the
+    (src, dst) queue (models reordering between a pair)."""
+    queues = dict(channels)
+    queue = list(queues[(src, dst)])
+    queue.remove(payload)
+    if queue:
+        queues[(src, dst)] = tuple(queue)
+    else:
+        del queues[(src, dst)]
+    return tuple(sorted(queues.items()))
+
+
+def _deliver(config, src, dst, payload):
+    kind = payload[0]
+    if kind == "copy":
+        copy_id = payload[1]
+        if dst == 0:
+            # Home: no ack in this variant (sender made no entry)...
+            # unless the sender was a client holding a transient
+            # entry, which the copy_ack releases.
+            if any(t == (src, dst, copy_id) for t in config.tdirty):
+                return replace(
+                    config,
+                    copy_ack_todo=config.copy_ack_todo | {(dst, copy_id, src)},
+                )
+            return config
+        if src == 0:
+            # From the owner: usable immediately, no dirty call.
+            config = replace(
+                config,
+                usable=config.usable | {dst},
+                reachable=config.reachable | {dst},
+            )
+            if config.repaired:
+                # ...but acknowledged, so the owner can promote its
+                # transient entry to the permanent set.
+                return replace(
+                    config,
+                    copy_ack_todo=config.copy_ack_todo | {(dst, copy_id, src)},
+                )
+            return config
+        # Client-to-client copies use the plain FIFO-variant protocol.
+        if dst in config.usable:
+            if dst in config.dirty_unacked:
+                return replace(
+                    config,
+                    blocked=config.blocked | {(dst, copy_id, src)},
+                    reachable=config.reachable | {dst},
+                )
+            return replace(
+                config,
+                copy_ack_todo=config.copy_ack_todo | {(dst, copy_id, src)},
+                reachable=config.reachable | {dst},
+            )
+        channels = _fifo_send(config.channels, dst, 0, ("dirty",))
+        return replace(
+            config,
+            usable=config.usable | {dst},
+            dirty_unacked=config.dirty_unacked | {dst},
+            blocked=config.blocked | {(dst, copy_id, src)},
+            reachable=config.reachable | {dst},
+            channels=channels,
+        )
+    if kind == "dirty":
+        channels = _fifo_send(config.channels, 0, src, ("dirty_ack",))
+        return replace(
+            config, pdirty=config.pdirty | {src}, channels=channels
+        )
+    if kind == "dirty_ack":
+        released = {
+            entry for entry in config.blocked if entry[0] == dst
+        }
+        return replace(
+            config,
+            dirty_unacked=config.dirty_unacked - {dst},
+            blocked=config.blocked - released,
+            copy_ack_todo=config.copy_ack_todo | released,
+        )
+    if kind == "clean":
+        return replace(config, pdirty=config.pdirty - {src})
+    if kind == "copy_ack":
+        copy_id = payload[1]
+        config = replace(
+            config, tdirty=config.tdirty - {(dst, src, copy_id)}
+        )
+        if config.repaired and dst == 0:
+            # The ack of an owner-sent copy doubles as the dirty call.
+            config = replace(config, pdirty=config.pdirty | {src})
+        return config
+    raise ValueError(payload)
+
+
+class OwnerOptMachine:
+    """Duck-type compatible with the generic explorer."""
+    def enabled(self, config: OwnerOptConfiguration) -> List[_Transition]:
+        transitions = []
+        if config.copies_left > 0:
+            for src in config.usable:
+                if src != 0 and src in config.dirty_unacked:
+                    continue
+                if src != 0 and src not in config.reachable:
+                    continue
+                for dst in range(config.nprocs):
+                    if dst != src:
+                        transitions.append(
+                            _Transition("make_copy", (src, dst))
+                        )
+        for (src, dst), queue in config.channels:
+            if not queue:
+                continue
+            if config.ordered:
+                transitions.append(
+                    _Transition("deliver", (src, dst, queue[0]))
+                )
+            else:
+                for payload in dict.fromkeys(queue):
+                    transitions.append(
+                        _Transition("deliver", (src, dst, payload))
+                    )
+        for entry in config.copy_ack_todo:
+            transitions.append(_Transition("do_copy_ack", entry))
+        for proc in config.reachable:
+            if proc != 0:
+                transitions.append(_Transition("drop", (proc,)))
+        for proc in config.usable:
+            if proc == 0 or proc in config.reachable:
+                continue
+            if proc in config.dirty_unacked:
+                continue
+            if any(t[0] == proc for t in config.tdirty):
+                continue
+            if any(b[0] == proc for b in config.blocked):
+                continue
+            transitions.append(_Transition("finalize", (proc,)))
+        return transitions
+
+
+def owner_opt_violations(config: OwnerOptConfiguration) -> List[str]:
+    """Safety: a process that finds the reference usable — or a copy
+    in transit from the owner — implies the owner's tables protect the
+    object (pdirty non-empty, counting the sender-side direct entry)."""
+    remote_usable = any(proc != 0 for proc in config.usable)
+    owner_copy_in_transit = any(
+        payload[0] == "copy" and pair[0] == 0
+        for pair, queue in config.channels
+        for payload in queue
+    )
+    client_copy_in_transit = any(
+        payload[0] == "copy" and pair[0] != 0
+        for pair, queue in config.channels
+        for payload in queue
+    )
+    if not (remote_usable or owner_copy_in_transit
+            or client_copy_in_transit):
+        return []
+    owner_transients = any(t[0] == 0 for t in config.tdirty)
+    if config.pdirty or (config.repaired and owner_transients):
+        return []
+    return [
+        "OWNER-OPT-UNSAFE: remote reference alive "
+        f"(usable={sorted(config.usable)}) but pdirty empty in "
+        f"{config.describe()}"
+    ]

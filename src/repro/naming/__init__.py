@@ -1,0 +1,5 @@
+"""The agent: Network Objects' bootstrap name service."""
+
+from repro.naming.agent import Agent, NameServer
+
+__all__ = ["Agent", "NameServer"]

@@ -1,0 +1,74 @@
+"""The agent (name server).
+
+In the original system every machine ran a ``netobjd`` daemon whose
+*agent* mapped names to network objects; a client with no references
+at all could bootstrap by importing from the agent, which is reachable
+through a well-known object-table index.  We give every space its own
+agent, exported pinned at the special index 0, so any space can act as
+a name server — the dedicated-``netobjd`` deployment is just a space
+that serves nothing else.
+
+Because ``put`` accepts any network object reference — including
+surrogates for objects owned elsewhere — an agent can hold third-party
+registrations, exactly like the original.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+from repro.core.netobj import NetObj
+from repro.errors import NameServiceError
+
+
+class NameServer(NetObj):
+    """The remote interface of the agent."""
+
+    def get(self, name: str):
+        """Return the object registered under ``name``."""
+        raise NotImplementedError
+
+    def put(self, name: str, obj) -> None:
+        """Register ``obj`` under ``name`` (replacing any previous)."""
+        raise NotImplementedError
+
+    def remove(self, name: str) -> None:
+        """Unregister ``name``; unknown names are ignored."""
+        raise NotImplementedError
+
+    def list(self) -> List[str]:
+        """All registered names, sorted."""
+        raise NotImplementedError
+
+
+class Agent(NameServer):
+    """In-memory agent implementation.
+
+    The table holds strong references: a registered object is
+    reachable from the agent and therefore alive, which is what makes
+    ``serve()`` a publication point.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._table: dict = {}
+
+    def get(self, name: str):
+        with self._lock:
+            try:
+                return self._table[name]
+            except KeyError:
+                raise NameServiceError(f"no object named {name!r}") from None
+
+    def put(self, name: str, obj) -> None:
+        with self._lock:
+            self._table[name] = obj
+
+    def remove(self, name: str) -> None:
+        with self._lock:
+            self._table.pop(name, None)
+
+    def list(self) -> List[str]:
+        with self._lock:
+            return sorted(self._table)

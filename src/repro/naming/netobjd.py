@@ -1,0 +1,90 @@
+"""``netobjd`` — a standalone name-server daemon.
+
+The original system ran one ``netobjd`` per machine: a process whose
+only job is to host an agent that everything else bootstraps from.
+Our spaces each carry their own agent, so ``netobjd`` is simply a
+space that serves nothing else:
+
+.. code-block:: console
+
+    $ python -m repro.naming.netobjd --listen tcp://0.0.0.0:7023
+
+Programs then rendezvous through it::
+
+    # publisher                      # consumer
+    agent = space.import_object(     agent = space.import_object(
+        "tcp://host:7023")               "tcp://host:7023")
+    agent.put("service", obj)        svc = agent.get("service")
+
+Because ``Agent.put`` accepts references owned elsewhere, the daemon
+never owns application objects — it only holds surrogates for them,
+and the distributed collector keeps the owners informed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+from typing import Callable, Optional, Sequence
+
+from repro.core.space import Space
+from repro.dgc.config import GcConfig
+
+DEFAULT_ENDPOINT = "tcp://127.0.0.1:7023"
+
+
+def serve(
+    endpoints: Sequence[str] = (DEFAULT_ENDPOINT,),
+    ping_interval: Optional[float] = 5.0,
+    ready: Optional[Callable[[Space], None]] = None,
+    stop_event: Optional[threading.Event] = None,
+) -> Space:
+    """Run a name-server space until ``stop_event`` is set.
+
+    ``ready`` is invoked with the space once every listener is bound
+    (its concrete endpoints are in ``space.endpoints``).  Returns the
+    (shut-down) space, mostly for tests.
+    """
+    gc_config = GcConfig(ping_interval=ping_interval)
+    space = Space("netobjd", listen=list(endpoints), gc=gc_config)
+    if stop_event is None:
+        stop_event = threading.Event()
+    try:
+        if ready is not None:
+            ready(space)
+        stop_event.wait()
+    finally:
+        space.shutdown()
+    return space
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m repro.naming.netobjd``)."""
+    parser = argparse.ArgumentParser(
+        prog="netobjd",
+        description="Network Objects name-server daemon",
+    )
+    parser.add_argument(
+        "--listen", action="append", metavar="ENDPOINT",
+        help=f"endpoint to listen on (repeatable; default {DEFAULT_ENDPOINT})",
+    )
+    parser.add_argument(
+        "--ping-interval", type=float, default=5.0,
+        help="seconds between client liveness probes (default 5)",
+    )
+    args = parser.parse_args(argv)
+    endpoints = args.listen or [DEFAULT_ENDPOINT]
+
+    def announce(space: Space) -> None:
+        for endpoint in space.endpoints:
+            print(f"netobjd: serving agent on {endpoint}", flush=True)
+
+    try:
+        serve(endpoints, ping_interval=args.ping_interval, ready=announce)
+    except KeyboardInterrupt:
+        print("netobjd: shutting down")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

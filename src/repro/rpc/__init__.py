@@ -1,0 +1,14 @@
+"""The RPC runtime: connections, dispatch and message codecs.
+
+A connection is symmetric after its handshake: either side may issue
+calls and either side may serve them, which is what lets the owner of
+an object ping its clients and lets GC traffic flow on the same
+channels as method invocations (as in the paper).
+"""
+
+from repro.rpc import messages
+from repro.rpc.connection import Connection
+from repro.rpc.cache import ConnectionCache
+from repro.rpc.dispatcher import Dispatcher
+
+__all__ = ["Connection", "ConnectionCache", "Dispatcher", "messages"]

@@ -1,0 +1,76 @@
+"""Connection caching.
+
+The paper's runtime caches one connection per peer and multiplexes
+calls over it; establishing a connection (TCP handshake + HELLO
+exchange) is far more expensive than a call, which experiment E8
+quantifies.  The cache is keyed by endpoint; a broken connection is
+evicted by its ``on_close`` callback and the next call reconnects.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+from repro.errors import CommFailure, SpaceShutdownError
+from repro.rpc.connection import Connection
+
+
+class ConnectionCache:
+    """One cached connection per endpoint (see module docstring)."""
+    def __init__(self, connect: Callable[[str], Connection]):
+        """``connect(endpoint)`` must build a handshaken Connection."""
+        self._connect = connect
+        self._connections: Dict[str, Connection] = {}
+        self._locks: Dict[str, threading.Lock] = {}
+        self._lock = threading.Lock()
+        self._shutdown = False
+
+    def get(self, endpoint: str) -> Connection:
+        """Return a live cached connection, creating one if needed."""
+        with self._lock:
+            if self._shutdown:
+                raise SpaceShutdownError("space is shut down")
+            existing = self._connections.get(endpoint)
+            if existing is not None and not existing.closed:
+                return existing
+            per_endpoint = self._locks.setdefault(endpoint, threading.Lock())
+        # Serialise dials per endpoint but not across endpoints.
+        with per_endpoint:
+            with self._lock:
+                existing = self._connections.get(endpoint)
+                if existing is not None and not existing.closed:
+                    return existing
+            connection = self._connect(endpoint)
+            with self._lock:
+                if self._shutdown:
+                    connection.close()
+                    raise SpaceShutdownError("space is shut down")
+                self._connections[endpoint] = connection
+            return connection
+
+    def evict(self, connection: Connection) -> None:
+        """Forget ``connection`` (typically from its on_close hook)."""
+        with self._lock:
+            for endpoint, cached in list(self._connections.items()):
+                if cached is connection:
+                    del self._connections[endpoint]
+
+    def peek(self, endpoint: str) -> Optional[Connection]:
+        with self._lock:
+            return self._connections.get(endpoint)
+
+    def close_all(self) -> None:
+        with self._lock:
+            self._shutdown = True
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            try:
+                connection.close()
+            except CommFailure:
+                pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._connections)

@@ -1,0 +1,213 @@
+"""A live connection between two spaces.
+
+After the HELLO/HELLO_ACK handshake the connection is symmetric: each
+side allocates its own call ids, keeps its own pending-call table, and
+serves whatever requests the peer sends.  One daemon reader thread per
+connection decodes envelopes only: replies complete a pending call on
+the issuer's thread, requests go to the space's dispatcher.  Argument
+and result pickles are *not* decoded on the reader thread — blocking
+work (including nested dirty calls triggered by unpickling) happens in
+the thread that owns the call.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Optional
+
+from repro.errors import CallTimeout, CommFailure, ProtocolError
+from repro.rpc import messages
+from repro.rpc.dispatcher import Dispatcher
+from repro.transport.base import Channel
+from repro.wire.ids import SpaceID
+
+#: Default per-call deadline, generous enough for loaded CI machines.
+DEFAULT_CALL_TIMEOUT = 30.0
+
+
+class _PendingCall:
+    __slots__ = ("event", "reply", "failure")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.reply: Optional[messages.Message] = None
+        self.failure: Optional[Exception] = None
+
+
+class Connection:
+    """One handshaken channel plus its reader thread."""
+
+    def __init__(
+        self,
+        channel: Channel,
+        local_id: SpaceID,
+        dispatcher: Dispatcher,
+        handle_request: Callable[["Connection", messages.Message], None],
+        on_close: Optional[Callable[["Connection"], None]] = None,
+        outbound: bool = True,
+        handshake_timeout: float = 10.0,
+    ):
+        self._channel = channel
+        self._local_id = local_id
+        self._dispatcher = dispatcher
+        self._handle_request = handle_request
+        self._on_close = on_close
+        self._pending: dict[int, _PendingCall] = {}
+        self._pending_lock = threading.Lock()
+        self._call_ids = itertools.count(1)
+        self._closed = threading.Event()
+        self.peer_id: Optional[SpaceID] = None
+
+        self._handshake(outbound, handshake_timeout)
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"conn-reader-{self.peer_id}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    # -- handshake ------------------------------------------------------------
+
+    def _handshake(self, outbound: bool, timeout: float) -> None:
+        hello = messages.Hello(self._local_id, self._local_id.nickname)
+        ack = messages.HelloAck(self._local_id, self._local_id.nickname)
+        try:
+            if outbound:
+                self._channel.send(hello.encode())
+                reply = self._expect_handshake(messages.HelloAck, timeout)
+            else:
+                reply = self._expect_handshake(messages.Hello, timeout)
+                self._channel.send(ack.encode())
+        except CommFailure:
+            self._channel.close()
+            raise
+        if reply.version != hello.version:
+            self._channel.close()
+            raise ProtocolError(
+                f"protocol version mismatch: ours {hello.version}, "
+                f"peer {reply.version}"
+            )
+        self.peer_id = reply.space_id
+
+    def _expect_handshake(self, expected_type, timeout: float):
+        frame = self._channel.recv(timeout=timeout)
+        if frame is None:
+            raise CommFailure("peer closed during handshake")
+        message = messages.decode(frame)
+        if not type(message) is expected_type:
+            raise ProtocolError(
+                f"expected {expected_type.__name__} during handshake, "
+                f"got {type(message).__name__}"
+            )
+        return message
+
+    # -- outgoing traffic -------------------------------------------------------
+
+    def next_call_id(self) -> int:
+        return next(self._call_ids)
+
+    def send(self, message: messages.Message) -> None:
+        """Fire-and-forget send (results, acks, one-way GC messages)."""
+        if self._closed.is_set():
+            raise CommFailure("connection closed")
+        self._channel.send(message.encode())
+
+    def call(
+        self,
+        message: messages.Message,
+        timeout: float = DEFAULT_CALL_TIMEOUT,
+    ) -> messages.Message:
+        """Send a request carrying ``message.call_id``; await its reply."""
+        call_id = message.call_id
+        pending = _PendingCall()
+        with self._pending_lock:
+            if self._closed.is_set():
+                raise CommFailure("connection closed")
+            self._pending[call_id] = pending
+        try:
+            self._channel.send(message.encode())
+        except CommFailure:
+            with self._pending_lock:
+                self._pending.pop(call_id, None)
+            raise
+        if not pending.event.wait(timeout):
+            with self._pending_lock:
+                self._pending.pop(call_id, None)
+            raise CallTimeout(
+                f"no reply to call {call_id} within {timeout:.1f}s"
+            )
+        if pending.failure is not None:
+            raise pending.failure
+        assert pending.reply is not None
+        return pending.reply
+
+    # -- incoming traffic -------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        failure: Exception = CommFailure("connection closed by peer")
+        try:
+            while not self._closed.is_set():
+                frame = self._channel.recv()
+                if frame is None:
+                    break
+                try:
+                    message = messages.decode(frame)
+                except Exception as exc:  # corrupt frame: drop connection
+                    failure = ProtocolError(f"undecodable frame: {exc}")
+                    break
+                if isinstance(message, messages.Bye):
+                    break
+                if message.tag in messages.REPLY_TAGS:
+                    self._complete(message)
+                else:
+                    self._dispatcher.submit(
+                        lambda m=message: self._handle_request(self, m)
+                    )
+        except CommFailure as exc:
+            failure = exc
+        finally:
+            self._teardown(failure)
+
+    def _complete(self, reply: messages.Message) -> None:
+        with self._pending_lock:
+            pending = self._pending.pop(reply.call_id, None)
+        if pending is not None:
+            pending.reply = reply
+            pending.event.set()
+        # Replies to calls we gave up on (timeout) are dropped silently.
+
+    # -- teardown -------------------------------------------------------------
+
+    def close(self, notify_peer: bool = True) -> None:
+        if self._closed.is_set():
+            return
+        if notify_peer:
+            try:
+                self._channel.send(messages.Bye().encode())
+            except CommFailure:
+                pass
+        self._channel.close()
+        self._teardown(CommFailure("connection closed locally"))
+
+    def _teardown(self, failure: Exception) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._channel.close()
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for entry in pending:
+            entry.failure = failure
+            entry.event.set()
+        if self._on_close is not None:
+            self._on_close(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<Connection to {self.peer_id} ({state})>"

@@ -1,0 +1,80 @@
+"""Work dispatch for incoming messages.
+
+The original runtime forked a thread per incoming call.  We reproduce
+those semantics with a cached pool: tasks never queue behind a busy
+worker (a new thread is spawned whenever none is idle, up to a high
+cap), so a handler that blocks on a nested call — e.g. a dirty call
+issued while unpickling arguments — cannot deadlock the space.
+Workers idle out after a few seconds to keep quiet processes small.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+from typing import Callable
+
+Task = Callable[[], None]
+
+_STOP = object()
+
+
+class Dispatcher:
+    """Cached-thread task pool (see module docstring)."""
+    def __init__(self, name: str = "dispatcher", max_workers: int = 256,
+                 idle_timeout: float = 5.0):
+        self.name = name
+        self.max_workers = max_workers
+        self.idle_timeout = idle_timeout
+        self._tasks: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._workers = 0
+        self._idle = 0
+        self._shutdown = False
+
+    def submit(self, task: Task) -> None:
+        """Run ``task`` promptly on some worker thread."""
+        with self._lock:
+            if self._shutdown:
+                return
+            spawn = self._idle == 0 and self._workers < self.max_workers
+            if spawn:
+                self._workers += 1
+        self._tasks.put(task)
+        if spawn:
+            threading.Thread(
+                target=self._worker, name=f"{self.name}-worker", daemon=True
+            ).start()
+
+    def shutdown(self) -> None:
+        """Stop accepting tasks and release idle workers."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            workers = self._workers
+        for _ in range(workers):
+            self._tasks.put(_STOP)
+
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                self._idle += 1
+            try:
+                task = self._tasks.get(timeout=self.idle_timeout)
+            except queue.Empty:
+                with self._lock:
+                    self._idle -= 1
+                    self._workers -= 1
+                return
+            with self._lock:
+                self._idle -= 1
+            if task is _STOP:
+                with self._lock:
+                    self._workers -= 1
+                return
+            try:
+                task()
+            except Exception:  # noqa: BLE001 - a task must never kill its worker
+                traceback.print_exc()

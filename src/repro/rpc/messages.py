@@ -1,0 +1,373 @@
+"""Wire messages of the RPC and GC protocols.
+
+Each message encodes as its tag byte followed by hand-written binary
+fields (varints, length-prefixed strings/bytes, wireReps).  We keep
+the envelope codecs separate from the pickles so the reader thread can
+decode an envelope — and route it — without touching the argument
+payload; unpickling happens later, in the thread that owns the call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ProtocolError, UnmarshalError
+from repro.wire import protocol
+from repro.wire.ids import SpaceID
+from repro.wire.varint import read_uvarint, write_uvarint
+from repro.wire.wirerep import WireRep
+
+
+def _write_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    write_uvarint(out, len(raw))
+    out += raw
+
+
+def _read_str(data: bytes, offset: int):
+    length, offset = read_uvarint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise UnmarshalError("truncated string field")
+    try:
+        return data[offset:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise UnmarshalError(f"invalid UTF-8 in string field: {exc}") from exc
+
+
+def _write_bytes(out: bytearray, raw: bytes) -> None:
+    write_uvarint(out, len(raw))
+    out += raw
+
+
+def _read_bytes(data: bytes, offset: int):
+    length, offset = read_uvarint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise UnmarshalError("truncated bytes field")
+    return data[offset:end], end
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Handshake: announces protocol version and the sender's identity."""
+
+    space_id: SpaceID
+    nickname: str
+    version: int = protocol.PROTOCOL_VERSION
+    tag = protocol.HELLO
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        write_uvarint(out, self.version)
+        out += self.space_id.to_bytes()
+        _write_str(out, self.nickname)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "Hello":
+        version, offset = read_uvarint(data, offset)
+        end = offset + 16
+        space_id = SpaceID.from_bytes(data[offset:end])
+        nickname, offset = _read_str(data, end)
+        space_id = SpaceID(space_id.hi, space_id.lo, nickname)
+        return cls(space_id, nickname, version)
+
+
+@dataclass(frozen=True)
+class HelloAck(Hello):
+    tag = protocol.HELLO_ACK
+
+
+@dataclass(frozen=True)
+class Bye:
+    """Orderly shutdown notice."""
+
+    tag = protocol.BYE
+
+    def encode(self) -> bytes:
+        return bytes([self.tag])
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "Bye":
+        return cls()
+
+
+@dataclass(frozen=True)
+class Call:
+    """Method invocation request.  ``args_pickle`` stays opaque here."""
+
+    call_id: int
+    target: WireRep
+    method: str
+    args_pickle: bytes
+    tag = protocol.CALL
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        write_uvarint(out, self.call_id)
+        self.target.to_wire(out)
+        _write_str(out, self.method)
+        _write_bytes(out, self.args_pickle)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "Call":
+        call_id, offset = read_uvarint(data, offset)
+        target, offset = WireRep.from_wire(data, offset)
+        method, offset = _read_str(data, offset)
+        args_pickle, offset = _read_bytes(data, offset)
+        return cls(call_id, target, method, args_pickle)
+
+
+@dataclass(frozen=True)
+class Result:
+    """Successful completion of a :class:`Call`."""
+
+    call_id: int
+    result_pickle: bytes
+    tag = protocol.RESULT
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        write_uvarint(out, self.call_id)
+        _write_bytes(out, self.result_pickle)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "Result":
+        call_id, offset = read_uvarint(data, offset)
+        result_pickle, offset = _read_bytes(data, offset)
+        return cls(call_id, result_pickle)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """The remote implementation raised; carried back to the caller."""
+
+    call_id: int
+    kind: str
+    message: str
+    remote_traceback: str
+    tag = protocol.FAULT
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        write_uvarint(out, self.call_id)
+        _write_str(out, self.kind)
+        _write_str(out, self.message)
+        _write_str(out, self.remote_traceback)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "Fault":
+        call_id, offset = read_uvarint(data, offset)
+        kind, offset = _read_str(data, offset)
+        message, offset = _read_str(data, offset)
+        remote_traceback, offset = _read_str(data, offset)
+        return cls(call_id, kind, message, remote_traceback)
+
+
+@dataclass(frozen=True)
+class Dirty:
+    """Dirty call: register the sender in the object's dirty set.
+
+    Carries the client's sequence number; the owner only applies an
+    operation whose sequence number exceeds the largest seen from that
+    client for this object (the paper's out-of-order guard).
+    """
+
+    call_id: int
+    target: WireRep
+    seqno: int
+    tag = protocol.DIRTY
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        write_uvarint(out, self.call_id)
+        self.target.to_wire(out)
+        write_uvarint(out, self.seqno)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "Dirty":
+        call_id, offset = read_uvarint(data, offset)
+        target, offset = WireRep.from_wire(data, offset)
+        seqno, offset = read_uvarint(data, offset)
+        return cls(call_id, target, seqno)
+
+
+@dataclass(frozen=True)
+class DirtyAck:
+    """Owner's reply to a dirty call; ``ok`` is False when the object
+    is already gone (the client then raises NoSuchObjectError)."""
+
+    call_id: int
+    ok: bool
+    error: str = ""
+    tag = protocol.DIRTY_ACK
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        write_uvarint(out, self.call_id)
+        out.append(1 if self.ok else 0)
+        _write_str(out, self.error)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "DirtyAck":
+        call_id, offset = read_uvarint(data, offset)
+        if offset >= len(data):
+            raise UnmarshalError("truncated DirtyAck")
+        ok = bool(data[offset])
+        error, offset = _read_str(data, offset + 1)
+        return cls(call_id, ok, error)
+
+
+@dataclass(frozen=True)
+class Clean:
+    """Clean call: remove the sender from the object's dirty set.
+
+    A *strong* clean (paper §2.3) also bumps past any dirty call the
+    client believes may have failed, guaranteeing that a late dirty
+    arrival cannot resurrect the entry.
+    """
+
+    call_id: int
+    target: WireRep
+    seqno: int
+    strong: bool = False
+    tag = protocol.CLEAN
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        write_uvarint(out, self.call_id)
+        self.target.to_wire(out)
+        write_uvarint(out, self.seqno)
+        out.append(1 if self.strong else 0)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "Clean":
+        call_id, offset = read_uvarint(data, offset)
+        target, offset = WireRep.from_wire(data, offset)
+        seqno, offset = read_uvarint(data, offset)
+        if offset >= len(data):
+            raise UnmarshalError("truncated Clean")
+        strong = bool(data[offset])
+        return cls(call_id, target, seqno, strong)
+
+
+@dataclass(frozen=True)
+class CleanAck:
+    call_id: int
+    tag = protocol.CLEAN_ACK
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        write_uvarint(out, self.call_id)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "CleanAck":
+        call_id, offset = read_uvarint(data, offset)
+        return cls(call_id)
+
+
+@dataclass(frozen=True)
+class CopyAck:
+    """Receiver acknowledges a reference copy (one-way, no reply).
+
+    Releases the sender's transient dirty entry identified by
+    ``copy_id``; sent only after the receiver's dirty call completed,
+    which is exactly what makes the Figure-1 race impossible.
+    """
+
+    target: WireRep
+    copy_id: int
+    tag = protocol.COPY_ACK
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        self.target.to_wire(out)
+        write_uvarint(out, self.copy_id)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "CopyAck":
+        target, offset = WireRep.from_wire(data, offset)
+        copy_id, offset = read_uvarint(data, offset)
+        return cls(target, copy_id)
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Owner-to-client liveness probe (paper §2.4)."""
+
+    call_id: int
+    tag = protocol.PING
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        write_uvarint(out, self.call_id)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "Ping":
+        call_id, offset = read_uvarint(data, offset)
+        return cls(call_id)
+
+
+@dataclass(frozen=True)
+class PingAck:
+    call_id: int
+    tag = protocol.PING_ACK
+
+    def encode(self) -> bytes:
+        out = bytearray([self.tag])
+        write_uvarint(out, self.call_id)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> "PingAck":
+        call_id, offset = read_uvarint(data, offset)
+        return cls(call_id)
+
+
+Message = Union[
+    Hello, HelloAck, Bye, Call, Result, Fault,
+    Dirty, DirtyAck, Clean, CleanAck, CopyAck, Ping, PingAck,
+]
+
+_DECODERS = {
+    protocol.HELLO: Hello.decode,
+    protocol.HELLO_ACK: HelloAck.decode,
+    protocol.BYE: Bye.decode,
+    protocol.CALL: Call.decode,
+    protocol.RESULT: Result.decode,
+    protocol.FAULT: Fault.decode,
+    protocol.DIRTY: Dirty.decode,
+    protocol.DIRTY_ACK: DirtyAck.decode,
+    protocol.CLEAN: Clean.decode,
+    protocol.CLEAN_ACK: CleanAck.decode,
+    protocol.COPY_ACK: CopyAck.decode,
+    protocol.PING: Ping.decode,
+    protocol.PING_ACK: PingAck.decode,
+}
+
+#: Replies carry a ``call_id`` matched against the issuer's pending table.
+REPLY_TAGS = frozenset(
+    {protocol.RESULT, protocol.FAULT, protocol.DIRTY_ACK,
+     protocol.CLEAN_ACK, protocol.PING_ACK}
+)
+
+
+def decode(data: bytes) -> Message:
+    """Decode one frame into its message object."""
+    if not data:
+        raise ProtocolError("empty frame")
+    decoder = _DECODERS.get(data[0])
+    if decoder is None:
+        raise ProtocolError(f"unknown message tag {protocol.tag_name(data[0])}")
+    return decoder(data, 1)

@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate.
+
+The paper's measurements ran on real DECstations and a real Ethernet;
+we do not have that testbed, so alongside real TCP sockets this
+repository provides a simulated network with a virtual clock.  The
+simulation gives three things the reproduction needs:
+
+* **Determinism** — fault-injection experiments (message loss, delay,
+  reordering) replay exactly from a seed.
+* **A latency model** — one-way delay, jitter and FIFO/non-FIFO
+  channel behaviour are explicit parameters, so the *shape* of the
+  paper's latency tables is reproducible without its hardware.
+* **Accounting** — every delivered message is counted by type, which
+  the GC-overhead experiments read back.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import EventScheduler
+from repro.sim.network import NetworkModel, SimNetwork
+
+__all__ = ["EventScheduler", "NetworkModel", "SimNetwork", "VirtualClock"]

@@ -1,0 +1,32 @@
+"""A virtual clock that only moves when the scheduler advances it."""
+
+from __future__ import annotations
+
+import threading
+
+
+class VirtualClock:
+    """Monotonic simulated time in seconds.
+
+    The scheduler advances the clock to each event's timestamp as it
+    fires; application threads may read it at any moment.  Virtual
+    time has no relation to wall-clock time — an idle simulation jumps
+    instantly to the next event.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move time forward; rejects travel into the past."""
+        with self._lock:
+            if timestamp < self._now:
+                raise ValueError(
+                    f"clock cannot run backwards ({timestamp} < {self._now})"
+                )
+            self._now = timestamp

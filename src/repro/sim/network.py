@@ -1,0 +1,124 @@
+"""The simulated point-to-point network.
+
+Models the channel properties the algorithms in this repository care
+about:
+
+* one-way **latency** with optional **jitter** (jitter plus non-FIFO
+  delivery yields message reordering, the condition under which the
+  `ccitnil` state of the collector is load-bearing);
+* optional per-message **loss**, for the fault-tolerance experiments;
+* optional **FIFO enforcement** per (source, destination) pair, the
+  channel assumption of the Section-5 variant of the collector.
+
+Deliveries are actions on an :class:`~repro.sim.scheduler.EventScheduler`;
+the model is shared by every simulated channel in a process.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+
+@dataclass
+class NetworkModel:
+    """Tunable channel properties of a :class:`SimNetwork`."""
+
+    latency: float = 0.001          # one-way delay, seconds of virtual time
+    jitter: float = 0.0             # uniform extra delay in [0, jitter]
+    drop_probability: float = 0.0   # per-message loss
+    fifo: bool = False              # enforce per-pair ordering
+    seed: int = 0                   # determinism for jitter and loss
+    #: When set, only frames whose first byte (the protocol tag) is in
+    #: this set are subject to loss — e.g. drop only clean/clean_ack
+    #: traffic to exercise the collector's retry machinery without
+    #: starving un-retried mutator calls.
+    drop_tags: Optional[frozenset] = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.jitter < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+
+
+@dataclass
+class NetworkStats:
+    """Counters maintained by the network for the benchmarks."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+    by_tag: Dict[int, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "NetworkStats":
+        return NetworkStats(
+            self.sent, self.delivered, self.dropped,
+            self.bytes_sent, dict(self.by_tag),
+        )
+
+
+class SimNetwork:
+    """Schedules message deliveries under a :class:`NetworkModel`."""
+
+    def __init__(self, scheduler, model: Optional[NetworkModel] = None):
+        self.scheduler = scheduler
+        self.model = model if model is not None else NetworkModel()
+        self.stats = NetworkStats()
+        self._rng = random.Random(self.model.seed)
+        self._lock = threading.Lock()
+        # Last scheduled delivery time per (src, dst), for FIFO mode.
+        self._last_delivery: Dict[Tuple[str, str], float] = {}
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: bytes,
+        deliver: Callable[[bytes], None],
+    ) -> None:
+        """Submit ``payload`` for delivery via ``deliver`` (or drop it).
+
+        The first payload byte is treated as the protocol tag for the
+        per-tag accounting; transports that do not use the protocol
+        module still get correct aggregate counts.
+        """
+        with self._lock:
+            self.stats.sent += 1
+            self.stats.bytes_sent += len(payload)
+            if payload:
+                tag = payload[0]
+                self.stats.by_tag[tag] = self.stats.by_tag.get(tag, 0) + 1
+            droppable = (
+                self.model.drop_tags is None
+                or (bool(payload) and payload[0] in self.model.drop_tags)
+            )
+            if droppable and self._rng.random() < self.model.drop_probability:
+                self.stats.dropped += 1
+                return
+            delay = self.model.latency
+            if self.model.jitter:
+                delay += self._rng.uniform(0.0, self.model.jitter)
+            when = self.scheduler.clock.now() + delay
+            if self.model.fifo:
+                key = (src, dst)
+                previous = self._last_delivery.get(key, 0.0)
+                when = max(when, previous)
+                self._last_delivery[key] = when
+
+            def action() -> None:
+                with self._lock:
+                    self.stats.delivered += 1
+                deliver(payload)
+
+            # Scheduled under the lock so that two sends on the same
+            # FIFO pair cannot race into the heap out of order when
+            # their delivery timestamps tie.
+            self.scheduler.schedule_at(when, action)
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = NetworkStats()

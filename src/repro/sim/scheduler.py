@@ -1,0 +1,104 @@
+"""Event scheduler driving the simulated network.
+
+Events are ``(virtual time, sequence, action)`` triples in a heap.  A
+dedicated daemon thread pops events in timestamp order, advances the
+virtual clock, and runs the action.  Wall-clock time is *not* consumed
+while waiting: an empty queue simply blocks until someone schedules.
+
+The sequence number makes ordering total and FIFO among simultaneous
+events, which keeps runs deterministic for a fixed seed and schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.clock import VirtualClock
+
+Action = Callable[[], None]
+
+
+class EventScheduler:
+    """The virtual-time event loop (see module docstring)."""
+    def __init__(self, clock: Optional[VirtualClock] = None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._seq = 0
+        self._cond = threading.Condition()
+        self._running = False
+        self._idle = True
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background event loop (idempotent)."""
+        with self._cond:
+            if self._running:
+                return
+            self._running = True
+            self._thread = threading.Thread(
+                target=self._run, name="sim-scheduler", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the loop; pending events are discarded."""
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule_at(self, timestamp: float, action: Action) -> None:
+        """Run ``action`` when virtual time reaches ``timestamp``."""
+        with self._cond:
+            self._seq += 1
+            heapq.heappush(self._heap, (timestamp, self._seq, action))
+            self._cond.notify_all()
+
+    def schedule_after(self, delay: float, action: Action) -> None:
+        self.schedule_at(self.clock.now() + delay, action)
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def wait_idle(self, timeout: float = 10.0) -> bool:
+        """Block until the event queue drains; True if it did."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._idle and not self._heap, timeout=timeout
+            )
+
+    # -- event loop -----------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while self._running and not self._heap:
+                    self._idle = True
+                    self._cond.notify_all()
+                    self._cond.wait()
+                if not self._running:
+                    self._idle = True
+                    self._cond.notify_all()
+                    return
+                self._idle = False
+                timestamp, _seq, action = heapq.heappop(self._heap)
+            self.clock.advance_to(timestamp)
+            try:
+                action()
+            except Exception:  # noqa: BLE001 - an action must never kill the loop
+                import traceback
+
+                traceback.print_exc()
+            with self._cond:
+                if not self._heap:
+                    self._idle = True
+                    self._cond.notify_all()

@@ -1,0 +1,28 @@
+"""Transports: how frames move between address spaces.
+
+The original system ran over TCP with a transport abstraction that
+allowed others to be plugged in; we reproduce that shape with three
+implementations selected by endpoint scheme:
+
+* ``inproc://name`` — queue pairs inside one process; the fastest
+  path and the "same machine" stand-in for unit tests.
+* ``tcp://host:port`` — real sockets with length-prefixed framing.
+* ``sim://name`` — channels over the discrete-event
+  :class:`~repro.sim.network.SimNetwork`, for deterministic latency,
+  loss and reordering experiments.
+"""
+
+from repro.transport.base import Channel, Listener, Transport, TransportRegistry
+from repro.transport.inprocess import InProcessTransport
+from repro.transport.tcp import TcpTransport
+from repro.transport.simulated import SimTransport
+
+__all__ = [
+    "Channel",
+    "InProcessTransport",
+    "Listener",
+    "SimTransport",
+    "TcpTransport",
+    "Transport",
+    "TransportRegistry",
+]

@@ -1,0 +1,91 @@
+"""Transport abstractions shared by all implementations."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional
+
+from repro.errors import CommFailure
+
+
+class Channel(ABC):
+    """A bidirectional, frame-oriented connection between two spaces.
+
+    ``send`` either queues the whole frame or raises
+    :class:`~repro.errors.CommFailure`; frames are never split or
+    merged.  ``recv`` blocks for the next frame and returns ``None``
+    on orderly end-of-stream.  Both directions may be used from
+    multiple threads; implementations serialise sends internally.
+    """
+
+    @abstractmethod
+    def send(self, payload: bytes) -> None: ...
+
+    @abstractmethod
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]: ...
+
+    @abstractmethod
+    def close(self) -> None: ...
+
+    @property
+    @abstractmethod
+    def closed(self) -> bool: ...
+
+
+class Listener(ABC):
+    """An open listening endpoint; ``endpoint`` is its concrete address
+    (e.g. with the ephemeral TCP port filled in)."""
+
+    endpoint: str
+
+    @abstractmethod
+    def close(self) -> None: ...
+
+
+OnConnect = Callable[[Channel], None]
+
+
+class Transport(ABC):
+    """Factory for listeners and outgoing channels of one scheme."""
+
+    scheme: str
+
+    @abstractmethod
+    def listen(self, endpoint: str, on_connect: OnConnect) -> Listener: ...
+
+    @abstractmethod
+    def connect(self, endpoint: str) -> Channel: ...
+
+
+class TransportRegistry:
+    """Maps endpoint schemes (``tcp``, ``inproc``, ``sim``) to transports."""
+
+    def __init__(self) -> None:
+        self._by_scheme: Dict[str, Transport] = {}
+
+    def add(self, transport: Transport) -> None:
+        self._by_scheme[transport.scheme] = transport
+
+    def for_endpoint(self, endpoint: str) -> Transport:
+        scheme = split_endpoint(endpoint)[0]
+        transport = self._by_scheme.get(scheme)
+        if transport is None:
+            raise CommFailure(
+                f"no transport for scheme {scheme!r} "
+                f"(have: {sorted(self._by_scheme)})"
+            )
+        return transport
+
+    def connect(self, endpoint: str) -> Channel:
+        return self.for_endpoint(endpoint).connect(endpoint)
+
+    def listen(self, endpoint: str, on_connect: OnConnect) -> Listener:
+        return self.for_endpoint(endpoint).listen(endpoint, on_connect)
+
+
+def split_endpoint(endpoint: str) -> "tuple[str, str]":
+    """``"tcp://host:1234"`` → ``("tcp", "host:1234")``."""
+    scheme, sep, rest = endpoint.partition("://")
+    if not sep or not scheme:
+        raise CommFailure(f"malformed endpoint {endpoint!r}")
+    return scheme, rest

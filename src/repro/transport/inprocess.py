@@ -1,0 +1,131 @@
+"""The in-process transport: queue pairs between spaces in one process.
+
+This is both the unit-test workhorse and the "same address space is
+cheap" end of the latency spectrum in the E1 experiment.  Each
+connection is a pair of unbounded queues; ``close`` wakes the peer
+with a sentinel so readers terminate promptly.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, Optional
+
+from repro.errors import CommFailure
+from repro.transport.base import Channel, Listener, OnConnect, Transport, split_endpoint
+
+_EOF = object()
+
+
+class QueueChannel(Channel):
+    """One direction-pair of in-process queues."""
+    def __init__(self, inbox: "queue.Queue", outbox: "queue.Queue"):
+        self._inbox = inbox
+        self._outbox = outbox
+        self._closed = threading.Event()
+        self._peer_closed = threading.Event()
+
+    def send(self, payload: bytes) -> None:
+        if self._closed.is_set() or self._peer_closed.is_set():
+            raise CommFailure("channel is closed")
+        self._outbox.put(payload)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        if self._closed.is_set():
+            return None
+        try:
+            item = self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            raise CommFailure("recv timed out") from None
+        if item is _EOF:
+            self._peer_closed.set()
+            return None
+        return item
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._outbox.put(_EOF)
+        # Unblock our own reader too.
+        self._inbox.put(_EOF)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+def channel_pair() -> "tuple[QueueChannel, QueueChannel]":
+    """A connected pair of channels (useful directly in tests)."""
+    a_to_b: "queue.Queue" = queue.Queue()
+    b_to_a: "queue.Queue" = queue.Queue()
+    return QueueChannel(b_to_a, a_to_b), QueueChannel(a_to_b, b_to_a)
+
+
+class _InProcListener(Listener):
+    def __init__(self, transport: "InProcessTransport", endpoint: str,
+                 on_connect: OnConnect):
+        self.endpoint = endpoint
+        self.on_connect = on_connect
+        self._transport = transport
+
+    def close(self) -> None:
+        self._transport._unlisten(self.endpoint)
+
+
+class InProcessTransport(Transport):
+    """Transport with a per-instance name registry.
+
+    Distinct instances are isolated namespaces; a shared instance is a
+    "machine" hosting several spaces.  :meth:`default` returns the
+    process-wide instance that :class:`~repro.core.space.Space` uses
+    unless told otherwise.
+    """
+
+    scheme = "inproc"
+
+    _default: Optional["InProcessTransport"] = None
+    _default_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, _InProcListener] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def default(cls) -> "InProcessTransport":
+        with cls._default_lock:
+            if cls._default is None:
+                cls._default = cls()
+            return cls._default
+
+    def listen(self, endpoint: str, on_connect: OnConnect) -> Listener:
+        scheme, name = split_endpoint(endpoint)
+        if scheme != self.scheme:
+            raise CommFailure(f"not an inproc endpoint: {endpoint!r}")
+        listener = _InProcListener(self, endpoint, on_connect)
+        with self._lock:
+            if endpoint in self._listeners:
+                raise CommFailure(f"endpoint already in use: {endpoint!r}")
+            self._listeners[endpoint] = listener
+        return listener
+
+    def connect(self, endpoint: str) -> Channel:
+        with self._lock:
+            listener = self._listeners.get(endpoint)
+        if listener is None:
+            raise CommFailure(f"connection refused: {endpoint!r}")
+        client_side, server_side = channel_pair()
+        # Hand the server side to the acceptor on a fresh thread, as a
+        # real transport's accept loop would.
+        threading.Thread(
+            target=listener.on_connect,
+            args=(server_side,),
+            name=f"inproc-accept-{endpoint}",
+            daemon=True,
+        ).start()
+        return client_side
+
+    def _unlisten(self, endpoint: str) -> None:
+        with self._lock:
+            self._listeners.pop(endpoint, None)

@@ -1,0 +1,167 @@
+"""The TCP transport: real sockets, length-prefixed frames.
+
+This is the paper's deployment transport.  Listeners run an accept
+loop on a daemon thread and hand each connection to the space's
+``on_connect`` callback; channels serialise sends under a lock and
+read frames with a tiny ``recv``-exact loop.  ``tcp://host:0`` binds
+an ephemeral port and reports the concrete endpoint.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Optional
+
+from repro.errors import CommFailure
+from repro.transport.base import Channel, Listener, OnConnect, Transport, split_endpoint
+from repro.wire.framing import MAX_FRAME_SIZE, pack_frame
+
+_LEN_STRUCT = struct.Struct("!I")
+
+
+class SocketChannel(Channel):
+    """A connected TCP socket carrying length-prefixed frames."""
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = threading.Event()
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def send(self, payload: bytes) -> None:
+        frame = pack_frame(payload)
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except OSError as exc:
+            self.close()
+            raise CommFailure(f"send failed: {exc}") from exc
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        with self._recv_lock:
+            try:
+                self._sock.settimeout(timeout)
+                header = self._recv_exact(_LEN_STRUCT.size, allow_eof=True)
+                if header is None:
+                    return None
+                (length,) = _LEN_STRUCT.unpack(header)
+                if length > MAX_FRAME_SIZE:
+                    raise CommFailure(f"oversized frame announced ({length})")
+                if length == 0:
+                    return b""
+                payload = self._recv_exact(length, allow_eof=False)
+                assert payload is not None
+                return payload
+            except socket.timeout as exc:
+                raise CommFailure("recv timed out") from exc
+            except OSError as exc:
+                if self._closed.is_set():
+                    return None
+                raise CommFailure(f"recv failed: {exc}") from exc
+
+    def _recv_exact(self, count: int, allow_eof: bool) -> Optional[bytes]:
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                if allow_eof and remaining == count:
+                    return None
+                raise CommFailure("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+class _TcpListener(Listener):
+    def __init__(self, sock: socket.socket, on_connect: OnConnect):
+        self._sock = sock
+        self._on_connect = on_connect
+        self._closed = threading.Event()
+        host, port = sock.getsockname()[:2]
+        self.endpoint = f"tcp://{host}:{port}"
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-accept-{port}", daemon=True
+        )
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                sock, _addr = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            channel = SocketChannel(sock)
+            threading.Thread(
+                target=self._on_connect,
+                args=(channel,),
+                name="tcp-on-connect",
+                daemon=True,
+            ).start()
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TcpTransport(Transport):
+    """Listener/dialer factory for ``tcp://host:port`` endpoints."""
+    scheme = "tcp"
+
+    def __init__(self, connect_timeout: float = 10.0):
+        self.connect_timeout = connect_timeout
+
+    def listen(self, endpoint: str, on_connect: OnConnect) -> Listener:
+        host, port = self._parse(endpoint)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, port))
+            sock.listen(128)
+        except OSError as exc:
+            sock.close()
+            raise CommFailure(f"cannot listen on {endpoint!r}: {exc}") from exc
+        return _TcpListener(sock, on_connect)
+
+    def connect(self, endpoint: str) -> Channel:
+        host, port = self._parse(endpoint)
+        try:
+            sock = socket.create_connection((host, port), self.connect_timeout)
+        except OSError as exc:
+            raise CommFailure(f"cannot connect to {endpoint!r}: {exc}") from exc
+        return SocketChannel(sock)
+
+    @staticmethod
+    def _parse(endpoint: str) -> "tuple[str, int]":
+        scheme, rest = split_endpoint(endpoint)
+        if scheme != "tcp":
+            raise CommFailure(f"not a tcp endpoint: {endpoint!r}")
+        host, sep, port_text = rest.rpartition(":")
+        if not sep:
+            raise CommFailure(f"tcp endpoint needs host:port, got {endpoint!r}")
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise CommFailure(f"bad port in {endpoint!r}") from exc
+        return host or "127.0.0.1", port

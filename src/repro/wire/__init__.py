@@ -1,0 +1,32 @@
+"""Wire-level building blocks: space identifiers, wireReps and framing.
+
+A *wireRep* is the network representation of an object reference: the
+unique identifier of the owner space plus the index of the object at
+the owner.  Everything that crosses a channel in this system is a
+length-prefixed frame whose payload begins with a one-byte message tag
+(see :mod:`repro.wire.protocol`).
+"""
+
+from repro.wire.ids import SpaceID, fresh_space_id
+from repro.wire.wirerep import WireRep
+from repro.wire.framing import (
+    FrameReader,
+    MAX_FRAME_SIZE,
+    pack_frame,
+    read_frame,
+)
+from repro.wire import protocol
+from repro.wire.varint import read_uvarint, write_uvarint
+
+__all__ = [
+    "SpaceID",
+    "fresh_space_id",
+    "WireRep",
+    "FrameReader",
+    "MAX_FRAME_SIZE",
+    "pack_frame",
+    "read_frame",
+    "protocol",
+    "read_uvarint",
+    "write_uvarint",
+]

@@ -1,0 +1,81 @@
+"""Length-prefixed message framing over byte streams.
+
+Every transport in this library moves discrete frames.  For stream
+transports (TCP) we prefix each payload with a 4-byte big-endian
+length; datagram-like transports (in-process queues, the simulated
+network) carry payloads natively and do not use this module.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+from repro.errors import CommFailure, ProtocolError
+
+_LEN_STRUCT = struct.Struct("!I")
+
+#: Upper bound on a single frame.  Large enough for any benchmark in
+#: this repository; small enough to fail fast on a corrupt length
+#: prefix rather than attempting a multi-gigabyte allocation.
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """Return ``payload`` prefixed with its 4-byte length."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds limit")
+    return _LEN_STRUCT.pack(len(payload)) + payload
+
+
+def read_frame(recv_exact: Callable[[int], Optional[bytes]]) -> Optional[bytes]:
+    """Read one frame using ``recv_exact(n)``.
+
+    ``recv_exact`` must return exactly ``n`` bytes, or ``None`` on a
+    clean end-of-stream *before any byte of this frame*.  Returns the
+    payload, or ``None`` on clean EOF.
+    """
+    header = recv_exact(_LEN_STRUCT.size)
+    if header is None:
+        return None
+    (length,) = _LEN_STRUCT.unpack(header)
+    if length > MAX_FRAME_SIZE:
+        raise ProtocolError(f"peer announced oversized frame ({length} bytes)")
+    if length == 0:
+        return b""
+    payload = recv_exact(length)
+    if payload is None:
+        raise CommFailure("connection closed mid-frame")
+    return payload
+
+
+class FrameReader:
+    """Incremental frame decoder for socket readers.
+
+    Feed raw chunks with :meth:`feed`; completed frames come out of
+    :meth:`frames`.  This keeps the socket read loop free of blocking
+    ``recv_exact`` plumbing and copes with partial reads.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> None:
+        self._buffer += chunk
+
+    def frames(self):
+        """Yield every complete frame currently buffered."""
+        while True:
+            if len(self._buffer) < _LEN_STRUCT.size:
+                return
+            (length,) = _LEN_STRUCT.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_SIZE:
+                raise ProtocolError(
+                    f"peer announced oversized frame ({length} bytes)"
+                )
+            total = _LEN_STRUCT.size + length
+            if len(self._buffer) < total:
+                return
+            payload = bytes(self._buffer[_LEN_STRUCT.size:total])
+            del self._buffer[:total]
+            yield payload

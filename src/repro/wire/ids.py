@@ -1,0 +1,76 @@
+"""Unique identifiers for address spaces.
+
+The paper identifies each address space (process) by a globally unique
+``SpaceID`` embedded in every wireRep.  The original system derived it
+from the host address, a timestamp and a process id; uniqueness (not
+structure) is what the algorithms rely on, so we use 128 random bits
+plus a human-readable nickname that travels with the id purely for
+debuggability.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import UnmarshalError
+
+_SPACE_ID_STRUCT = struct.Struct("!QQ")
+
+_counter_lock = threading.Lock()
+_counter = 0
+
+
+@dataclass(frozen=True, order=True)
+class SpaceID:
+    """Globally unique identifier of an address space.
+
+    Two ``SpaceID`` values compare equal iff their 128-bit payload is
+    equal; the ``nickname`` is ignored for equality and ordering so
+    that a surrogate created from a wire message (which carries no
+    nickname) still matches the owner's identity.
+    """
+
+    hi: int
+    lo: int
+    nickname: str = field(default="", compare=False)
+
+    def to_bytes(self) -> bytes:
+        return _SPACE_ID_STRUCT.pack(self.hi, self.lo)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, nickname: str = "") -> "SpaceID":
+        if len(data) != _SPACE_ID_STRUCT.size:
+            raise UnmarshalError(f"SpaceID needs 16 bytes, got {len(data)}")
+        hi, lo = _SPACE_ID_STRUCT.unpack(data)
+        return cls(hi, lo, nickname)
+
+    def short(self) -> str:
+        """A short hex form for logs, e.g. ``a3f29c01``."""
+        return f"{self.hi:016x}"[:8]
+
+    def __str__(self) -> str:
+        if self.nickname:
+            return f"{self.nickname}[{self.short()}]"
+        return f"space[{self.short()}]"
+
+
+SPACE_ID_WIRE_SIZE = _SPACE_ID_STRUCT.size
+
+
+def fresh_space_id(nickname: str = "") -> SpaceID:
+    """Mint a new, globally unique :class:`SpaceID`.
+
+    Combines OS randomness with a process-local counter so ids remain
+    unique even under a patched/deterministic ``os.urandom``.
+    """
+    global _counter
+    with _counter_lock:
+        _counter += 1
+        count = _counter
+    raw = os.urandom(16)
+    hi = int.from_bytes(raw[:8], "big")
+    lo = int.from_bytes(raw[8:], "big") ^ (os.getpid() << 32) ^ count
+    return SpaceID(hi, lo, nickname)

@@ -1,0 +1,55 @@
+"""Protocol constants: message tags and the protocol version.
+
+The first byte of every frame payload is a message tag from this
+module.  Tags 0x0x are connection management, 0x1x are mutator (RPC)
+traffic, 0x2x are distributed-GC traffic.  The split mirrors the
+paper's architecture: the collector's dirty/clean/ack traffic is
+ordinary messages on the same channels as method invocations.
+"""
+
+from __future__ import annotations
+
+PROTOCOL_VERSION = 1
+
+# --- connection management -------------------------------------------------
+HELLO = 0x01          # handshake: protocol version + SpaceID + nickname
+HELLO_ACK = 0x02      # handshake reply
+BYE = 0x03            # orderly shutdown notice
+
+# --- mutator (RPC) ---------------------------------------------------------
+CALL = 0x10           # method invocation request
+RESULT = 0x11         # successful completion, with pickled result
+FAULT = 0x12          # remote exception, with kind/message/traceback
+
+# --- distributed garbage collector ----------------------------------------
+DIRTY = 0x20          # client registers itself in the owner's dirty set
+DIRTY_ACK = 0x21      # owner acknowledges the dirty call
+CLEAN = 0x22          # client leaves the owner's dirty set
+CLEAN_ACK = 0x23      # owner acknowledges the clean call
+COPY_ACK = 0x24       # receiver acknowledges receipt of a reference copy
+PING = 0x25           # owner probes a client believed to hold surrogates
+PING_ACK = 0x26       # client liveness reply
+
+_NAMES = {
+    HELLO: "HELLO",
+    HELLO_ACK: "HELLO_ACK",
+    BYE: "BYE",
+    CALL: "CALL",
+    RESULT: "RESULT",
+    FAULT: "FAULT",
+    DIRTY: "DIRTY",
+    DIRTY_ACK: "DIRTY_ACK",
+    CLEAN: "CLEAN",
+    CLEAN_ACK: "CLEAN_ACK",
+    COPY_ACK: "COPY_ACK",
+    PING: "PING",
+    PING_ACK: "PING_ACK",
+}
+
+#: Tags that belong to the distributed collector rather than the mutator.
+GC_TAGS = frozenset({DIRTY, DIRTY_ACK, CLEAN, CLEAN_ACK, COPY_ACK, PING, PING_ACK})
+
+
+def tag_name(tag: int) -> str:
+    """Human-readable name of a message tag (for logs and errors)."""
+    return _NAMES.get(tag, f"UNKNOWN(0x{tag:02x})")

@@ -1,0 +1,50 @@
+"""LEB128-style unsigned varints used throughout the pickle format.
+
+Small non-negative integers dominate the wire traffic of this system
+(lengths, counts, indices), so we encode them in the classic
+7-bits-per-byte little-endian format also used by protocol buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import UnmarshalError
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` (a non-negative int) to ``out`` as a varint."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode a varint from ``data`` at ``offset``.
+
+    Returns ``(value, new_offset)``.  Raises :class:`UnmarshalError` on
+    truncated input or on encodings longer than 10 bytes (which cannot
+    arise from :func:`write_uvarint` for values below 2**70 and guards
+    against maliciously long encodings).
+    """
+    result = 0
+    shift = 0
+    start = offset
+    while True:
+        if offset >= len(data):
+            raise UnmarshalError("truncated varint")
+        if offset - start >= 10:
+            raise UnmarshalError("varint too long")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7

@@ -1,0 +1,46 @@
+"""The wire representation of a network object reference.
+
+From the paper: *"A network object is marshaled by transmitting its
+wireRep, which consists of a unique identifier for the owner process,
+plus the index of the object at the owner."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnmarshalError
+from repro.wire.ids import SPACE_ID_WIRE_SIZE, SpaceID
+from repro.wire.varint import read_uvarint, write_uvarint
+
+#: Index of the distinguished *special object* every space exports at
+#: birth.  Importers use it to bootstrap: the agent (name server) is
+#: reachable through the special object without any prior reference.
+SPECIAL_OBJECT_INDEX = 0
+
+
+@dataclass(frozen=True, order=True)
+class WireRep:
+    """(owner SpaceID, object index) — the identity of a network object."""
+
+    owner: SpaceID
+    index: int
+
+    def to_wire(self, out: bytearray) -> None:
+        out += self.owner.to_bytes()
+        write_uvarint(out, self.index)
+
+    @classmethod
+    def from_wire(cls, data: bytes, offset: int) -> "tuple[WireRep, int]":
+        end = offset + SPACE_ID_WIRE_SIZE
+        if end > len(data):
+            raise UnmarshalError("truncated wireRep")
+        owner = SpaceID.from_bytes(data[offset:end])
+        index, offset = read_uvarint(data, end)
+        return cls(owner, index), offset
+
+    def is_special(self) -> bool:
+        return self.index == SPECIAL_OBJECT_INDEX
+
+    def __str__(self) -> str:
+        return f"{self.owner}#{self.index}"

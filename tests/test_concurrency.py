@@ -1,0 +1,187 @@
+"""Concurrency stress tests for the runtime.
+
+Exercises the under-specified cases the formalisation calls out in
+Birrell's original description — parallel sends of the same reference
+to the same destination, references received while cleanup races —
+plus general thread-safety of the object and connection layers.
+"""
+
+import gc as pygc
+import threading
+import weakref
+
+import pytest
+
+from repro import NetObj, Space
+from tests.helpers import Counter, wait_until
+
+
+class Vault(NetObj):
+    def __init__(self):
+        self.issued = []
+        self._lock = threading.Lock()
+
+    def issue(self):
+        token = Counter()
+        with self._lock:
+            self.issued.append(weakref.ref(token))
+        return token
+
+    def live(self) -> int:
+        pygc.collect()
+        with self._lock:
+            return sum(1 for ref in self.issued if ref() is not None)
+
+
+class Shelf(NetObj):
+    def __init__(self):
+        self.items = []
+        self._lock = threading.Lock()
+
+    def put(self, item) -> int:
+        with self._lock:
+            self.items.append(item)
+            return len(self.items)
+
+    def distinct(self) -> int:
+        with self._lock:
+            return len({id(item) for item in self.items})
+
+    def clear(self) -> None:
+        with self._lock:
+            self.items.clear()
+        pygc.collect()
+
+
+@pytest.fixture()
+def trio(request):
+    suffix = request.node.name
+    spaces = [
+        Space(name, listen=[f"inproc://{name}-{suffix}"])
+        for name in ("owner", "b", "c")
+    ]
+    yield spaces
+    for space in spaces:
+        space.shutdown()
+
+
+class TestParallelSends:
+    def test_same_ref_to_same_destination_in_parallel(self, trio):
+        """Birrell under-specified parallel sends of one reference to
+        one destination (weakness 3d of the formalisation); our copy
+        ids + blocked table must converge on a single surrogate."""
+        owner, courier, keeper = trio
+        owner.serve("vault", Vault())
+        keeper.serve("shelf", Shelf())
+        vault = courier.import_object(owner.endpoints[0], "vault")
+        shelf = courier.import_object(keeper.endpoints[0], "shelf")
+        token = vault.issue()
+
+        errors = []
+
+        def send():
+            try:
+                shelf.put(token)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=send) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        # All eight arrivals deserialised to the SAME surrogate.
+        assert shelf.distinct() == 1
+        # And exactly one dirty call reached the owner for the token
+        # from the keeper (the blocked table coalesced the rest).
+        keeper_entry = keeper.dgc_client.entry(token._wirerep)
+        assert keeper_entry is not None
+
+    def test_parallel_first_imports_one_dirty(self, trio):
+        """Many threads importing the same fresh reference: exactly
+        one dirty call, everyone shares the surrogate."""
+        owner, client, _ = trio
+        registry = Vault()
+        owner.serve("vault", registry)
+        vault = client.import_object(owner.endpoints[0], "vault")
+        token = vault.issue()
+        rep = token._wirerep
+        results = []
+
+        before = client.dgc_client.dirty_calls_sent
+
+        def refetch():
+            # Each call returns a fresh copy of the same reference.
+            results.append(vault.issue is not None and token)
+
+        threads = [threading.Thread(target=refetch) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert all(r is token for r in results)
+        # No further dirty traffic for an already-OK reference.
+        assert client.dgc_client.dirty_calls_sent == before
+        assert client.dgc_client.state_of(rep).usable()
+
+
+class TestChurnStress:
+    def test_concurrent_issue_and_drop(self, trio):
+        owner, client, _ = trio
+        vault_impl = Vault()
+        owner.serve("vault", vault_impl)
+        vault = client.import_object(owner.endpoints[0], "vault")
+        errors = []
+
+        def churn():
+            try:
+                for _ in range(15):
+                    token = vault.issue()
+                    assert token.increment() == 1
+                    del token
+                    pygc.collect()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert wait_until(lambda: vault_impl.live() == 0, timeout=20)
+        stats = client.gc_stats()
+        assert stats["transient_pins"] == 0
+
+    def test_handoff_storm(self, trio):
+        """Several threads weave tokens through a third party while
+        dropping aggressively; nothing may be collected early."""
+        owner, courier, keeper = trio
+        vault_impl = Vault()
+        owner.serve("vault", vault_impl)
+        keeper.serve("shelf", Shelf())
+        vault = courier.import_object(owner.endpoints[0], "vault")
+        shelf = courier.import_object(keeper.endpoints[0], "shelf")
+        errors = []
+
+        def weave():
+            try:
+                for _ in range(10):
+                    token = vault.issue()
+                    shelf.put(token)
+                    del token
+                    pygc.collect()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=weave) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        # Everything parked on the shelf must still be alive.
+        assert vault_impl.live() == 40
+        shelf.clear()
+        assert wait_until(lambda: vault_impl.live() == 0, timeout=20)

@@ -1,0 +1,170 @@
+"""Unit tests for owner-side collector state (dirty sets, seqnos)."""
+
+import pytest
+
+from repro.core.objtable import ObjectTable
+from repro.dgc.owner import DgcOwner
+from repro.wire.ids import fresh_space_id
+from repro.wire.wirerep import WireRep
+
+
+class Obj:
+    pass
+
+
+@pytest.fixture()
+def setup():
+    space_id = fresh_space_id("owner")
+    table = ObjectTable(space_id)
+    owner = DgcOwner(table)
+    obj = Obj()
+    entry = table.export(obj)
+    rep = table.wirerep_for(entry)
+    return table, owner, entry, rep
+
+
+client_a = fresh_space_id("a")
+client_b = fresh_space_id("b")
+
+
+class TestDirtyClean:
+    def test_dirty_adds_to_set(self, setup):
+        table, owner, entry, rep = setup
+        ok, error = owner.handle_dirty(client_a, rep, 1)
+        assert ok and not error
+        assert owner.dirty_set(rep.index) == {client_a}
+
+    def test_clean_removes_and_drops(self, setup):
+        table, owner, entry, rep = setup
+        owner.handle_dirty(client_a, rep, 1)
+        owner.handle_clean(client_a, rep, 2, strong=False)
+        assert table.exported_entry(rep.index) is None
+        assert owner.objects_dropped == 1
+
+    def test_two_clients_drop_only_when_both_clean(self, setup):
+        table, owner, entry, rep = setup
+        owner.handle_dirty(client_a, rep, 1)
+        owner.handle_dirty(client_b, rep, 1)
+        owner.handle_clean(client_a, rep, 2, strong=False)
+        assert table.exported_entry(rep.index) is entry
+        owner.handle_clean(client_b, rep, 2, strong=False)
+        assert table.exported_entry(rep.index) is None
+
+    def test_dirty_on_unknown_object_fails(self, setup):
+        table, owner, entry, rep = setup
+        bogus = WireRep(rep.owner, 999)
+        ok, error = owner.handle_dirty(client_a, bogus, 1)
+        assert not ok
+        assert "no such object" in error
+
+    def test_clean_on_unknown_object_is_noop(self, setup):
+        table, owner, entry, rep = setup
+        owner.handle_clean(client_a, WireRep(rep.owner, 999), 1, strong=False)
+
+    def test_duplicate_dirty_idempotent(self, setup):
+        table, owner, entry, rep = setup
+        owner.handle_dirty(client_a, rep, 1)
+        owner.handle_dirty(client_a, rep, 1)  # duplicate delivery
+        assert owner.stale_calls_ignored == 1
+        assert owner.dirty_set(rep.index) == {client_a}
+
+
+class TestSequenceNumbers:
+    def test_reordered_clean_then_dirty(self, setup):
+        """Clean(seq 2) arriving before dirty(seq 1): the late dirty
+        must not resurrect the entry (the §2 reordering guard)."""
+        table, owner, entry, rep = setup
+        owner.handle_dirty(client_b, rep, 1)   # keeps entry alive
+        owner.handle_clean(client_a, rep, 2, strong=False)
+        ok, _ = owner.handle_dirty(client_a, rep, 1)  # late, stale
+        assert ok  # acknowledged...
+        assert client_a not in owner.dirty_set(rep.index)  # ...but ignored
+
+    def test_stale_clean_ignored(self, setup):
+        table, owner, entry, rep = setup
+        owner.handle_dirty(client_a, rep, 5)
+        owner.handle_clean(client_a, rep, 3, strong=False)  # stale
+        assert client_a in owner.dirty_set(rep.index)
+
+    def test_strong_clean_outranks_everything_prior(self, setup):
+        table, owner, entry, rep = setup
+        owner.handle_dirty(client_b, rep, 1)
+        owner.handle_clean(client_a, rep, 7, strong=True)
+        ok, _ = owner.handle_dirty(client_a, rep, 6)  # the failed dirty, late
+        assert ok
+        assert client_a not in owner.dirty_set(rep.index)
+
+    def test_seqnos_are_per_client(self, setup):
+        table, owner, entry, rep = setup
+        owner.handle_dirty(client_a, rep, 10)
+        ok, _ = owner.handle_dirty(client_b, rep, 1)
+        assert ok
+        assert owner.dirty_set(rep.index) == {client_a, client_b}
+
+
+class TestTransientEntries:
+    def test_copy_in_flight_blocks_drop(self, setup):
+        """The transmission race fix: owner-sent copies pin the entry."""
+        table, owner, entry, rep = setup
+        owner.handle_dirty(client_a, rep, 1)
+        owner.record_copy_sent(entry, copy_id=42)
+        owner.handle_clean(client_a, rep, 2, strong=False)
+        assert table.exported_entry(rep.index) is entry  # pinned by tdirty
+        owner.handle_copy_ack(rep, 42)
+        assert table.exported_entry(rep.index) is None
+
+    def test_copy_ack_for_unknown_entry_ignored(self, setup):
+        table, owner, entry, rep = setup
+        owner.handle_copy_ack(WireRep(rep.owner, 999), 1)
+
+    def test_release_copy_equivalent_to_ack(self, setup):
+        table, owner, entry, rep = setup
+        owner.record_copy_sent(entry, copy_id=7)
+        owner.release_copy(rep, 7)
+        assert not entry.tdirty
+
+
+class TestPurge:
+    def test_purge_client_everywhere(self, setup):
+        table, owner, entry, rep = setup
+        second = table.export(Obj())
+        rep2 = table.wirerep_for(second)
+        owner.handle_dirty(client_a, rep, 1)
+        owner.handle_dirty(client_a, rep2, 1)
+        owner.handle_dirty(client_b, rep2, 1)
+        purged = owner.purge_client(client_a)
+        assert purged == 2
+        assert table.exported_entry(rep.index) is None       # a was alone
+        assert table.exported_entry(rep2.index) is second    # b remains
+        assert owner.clients() == {client_b}
+
+    def test_purge_unknown_client(self, setup):
+        table, owner, entry, rep = setup
+        assert owner.purge_client(fresh_space_id("ghost")) == 0
+
+
+class TestPinnedEntries:
+    def test_pinned_entry_never_dropped(self):
+        table = ObjectTable(fresh_space_id("owner"))
+        owner = DgcOwner(table)
+        special = table.export(Obj(), pinned=True)
+        rep = table.wirerep_for(special)
+        assert rep.index == 0
+        owner.handle_dirty(client_a, rep, 1)
+        owner.handle_clean(client_a, rep, 2, strong=False)
+        assert table.exported_entry(0) is special
+
+
+class TestExportIdentity:
+    def test_export_idempotent(self):
+        table = ObjectTable(fresh_space_id())
+        obj = Obj()
+        assert table.export(obj) is table.export(obj)
+
+    def test_reexport_after_drop_gets_new_index(self):
+        table = ObjectTable(fresh_space_id())
+        obj = Obj()
+        first = table.export(obj)
+        table.drop_exported(first.index)
+        second = table.export(obj)
+        assert second.index != first.index

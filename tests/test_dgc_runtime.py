@@ -1,0 +1,238 @@
+"""End-to-end distributed GC tests over real spaces and transports.
+
+These verify the paper's systems claims: surrogate collection drives
+clean calls; the owner reclaims objects exactly when the last remote
+reference (or in-flight copy) disappears; third-party transfers and
+the Figure-1 race are safe; the pinger purges crashed clients.
+"""
+
+import gc
+import weakref
+
+import pytest
+
+from repro import GcConfig, NetObj, Space
+from tests.helpers import Counter, Registry, settle, wait_until
+
+
+class Factory(NetObj):
+    """Creates objects kept alive *only* by the GC's dirty tables."""
+
+    def __init__(self):
+        self.spawned = []
+
+    def make(self, start: int):
+        counter = Counter(start)
+        self.spawned.append(weakref.ref(counter))
+        return counter
+
+    def live_count(self) -> int:
+        gc.collect()
+        return sum(1 for ref in self.spawned if ref() is not None)
+
+
+@pytest.fixture()
+def trio(request):
+    """Three spaces on the in-process transport: owner, b, c."""
+    suffix = request.node.name
+    spaces = [
+        Space(name, listen=[f"inproc://{name}-{suffix}"])
+        for name in ("owner", "b", "c")
+    ]
+    yield spaces
+    for space in spaces:
+        space.shutdown()
+
+
+class TestLifecycle:
+    def test_object_reclaimed_after_surrogate_death(self, trio):
+        owner, client, _ = trio
+        owner.serve("factory", Factory())
+        factory = client.import_object(owner.endpoints[0], "factory")
+        counter = factory.make(1)
+        assert counter.value() == 1
+        assert factory.live_count() == 1
+        del counter
+        settle(owner, client)
+        assert wait_until(lambda: factory.live_count() == 0)
+
+    def test_object_stays_while_any_client_holds(self, trio):
+        owner, b, c = trio
+        owner.serve("factory", Factory())
+        owner.serve("registry", Registry())
+        factory_b = b.import_object(owner.endpoints[0], "factory")
+        registry_b = b.import_object(owner.endpoints[0], "registry")
+        counter_b = factory_b.make(5)
+        registry_b.hold(counter_b)
+
+        registry_c = c.import_object(owner.endpoints[0], "registry")
+        counter_c = registry_c.fetch(0)
+        registry_c.drop_all()  # owner-side registry lets go
+
+        # b drops; c still holds.
+        del counter_b
+        settle(owner, b, c)
+        assert factory_b.live_count() == 1
+
+        del counter_c
+        settle(owner, b, c)
+        assert wait_until(lambda: factory_b.live_count() == 0)
+
+    def test_dirty_set_tracks_membership(self, trio):
+        owner, b, c = trio
+        registry = Registry()
+        counter = Counter()
+        registry.held.append(counter)
+        owner.serve("registry", registry)
+
+        ref_b = b.import_object(owner.endpoints[0], "registry").fetch(0)
+        ref_c = c.import_object(owner.endpoints[0], "registry").fetch(0)
+        index = owner.object_table.export(counter).index
+        dirty = owner.dgc_owner.dirty_set(index)
+        assert b.space_id in dirty and c.space_id in dirty
+
+        del ref_b
+        settle(owner, b, c)
+        assert wait_until(
+            lambda: b.space_id not in owner.dgc_owner.dirty_set(index)
+        )
+        assert c.space_id in owner.dgc_owner.dirty_set(index)
+        del ref_c
+        settle(owner, b, c)
+        assert wait_until(lambda: owner.dgc_owner.dirty_set(index) == set())
+
+    def test_reimport_after_full_cycle(self, trio):
+        owner, client, _ = trio
+        owner.serve("factory", Factory())
+        factory = client.import_object(owner.endpoints[0], "factory")
+        first = factory.make(1)
+        del first
+        settle(owner, client)
+        second = factory.make(2)  # fresh object, fresh life cycle
+        assert second.value() == 2
+
+    def test_transient_pins_drain(self, trio):
+        owner, client, _ = trio
+        owner.serve("factory", Factory())
+        factory = client.import_object(owner.endpoints[0], "factory")
+        refs = [factory.make(i) for i in range(10)]
+        settle(owner, client)
+        assert owner.gc_stats()["transient_pins"] == 0
+        assert client.gc_stats()["transient_pins"] == 0
+        assert refs[3].value() == 3
+
+
+class TestThirdParty:
+    def test_handoff_and_direct_use(self, trio):
+        """B passes an owner-owned ref to C; C talks to owner directly."""
+        owner, b, c = trio
+        owner.serve("factory", Factory())
+        c.serve("registry", Registry())
+
+        factory_b = b.import_object(owner.endpoints[0], "factory")
+        counter_b = factory_b.make(42)
+        registry_at_c = b.import_object(c.endpoints[0], "registry")
+        registry_at_c.hold(counter_b)
+        # C uses the reference without ever importing it from B.
+        assert registry_at_c.poke(0) == 42
+        # C appears in the owner's dirty set for the counter.
+        indices = [
+            entry.index for entry in owner.object_table.exported_entries()
+            if isinstance(entry.obj, Counter)
+        ]
+        assert len(indices) == 1
+        assert c.space_id in owner.dgc_owner.dirty_set(indices[0])
+
+    def test_figure_one_race(self, trio):
+        """Pass a reference then immediately drop it — the scenario
+        that breaks naive reference counting (paper Figure 1)."""
+        owner, b, c = trio
+        owner.serve("factory", Factory())
+        c.serve("registry", Registry())
+        factory_b = b.import_object(owner.endpoints[0], "factory")
+        registry_at_c = b.import_object(c.endpoints[0], "registry")
+
+        counter_b = factory_b.make(7)
+        registry_at_c.hold(counter_b)
+        del counter_b             # B drops instantly after the send
+        gc.collect()
+        settle(owner, b, c)
+        # The object must survive: C holds it.
+        assert factory_b.live_count() == 1
+        assert registry_at_c.poke(0) == 7
+        # And once C lets go, it dies.
+        registry_at_c.drop_all()
+        settle(owner, b, c)
+        assert wait_until(lambda: factory_b.live_count() == 0)
+
+    def test_chain_of_handoffs(self, trio):
+        """owner → b → c → owner: the ref comes home concrete."""
+        owner, b, c = trio
+        owner.serve("factory", Factory())
+        owner.serve("home", Registry())
+        c.serve("relay", Registry())
+
+        factory = b.import_object(owner.endpoints[0], "factory")
+        counter = factory.make(9)
+        relay = b.import_object(c.endpoints[0], "relay")
+        relay.hold(counter)
+        del counter
+        settle(owner, b, c)
+
+        # C forwards what it holds back to the owner's registry.
+        home_at_c = c.import_object(owner.endpoints[0], "home")
+        fetched = c.agent  # silence lint: agent unused otherwise
+        assert fetched is c.agent
+        home_at_c.hold(relay_fetch(c, "relay", 0))
+        settle(owner, b, c)
+        assert factory.live_count() == 1  # alive: owner's registry holds it
+
+
+def relay_fetch(space, name, index):
+    """Fetch an entry from a registry served by ``space`` itself."""
+    return space.agent.get(name).held[index]
+
+
+class TestPinger:
+    def test_crashed_client_purged(self, request):
+        gc_config = GcConfig(ping_interval=0.05, ping_timeout=0.2,
+                             ping_max_failures=2)
+        owner = Space("owner", listen=[f"inproc://own-{request.node.name}"],
+                      gc=gc_config)
+        client = Space("client")
+        try:
+            factory_impl = Factory()
+            owner.serve("factory", factory_impl)
+            factory = client.import_object(owner.endpoints[0], "factory")
+            counter = factory.make(3)
+            assert counter.value() == 3
+            assert factory_impl.live_count() == 1
+            # Simulate a crash: no clean calls, connections just die.
+            client.shutdown()
+            assert wait_until(
+                lambda: factory_impl.live_count() == 0, timeout=10
+            )
+            assert owner.pinger.clients_purged >= 1
+        finally:
+            client.shutdown()
+            owner.shutdown()
+
+    def test_live_client_not_purged(self, request):
+        gc_config = GcConfig(ping_interval=0.05, ping_timeout=1.0,
+                             ping_max_failures=2)
+        owner = Space("owner", listen=[f"inproc://own2-{request.node.name}"],
+                      gc=gc_config)
+        client = Space("client")
+        try:
+            factory_impl = Factory()
+            owner.serve("factory", factory_impl)
+            factory = client.import_object(owner.endpoints[0], "factory")
+            counter = factory.make(3)
+            import time
+
+            time.sleep(0.5)  # many ping rounds
+            assert owner.pinger.clients_purged == 0
+            assert counter.value() == 3
+        finally:
+            client.shutdown()
+            owner.shutdown()

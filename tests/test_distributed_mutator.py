@@ -1,0 +1,205 @@
+"""Heap-driven distributed mutation: localheap × the formal model.
+
+Each process gets a real :class:`repro.localheap.Heap`; whether the
+remote reference is *locally reachable* at a process is decided by
+actual mark-sweep over that process's object graph — not by a scripted
+flag.  Random heap mutations (allocations, links, root removals) and
+random collector transitions interleave; every configuration is
+checked against the full invariant suite, and after the mutators
+drop everything, the collector must drain to empty dirty tables.
+
+This is the closest the test suite comes to "a real program ran on
+top": the mutator abstraction of the model is replaced by an actual
+reachability computation.
+"""
+
+import random
+
+import pytest
+
+from repro.dgc.states import RefState
+from repro.localheap import Heap, RemoteRef
+from repro.model import Machine, initial_configuration
+from repro.model.invariants import check_all
+from repro.model.rules import RULES_BY_NAME
+
+REF = 0  # the single remote reference, owned by process 0
+
+
+class HeapDrivenRun:
+    def __init__(self, nprocs: int, seed: int, copies: int):
+        self.nprocs = nprocs
+        self.rng = random.Random(seed)
+        self.machine = Machine()
+        self.config = initial_configuration(
+            nprocs=nprocs, nrefs=1, copies_left=copies
+        )
+        self.heaps = [Heap() for _ in range(nprocs)]
+        # The owner's own handle on the object.
+        owner_holder = self.heaps[0].allocate(root=True)
+        self.heaps[0].set_field(owner_holder, 0, RemoteRef(REF))
+
+    # -- reachability bridge ------------------------------------------------------
+
+    def heap_holds_ref(self, proc: int) -> bool:
+        return REF in self.heaps[proc].reachable_remote_refs()
+
+    def plant_ref(self, proc: int) -> None:
+        """The application stored a just-received reference somewhere
+        (possibly deep in a structure)."""
+        heap = self.heaps[proc]
+        holder = heap.allocate(nfields=2, root=True)
+        heap.set_field(holder, 0, RemoteRef(REF))
+        # Sometimes bury it one level deeper.
+        if self.rng.random() < 0.5:
+            outer = heap.allocate(nfields=1, root=True)
+            heap.set_field(outer, 0, holder)
+            heap.remove_root(holder)
+
+    def sync_drops(self) -> None:
+        """Fire mutator_drop wherever the heap no longer reaches the
+        reference but the model still thinks it is reachable."""
+        rule = RULES_BY_NAME["mutator_drop"]
+        changed = True
+        while changed:
+            changed = False
+            for proc, _ref in list(rule.candidates(self.config)):
+                if not self.heap_holds_ref(proc):
+                    self.config = rule.fire(self.config, (proc, REF))
+                    changed = True
+
+    # -- step kinds -----------------------------------------------------------------
+
+    def mutate_heap(self) -> None:
+        proc = self.rng.randrange(self.nprocs)
+        heap = self.heaps[proc]
+        action = self.rng.choice(["alloc", "unroot", "collect", "link"])
+        if action == "alloc":
+            heap.allocate(root=self.rng.random() < 0.5)
+        elif action == "unroot" and heap.roots():
+            victim = self.rng.choice(sorted(heap.roots()))
+            if not (proc == 0 and len(heap.roots()) == 1):
+                heap.remove_root(victim)
+        elif action == "collect":
+            heap.collect()
+        elif action == "link" and heap.roots() and self.heap_holds_ref(proc):
+            # A mutator may duplicate a reference it already reaches
+            # into another slot — never conjure one from thin air.
+            src = self.rng.choice(sorted(heap.roots()))
+            slot = self.rng.randrange(len(heap.fields(src)))
+            heap.set_field(src, slot, RemoteRef(REF))
+        self.sync_drops()
+
+    def fire_model(self) -> bool:
+        transitions = self.machine.enabled(self.config)
+        # The heap, not the model, decides drops and (implicitly)
+        # finalize timing; keep only the collector's own moves plus
+        # make_copy where the heap really holds the reference.
+        eligible = []
+        for transition in transitions:
+            name = transition.rule.name
+            if name == "mutator_drop":
+                continue
+            if name == "make_copy" and not self.heap_holds_ref(
+                transition.params[0]
+            ):
+                continue
+            if name == "finalize" and self.heap_holds_ref(
+                transition.params[0]
+            ):
+                continue
+            eligible.append(transition)
+        if not eligible:
+            return False
+        transition = self.rng.choice(eligible)
+        before = self.config
+        self.config = transition.fire(before)
+        name = transition.rule.name
+        if name == "receive_dirty_ack":
+            dst = transition.params[2]
+            self.plant_ref(dst)
+        elif name == "receive_copy":
+            _tag, _src, dst, _ref, _id = transition.params
+            if before.rec_of(dst, REF) is RefState.OK:
+                self.plant_ref(dst)
+        return True
+
+    # -- driver -----------------------------------------------------------------------
+
+    def run(self, steps: int = 120) -> None:
+        for _ in range(steps):
+            if self.rng.random() < 0.35:
+                self.mutate_heap()
+            else:
+                self.fire_model()
+            check_all(self.config)
+            self.check_heap_model_agreement()
+
+    def check_heap_model_agreement(self) -> None:
+        """A process whose heap reaches the ref must have it in a
+        potentially-usable model state (the converse is not required:
+        the model may lag until sync_drops)."""
+        for proc in range(1, self.nprocs):
+            if self.config.is_reachable(proc, REF):
+                state = self.config.rec_of(proc, REF)
+                assert state is not RefState.NONEXISTENT
+
+    def teardown(self) -> None:
+        """All applications exit: clear roots, drain, expect emptiness."""
+        for proc in range(1, self.nprocs):
+            heap = self.heaps[proc]
+            for root in list(heap.roots()):
+                heap.remove_root(root)
+            heap.collect()
+        self.sync_drops()
+        # Drain collector + finalize to full quiescence.
+        for _ in range(10_000):
+            transitions = [
+                t for t in self.machine.enabled(self.config)
+                if t.rule.name not in ("make_copy", "mutator_drop")
+            ]
+            if not transitions:
+                break
+            self.config = transitions[0].fire(self.config)
+            check_all(self.config)
+        owner = self.config.owner[REF]
+        assert not self.config.pdirty_of(owner, REF)
+        assert not self.config.tdirty
+        assert not self.config.msgs
+
+
+class TestHeapDrivenMutator:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_interleavings(self, seed):
+        run = HeapDrivenRun(nprocs=3, seed=seed, copies=4)
+        run.run(steps=120)
+        run.teardown()
+
+    @pytest.mark.parametrize("seed", [100, 200])
+    def test_two_process_long_runs(self, seed):
+        run = HeapDrivenRun(nprocs=2, seed=seed, copies=6)
+        run.run(steps=250)
+        run.teardown()
+
+    def test_owner_never_loses_its_object_while_heap_holds(self):
+        """Directed variant: while any client heap reaches the ref,
+        the owner's dirty tables are non-empty."""
+        run = HeapDrivenRun(nprocs=3, seed=7, copies=4)
+        for _ in range(150):
+            if run.rng.random() < 0.35:
+                run.mutate_heap()
+            else:
+                run.fire_model()
+            check_all(run.config)
+            holders = [
+                proc for proc in range(1, run.nprocs)
+                if run.heap_holds_ref(proc)
+                and run.config.rec_of(proc, REF) is not RefState.NONEXISTENT
+            ]
+            if holders:
+                owner = run.config.owner[REF]
+                protected = bool(
+                    run.config.pdirty_of(owner, REF)
+                    or run.config.tdirty_of(owner, REF)
+                )
+                assert protected, run.config.describe()

@@ -1,0 +1,36 @@
+"""Smoke tests: every example must run to completion, standalone.
+
+The examples are self-asserting (they end with ``done.``), so running
+them in a subprocess both documents and verifies the public API from
+a fresh interpreter.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_present(self):
+        assert "quickstart.py" in ALL_EXAMPLES
+        assert len(ALL_EXAMPLES) >= 4
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_runs(self, name):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert result.returncode == 0, (
+            f"{name} failed:\nstdout:\n{result.stdout}\n"
+            f"stderr:\n{result.stderr}"
+        )
+        assert "done." in result.stdout

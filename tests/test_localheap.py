@@ -1,0 +1,123 @@
+"""Unit tests for the explicit local heap substrate."""
+
+import pytest
+
+from repro.localheap import Heap, RemoteRef, reachable_from
+
+
+class TestReachableFrom:
+    def test_empty(self):
+        assert reachable_from([], lambda n: []) == set()
+
+    def test_chain(self):
+        graph = {1: [2], 2: [3], 3: []}
+        assert reachable_from([1], graph.__getitem__) == {1, 2, 3}
+
+    def test_cycle_terminates(self):
+        graph = {1: [2], 2: [1]}
+        assert reachable_from([1], graph.__getitem__) == {1, 2}
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 100_000
+        graph = {i: [i + 1] for i in range(n)}
+        graph[n] = []
+        assert len(reachable_from([0], graph.__getitem__)) == n + 1
+
+
+class TestHeap:
+    def test_allocate_and_collect_garbage(self):
+        heap = Heap()
+        root = heap.allocate(root=True)
+        child = heap.allocate()
+        orphan = heap.allocate()
+        heap.set_field(root, 0, child)
+        dead = heap.collect()
+        assert dead == {orphan}
+        assert child in heap
+        assert root in heap
+
+    def test_root_removal_frees_subtree(self):
+        heap = Heap()
+        root = heap.allocate(root=True)
+        child = heap.allocate()
+        heap.set_field(root, 0, child)
+        heap.remove_root(root)
+        assert heap.collect() == {root, child}
+        assert len(heap) == 0
+
+    def test_cycles_collected(self):
+        heap = Heap()
+        a = heap.allocate()
+        b = heap.allocate()
+        heap.set_field(a, 0, b)
+        heap.set_field(b, 0, a)
+        assert heap.collect() == {a, b}
+
+    def test_field_overwrite_disconnects(self):
+        heap = Heap()
+        root = heap.allocate(root=True)
+        old = heap.allocate()
+        heap.set_field(root, 0, old)
+        heap.set_field(root, 0, None)
+        assert heap.collect() == {old}
+
+    def test_remote_refs_reachability(self):
+        heap = Heap()
+        root = heap.allocate(root=True)
+        mid = heap.allocate()
+        heap.set_field(root, 0, mid)
+        heap.set_field(mid, 0, RemoteRef(7))
+        heap.set_field(root, 1, RemoteRef(3))
+        orphan = heap.allocate()
+        heap.set_field(orphan, 0, RemoteRef(9))
+        assert heap.reachable_remote_refs() == {3, 7}
+        heap.collect()
+        assert heap.reachable_remote_refs() == {3, 7}
+
+    def test_remote_ref_dies_with_holder(self):
+        heap = Heap()
+        root = heap.allocate(root=True)
+        holder = heap.allocate()
+        heap.set_field(root, 0, holder)
+        heap.set_field(holder, 0, RemoteRef(1))
+        assert heap.reachable_remote_refs() == {1}
+        heap.set_field(root, 0, None)
+        assert heap.reachable_remote_refs() == set()
+
+    def test_dangling_field_rejected(self):
+        heap = Heap()
+        obj = heap.allocate(root=True)
+        with pytest.raises(KeyError):
+            heap.set_field(obj, 0, 999)
+
+    def test_stats(self):
+        heap = Heap()
+        heap.allocate()
+        heap.collect()
+        assert heap.collections == 1
+        assert heap.collected_total == 1
+
+    def test_reachability_matches_networkx(self):
+        """Cross-check the mark phase against networkx descendants."""
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(42)
+        heap = Heap()
+        ids = [heap.allocate(nfields=3) for _ in range(50)]
+        graph = nx.DiGraph()
+        graph.add_nodes_from(ids)
+        for obj in ids:
+            for slot in range(3):
+                if rng.random() < 0.4:
+                    target = rng.choice(ids)
+                    heap.set_field(obj, slot, target)
+                    graph.add_edge(obj, target)
+        roots = set(rng.sample(ids, 5))
+        for root in roots:
+            heap.add_root(root)
+        expected = set(roots)
+        for root in roots:
+            expected |= nx.descendants(graph, root)
+        assert heap.reachable_objects() == expected

@@ -1,0 +1,406 @@
+"""Unit tests for the pickles subsystem."""
+
+import math
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import MarshalError, UnmarshalError
+from repro.marshal import (
+    Pickler,
+    StructRegistry,
+    Unpickler,
+    dumps,
+    loads,
+)
+
+
+def round_trip(value, registry=None, handler=None):
+    data = dumps(value, registry, handler)
+    return loads(data, registry, handler)
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            127,
+            -128,
+            2**31,
+            -(2**31),
+            2**62,
+            -(2**62),
+            2**100,
+            -(2**100),
+            0.0,
+            -0.0,
+            3.141592653589793,
+            1e308,
+            -1e-308,
+            "",
+            "hello",
+            "ünïcödé ✓ 日本語",
+            b"",
+            b"\x00\xff" * 10,
+        ],
+    )
+    def test_round_trip(self, value):
+        result = round_trip(value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_float_specials(self):
+        assert round_trip(float("inf")) == float("inf")
+        assert round_trip(float("-inf")) == float("-inf")
+        assert math.isnan(round_trip(float("nan")))
+
+    def test_negative_zero_sign_preserved(self):
+        assert math.copysign(1.0, round_trip(-0.0)) == -1.0
+
+    def test_bool_is_not_int(self):
+        assert round_trip(True) is True
+        assert round_trip(1) == 1
+        assert round_trip(1) is not True
+
+    def test_bytearray(self):
+        value = bytearray(b"mutable")
+        result = round_trip(value)
+        assert result == value
+        assert type(result) is bytearray
+
+
+class TestContainers:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            [],
+            [1, 2, 3],
+            (),
+            (1, "two", 3.0),
+            {},
+            {"a": 1, "b": [2, 3]},
+            {1: "one", (2, 3): "pair"},
+            set(),
+            {1, 2, 3},
+            frozenset({"x", "y"}),
+            [[1, [2, [3, [4]]]]],
+            {"nested": {"deeper": {"deepest": (1, 2)}}},
+        ],
+    )
+    def test_round_trip(self, value):
+        result = round_trip(value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_heterogeneous_list(self):
+        value = [None, True, 42, -7, 2.5, "s", b"b", [1], (2,), {3: 4}, {5}]
+        assert round_trip(value) == value
+
+    def test_large_list(self):
+        value = list(range(10000))
+        assert round_trip(value) == value
+
+    def test_shared_sublist_stays_shared(self):
+        shared = [1, 2]
+        result = round_trip([shared, shared])
+        assert result[0] is result[1]
+        result[0].append(3)
+        assert result[1] == [1, 2, 3]
+
+    def test_unshared_equal_lists_stay_unshared(self):
+        result = round_trip([[1, 2], [1, 2]])
+        assert result[0] is not result[1]
+
+    def test_self_referential_list(self):
+        value = [1]
+        value.append(value)
+        result = round_trip(value)
+        assert result[0] == 1
+        assert result[1] is result
+
+    def test_self_referential_dict(self):
+        value = {}
+        value["me"] = value
+        result = round_trip(value)
+        assert result["me"] is result
+
+    def test_mutual_cycle(self):
+        a, b = [], []
+        a.append(b)
+        b.append(a)
+        result = round_trip(a)
+        assert result[0][0] is result
+
+    def test_shared_string_decodes_once(self):
+        text = "x" * 1000
+        data = dumps([text, text, text])
+        assert len(data) < 1100
+        assert loads(data) == [text, text, text]
+
+    def test_shared_tuple(self):
+        pair = (1, 2)
+        result = round_trip({"a": pair, "b": pair})
+        assert result["a"] is result["b"]
+
+    def test_shared_bytearray_aliased(self):
+        buf = bytearray(b"abc")
+        result = round_trip([buf, buf])
+        assert result[0] is result[1]
+
+    def test_dict_inside_tuple_cycle(self):
+        d = {}
+        t = (d, 1)
+        d["t"] = t
+        result = round_trip(d)
+        assert result["t"][0] is result
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+
+
+@dataclass
+class Segment:
+    start: Point
+    end: Point
+    label: str = ""
+
+
+class Plain:
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+    def __eq__(self, other):
+        return isinstance(other, Plain) and (self.a, self.b) == (other.a, other.b)
+
+
+class TestStructs:
+    @pytest.fixture()
+    def registry(self):
+        reg = StructRegistry()
+        reg.register(Point)
+        reg.register(Segment)
+        reg.register(Plain, fields=["a", "b"])
+        return reg
+
+    def test_dataclass_round_trip(self, registry):
+        assert round_trip(Point(3, 4), registry) == Point(3, 4)
+
+    def test_nested_struct(self, registry):
+        seg = Segment(Point(0, 0), Point(1, 1), "diag")
+        assert round_trip(seg, registry) == seg
+
+    def test_plain_class(self, registry):
+        assert round_trip(Plain(1, "two"), registry) == Plain(1, "two")
+
+    def test_struct_sharing(self, registry):
+        p = Point(9, 9)
+        result = round_trip(Segment(p, p), registry)
+        assert result.start is result.end
+
+    def test_unregistered_type_rejected(self):
+        class Unknown:
+            pass
+
+        with pytest.raises(MarshalError):
+            dumps(Unknown(), StructRegistry())
+
+    def test_unknown_name_on_decode(self, registry):
+        data = dumps(Point(1, 2), registry)
+        with pytest.raises(UnmarshalError):
+            loads(data, StructRegistry())
+
+    def test_duplicate_name_rejected(self, registry):
+        class Point2:
+            pass
+
+        with pytest.raises(ValueError):
+            registry.register(Point2, fields=[], name="Point")
+
+    def test_reregistering_same_class_ok(self, registry):
+        registry.register(Point)
+
+    def test_non_dataclass_needs_fields(self):
+        class NotDc:
+            pass
+
+        with pytest.raises(TypeError):
+            StructRegistry().register(NotDc)
+
+    def test_struct_in_containers(self, registry):
+        value = {"points": [Point(1, 2), Point(3, 4)], "n": 2}
+        assert round_trip(value, registry) == value
+
+    def test_cyclic_struct_graph(self, registry):
+        # A plain (mutable) struct participating in a cycle via a list.
+        holder = Plain([], None)
+        holder.a.append(holder)
+        result = round_trip(holder, registry)
+        assert result.a[0] is result
+
+
+class TestCorruption:
+    def test_unknown_tag(self):
+        with pytest.raises(UnmarshalError):
+            loads(b"\xfe")
+
+    def test_truncated(self):
+        data = dumps([1, 2, 3])
+        for cut in range(len(data)):
+            with pytest.raises(UnmarshalError):
+                loads(data[:cut])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(UnmarshalError):
+            loads(dumps(1) + b"\x00")
+
+    def test_dangling_ref(self):
+        from repro.marshal import tags
+        from repro.wire.varint import write_uvarint
+
+        out = bytearray([tags.REF])
+        write_uvarint(out, 5)
+        with pytest.raises(UnmarshalError):
+            loads(bytes(out))
+
+    def test_bad_utf8(self):
+        from repro.marshal import tags
+        from repro.wire.varint import write_uvarint
+
+        out = bytearray([tags.STR])
+        write_uvarint(out, 2)
+        out += b"\xff\xff"
+        with pytest.raises(UnmarshalError):
+            loads(bytes(out))
+
+    def test_netobj_without_handler(self):
+        from repro.marshal import tags
+        from repro.wire.varint import write_uvarint
+
+        out = bytearray([tags.NETOBJ])
+        write_uvarint(out, 1)
+        out += b"z"
+        with pytest.raises(UnmarshalError):
+            loads(bytes(out))
+
+
+class FakeRef:
+    """Stands in for a network object in handler tests."""
+
+    def __init__(self, name):
+        self.name = name
+
+
+class FakeHandler:
+    """Encodes FakeRef by name; counts marshals for bookkeeping tests."""
+
+    def __init__(self):
+        self.marshal_count = 0
+        self.unmarshal_count = 0
+
+    def recognizes(self, value):
+        return isinstance(value, FakeRef)
+
+    def marshal(self, value):
+        self.marshal_count += 1
+        return value.name.encode("utf-8")
+
+    def unmarshal(self, payload):
+        self.unmarshal_count += 1
+        return FakeRef(payload.decode("utf-8"))
+
+
+class TestNetObjHandler:
+    def test_delegation(self):
+        handler = FakeHandler()
+        result = round_trip([FakeRef("bank"), 42], handler=handler)
+        assert result[0].name == "bank"
+        assert result[1] == 42
+        assert handler.marshal_count == 1
+        assert handler.unmarshal_count == 1
+
+    def test_same_ref_marshaled_once(self):
+        handler = FakeHandler()
+        ref = FakeRef("acct")
+        result = round_trip([ref, ref], handler=handler)
+        assert handler.marshal_count == 1
+        assert result[0] is result[1]
+
+    def test_distinct_refs_each_marshaled(self):
+        handler = FakeHandler()
+        round_trip([FakeRef("a"), FakeRef("b")], handler=handler)
+        assert handler.marshal_count == 2
+
+    def test_ref_inside_struct(self):
+        registry = StructRegistry()
+        registry.register(Plain, fields=["a", "b"])
+        handler = FakeHandler()
+        result = round_trip(Plain(FakeRef("x"), 1), registry, handler)
+        assert result.a.name == "x"
+
+
+class TestPicklerReuse:
+    def test_memo_does_not_leak_across_dumps(self):
+        pickler = Pickler()
+        first = pickler.dumps(["shared"])
+        second = pickler.dumps(["shared"])
+        assert first == second
+        assert loads(second) == ["shared"]
+
+    def test_unpickler_reusable(self):
+        unpickler = Unpickler()
+        data = dumps({"k": [1, 2]})
+        assert unpickler.loads(data) == {"k": [1, 2]}
+        assert unpickler.loads(data) == {"k": [1, 2]}
+
+
+class TestDepthGuard:
+    """Deep nesting must fail cleanly, never with RecursionError."""
+
+    def _deep_list(self, depth):
+        outer = current = []
+        for _ in range(depth):
+            inner = []
+            current.append(inner)
+            current = inner
+        return outer
+
+    def test_pickler_depth_limit(self):
+        from repro.marshal.pickler import MAX_DEPTH
+
+        with pytest.raises(MarshalError):
+            dumps(self._deep_list(MAX_DEPTH + 10))
+
+    def test_unpickler_depth_limit(self):
+        from repro.marshal import tags
+        from repro.marshal.pickler import MAX_DEPTH
+
+        data = bytes([tags.LIST, 1]) * (MAX_DEPTH + 10) + bytes([tags.NONE])
+        with pytest.raises(UnmarshalError):
+            loads(data)
+
+    def test_depth_within_limit_round_trips(self):
+        value = self._deep_list(200)
+        assert loads(dumps(value)) == value
+
+    def test_wide_structures_unaffected(self):
+        value = [[i] for i in range(50000)]
+        assert loads(dumps(value)) == value
+
+    def test_pickler_usable_after_depth_error(self):
+        from repro.marshal.pickler import MAX_DEPTH, Pickler
+
+        pickler = Pickler()
+        with pytest.raises(MarshalError):
+            pickler.dumps(self._deep_list(MAX_DEPTH + 10))
+        pickler.reset()
+        assert loads(pickler.dumps([1, 2])) == [1, 2]

@@ -1,0 +1,151 @@
+"""Mesh soak test: several spaces, mixed workload, then total drain.
+
+A small "production-shaped" scenario: four spaces form a mesh; each
+publishes a service, calls the others, and weaves references through
+third parties, concurrently.  At the end every borrowed reference is
+dropped and every space's collector books must return to zero — the
+system-level statement of the liveness theorem.
+"""
+
+import gc as pygc
+import random
+import threading
+import weakref
+
+import pytest
+
+from repro import NetObj, Space
+from tests.helpers import wait_until
+
+
+class Service(NetObj):
+    """Each space's service: makes items, stores refs, calls peers."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.spawned = []
+        self.shelf = []
+        self._lock = threading.Lock()
+
+    def make(self):
+        item = Item(self.name)
+        with self._lock:
+            self.spawned.append(weakref.ref(item))
+        return item
+
+    def hold(self, item) -> int:
+        with self._lock:
+            self.shelf.append(item)
+            return len(self.shelf)
+
+    def poke_all(self) -> int:
+        with self._lock:
+            items = list(self.shelf)
+        return sum(1 for item in items if item.tag() is not None)
+
+    def release(self) -> int:
+        with self._lock:
+            count = len(self.shelf)
+            self.shelf.clear()
+        pygc.collect()
+        return count
+
+    def live(self) -> int:
+        pygc.collect()
+        with self._lock:
+            return sum(1 for ref in self.spawned if ref() is not None)
+
+
+class Item(NetObj):
+    def __init__(self, origin: str):
+        self.origin = origin
+
+    def tag(self) -> str:
+        return self.origin
+
+
+NAMES = ("north", "south", "east", "west")
+
+
+@pytest.fixture()
+def mesh(request):
+    suffix = request.node.name
+    spaces = {
+        name: Space(name, listen=[f"inproc://{name}-{suffix}"])
+        for name in NAMES
+    }
+    services = {}
+    for name, space in spaces.items():
+        service = Service(name)
+        services[name] = service
+        space.serve("svc", service)
+    yield spaces, services
+    for space in spaces.values():
+        space.shutdown()
+
+
+class TestMeshSoak:
+    def test_mixed_workload_then_total_drain(self, mesh):
+        spaces, services = mesh
+        errors = []
+
+        def worker(name: str, seed: int):
+            rng = random.Random(seed)
+            space = spaces[name]
+            peers = {
+                other: space.import_object(
+                    spaces[other].endpoints[0], "svc"
+                )
+                for other in NAMES if other != name
+            }
+            try:
+                local = []
+                for _ in range(25):
+                    action = rng.choice(["make", "handoff", "poke", "drop"])
+                    if action == "make":
+                        peer = rng.choice(sorted(peers))
+                        local.append(peers[peer].make())
+                    elif action == "handoff" and local:
+                        item = rng.choice(local)
+                        target = rng.choice(sorted(peers))
+                        peers[target].hold(item)
+                    elif action == "poke":
+                        target = rng.choice(sorted(peers))
+                        peers[target].poke_all()
+                    elif action == "drop" and local:
+                        local.pop(rng.randrange(len(local)))
+                        pygc.collect()
+                local.clear()
+                pygc.collect()
+            except Exception as exc:  # noqa: BLE001
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(name, i))
+            for i, name in enumerate(NAMES)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert not errors, errors
+
+        # Everything still shelved must be alive and pokeable.
+        with Space("auditor") as auditor:
+            for name in NAMES:
+                remote = auditor.import_object(
+                    spaces[name].endpoints[0], "svc"
+                )
+                remote.poke_all()
+                remote.release()
+
+        # Total drain: all items reclaimed, all books at zero.
+        for name in NAMES:
+            assert wait_until(
+                lambda n=name: services[n].live() == 0, timeout=30
+            ), f"{name} leaked items"
+        for name in NAMES:
+            stats = spaces[name].gc_stats()
+            assert stats["transient_pins"] == 0, (name, stats)
+            # Only the pinned agent and the served Service may remain.
+            assert stats["exported"] <= 2, (name, stats)

@@ -1,0 +1,108 @@
+"""Exhaustive exploration tests: safety over all reachable states."""
+
+import pytest
+
+from repro.model import Machine, explore, initial_configuration
+from repro.model.variants import (
+    FifoMachine,
+    NaiveMachine,
+    fifo_violations,
+    initial_fifo,
+    initial_naive,
+    naive_violations,
+)
+
+
+class TestBirrellExhaustive:
+    @pytest.mark.parametrize(
+        "nprocs,copies", [(2, 2), (2, 3), (3, 2)]
+    )
+    def test_all_invariants_hold_everywhere(self, nprocs, copies):
+        config = initial_configuration(
+            nprocs=nprocs, nrefs=1, copies_left=copies
+        )
+        result = explore(config, keep_traces=False)
+        assert result.ok, result.violations[0].messages
+        assert result.states > 100
+        assert result.quiescent_states >= 1
+
+    def test_exploration_reaches_quiescence(self):
+        config = initial_configuration(nprocs=2, nrefs=1, copies_left=2)
+        result = explore(config, keep_traces=False)
+        # Exactly one quiescent state: everything dropped and cleaned.
+        assert result.quiescent_states == 1
+
+    def test_every_rule_fires_somewhere(self):
+        config = initial_configuration(nprocs=2, nrefs=1, copies_left=3)
+        result = explore(config, keep_traces=False)
+        expected = {
+            "make_copy", "receive_copy", "do_copy_ack", "receive_copy_ack",
+            "do_dirty_call", "receive_dirty", "do_dirty_ack",
+            "receive_dirty_ack", "finalize", "do_clean_call",
+            "receive_clean", "do_clean_ack", "receive_clean_ack",
+            "mutator_drop",
+        }
+        assert expected <= set(result.rule_counts)
+
+    def test_two_refs(self):
+        config = initial_configuration(
+            nprocs=2, nrefs=2, owner=(0, 1), copies_left=2
+        )
+        result = explore(config, keep_traces=False)
+        assert result.ok, result.violations[0].messages
+
+
+class TestNaiveCounterexample:
+    def test_explorer_finds_the_race(self):
+        result = explore(
+            initial_naive(nprocs=3, copies_left=2),
+            machine=NaiveMachine(),
+            checker=naive_violations,
+            keep_traces=True,
+        )
+        assert not result.ok
+        violation = result.violations[0]
+        assert "NAIVE-UNSAFE" in violation.messages[0]
+        # The counterexample must involve a dec overtaking an inc.
+        names = [step.split("(")[0] for step in violation.trace]
+        assert "receive_dec" in names
+        assert names.index("receive_dec") < len(names)
+
+    def test_race_needs_overtaking(self):
+        """With only one copy ever made, naive counting cannot break
+        (no second reference to protect)."""
+        result = explore(
+            initial_naive(nprocs=2, copies_left=1),
+            machine=NaiveMachine(),
+            checker=naive_violations,
+            keep_traces=False,
+            stop_at_first_violation=False,
+        )
+        real = [
+            violation for violation in result.violations
+            if "holders=[1]" in violation.messages[0]
+            or "in_transit=True" in violation.messages[0]
+        ]
+        assert not real
+
+
+class TestFifoExhaustive:
+    @pytest.mark.parametrize("nprocs,copies", [(2, 2), (2, 3), (3, 2)])
+    def test_fifo_variant_safe(self, nprocs, copies):
+        result = explore(
+            initial_fifo(nprocs=nprocs, copies_left=copies),
+            machine=FifoMachine(),
+            checker=fifo_violations,
+            keep_traces=False,
+        )
+        assert result.ok, result.violations[0].messages
+        assert result.states > 50
+
+    def test_fifo_reaches_full_cleanup(self):
+        result = explore(
+            initial_fifo(nprocs=2, copies_left=2),
+            machine=FifoMachine(),
+            checker=fifo_violations,
+            keep_traces=False,
+        )
+        assert result.quiescent_states >= 1

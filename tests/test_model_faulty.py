@@ -1,0 +1,166 @@
+"""Tests for the fault-tolerant model (Section-6 extension).
+
+The headline results, mechanised:
+
+* with sequence numbers, the algorithm is safe and leak-free across
+  *every* reachable configuration under message loss, spurious
+  timeouts and clean-call retries;
+* without sequence numbers, the explorer finds (a) a leak — a clean
+  overtaking a delayed dirty strands a permanent entry forever — and
+  (b) a safety violation — a *retried* clean call arriving after a
+  newer dirty removes a live client from the dirty set.
+"""
+
+import pytest
+
+from repro.dgc.states import RefState
+from repro.model.explorer import explore
+from repro.model.variants import (
+    FaultyMachine,
+    faulty_leak_violations,
+    faulty_safety_violations,
+    initial_faulty,
+)
+
+
+def all_checks(config):
+    return faulty_safety_violations(config) + faulty_leak_violations(config)
+
+
+class TestWithSequenceNumbers:
+    @pytest.mark.parametrize(
+        "nprocs,copies,losses,timeouts",
+        [(2, 2, 1, 2), (2, 2, 2, 1), (3, 2, 1, 1), (2, 3, 0, 2)],
+    )
+    def test_safe_and_leak_free(self, nprocs, copies, losses, timeouts):
+        config = initial_faulty(
+            nprocs=nprocs, copies_left=copies, losses_left=losses,
+            timeouts_left=timeouts, use_seqnos=True,
+        )
+        result = explore(
+            config, machine=FaultyMachine(), checker=all_checks,
+            keep_traces=False, max_states=3_000_000,
+        )
+        assert result.ok, result.violations[0].messages
+        assert result.quiescent_states > 0
+
+    def test_every_fault_rule_fires(self):
+        config = initial_faulty(
+            nprocs=2, copies_left=2, losses_left=1, timeouts_left=2,
+        )
+        result = explore(
+            config, machine=FaultyMachine(), checker=all_checks,
+            keep_traces=False, max_states=3_000_000,
+        )
+        for rule in ("lose", "timeout_dirty", "timeout_clean",
+                     "receive_clean", "receive_dirty"):
+            assert rule in result.rule_counts, rule
+
+
+class TestWithoutSequenceNumbers:
+    def test_leak_found(self):
+        """A clean overtaking a delayed dirty leaves a permanent entry
+        for a departed client — forever."""
+        config = initial_faulty(
+            nprocs=2, copies_left=1, losses_left=1, timeouts_left=1,
+            use_seqnos=False,
+        )
+        result = explore(
+            config, machine=FaultyMachine(),
+            checker=faulty_leak_violations, keep_traces=True,
+        )
+        assert not result.ok
+        assert "LEAK" in result.violations[0].messages[0]
+        names = [step.split("(")[0] for step in result.violations[0].trace]
+        assert "timeout_dirty" in names
+
+    def test_safety_violation_found(self):
+        """The duplicated-clean race: a retried clean (same seqno)
+        arrives after a fresh dirty and removes a live client."""
+        config = initial_faulty(
+            nprocs=2, copies_left=2, losses_left=0, timeouts_left=1,
+            use_seqnos=False,
+        )
+        result = explore(
+            config, machine=FaultyMachine(),
+            checker=faulty_safety_violations, keep_traces=True,
+        )
+        assert not result.ok
+        assert "FAULTY-UNSAFE" in result.violations[0].messages[0]
+        names = [step.split("(")[0] for step in result.violations[0].trace]
+        assert "timeout_clean" in names  # the retry is essential
+
+    def test_no_faults_no_problem(self):
+        """Without loss or timeouts, even the seqno-less protocol is
+        fine — the guards only matter under retries/reordering."""
+        config = initial_faulty(
+            nprocs=2, copies_left=2, losses_left=0, timeouts_left=0,
+            use_seqnos=False,
+        )
+        result = explore(
+            config, machine=FaultyMachine(), checker=all_checks,
+            keep_traces=False,
+        )
+        assert result.ok
+
+
+class TestScriptedFaultScenarios:
+    def walk(self, config, steps):
+        machine = FaultyMachine()
+        for kind, params in steps:
+            matches = [
+                t for t in machine.enabled(config)
+                if t.kind == kind and t.params == params
+            ]
+            assert matches, f"{kind}{params} not enabled:\n{config.describe()}"
+            config = matches[0].fire(config)
+            assert not faulty_safety_violations(config), config.describe()
+        return config
+
+    def test_lost_dirty_then_strong_clean(self):
+        config = initial_faulty(nprocs=2, copies_left=1, losses_left=1,
+                                timeouts_left=1)
+        config = self.walk(config, [
+            ("make_copy", (0, 1)),
+            ("receive_copy", (("copy", 0, 1, 1),)),
+            ("lose", (("dirty", 1, 1),)),          # dirty vanishes
+            ("timeout_dirty", (1,)),               # client gives up
+            ("receive_clean", (("clean", 1, 2, True, 1),)),
+            ("receive_clean_ack", (("clean_ack", 1, 2, 1),)),
+        ])
+        assert config.client(1).state is RefState.NONEXISTENT
+        assert not config.pdirty
+
+    def test_clean_retry_until_delivered(self):
+        config = initial_faulty(nprocs=2, copies_left=1, losses_left=1,
+                                timeouts_left=1)
+        config = self.walk(config, [
+            ("make_copy", (0, 1)),
+            ("receive_copy", (("copy", 0, 1, 1),)),
+            ("receive_dirty", (("dirty", 1, 1),)),
+            ("receive_dirty_ack", (("dirty_ack", 1, 1),)),
+            ("receive_copy_ack", (("copy_ack", 1, 0, 1),)),
+            ("drop", (1,)),
+            ("finalize", (1,)),
+            ("lose", (("clean", 1, 2, False, 1),)),   # clean lost
+            ("timeout_clean", (1,)),                  # retried, same seq
+            ("receive_clean", (("clean", 1, 2, False, 2),)),
+            ("receive_clean_ack", (("clean_ack", 1, 2, 2),)),
+        ])
+        assert config.client(1).state is RefState.NONEXISTENT
+        assert not config.pdirty
+        assert not config.msgs
+
+    def test_late_dirty_cannot_resurrect(self):
+        """The §2 guard end-to-end: dirty delayed past its own strong
+        clean has no effect."""
+        config = initial_faulty(nprocs=2, copies_left=1, losses_left=1,
+                                timeouts_left=1)
+        config = self.walk(config, [
+            ("make_copy", (0, 1)),
+            ("receive_copy", (("copy", 0, 1, 1),)),
+            ("timeout_dirty", (1,)),                  # spurious timeout
+            ("receive_clean", (("clean", 1, 2, True, 1),)),
+            ("receive_dirty", (("dirty", 1, 1),)),    # the late dirty
+        ])
+        assert not config.pdirty, "late dirty resurrected the entry"

@@ -1,0 +1,90 @@
+"""Termination-measure tests (Definition 15 / Lemmas 16-17)."""
+
+import pytest
+
+from repro.model import Machine, initial_configuration, termination_measure
+from repro.model.measure import MSG_MEASURE, RT_MEASURE
+from repro.dgc.states import RefState
+
+
+class TestWeights:
+    def test_paper_weights(self):
+        assert MSG_MEASURE == {
+            "copy": 14, "dirty": 8, "dirty_ack": 6,
+            "clean": 3, "copy_ack": 1, "clean_ack": 1,
+        }
+        assert RT_MEASURE[RefState.OK] == 5
+        assert RT_MEASURE[RefState.CCITNIL] == 2
+        assert RT_MEASURE[RefState.CCIT] == 1
+        assert RT_MEASURE[RefState.NIL] == 1
+        assert RT_MEASURE[RefState.NONEXISTENT] == 0
+
+
+class TestStrictDecrease:
+    """Lemma 16: every collector transition strictly decreases the
+    measure — verified over every transition of an exhaustive walk."""
+
+    @pytest.mark.parametrize("nprocs,copies", [(2, 2), (3, 2)])
+    def test_collector_transitions_decrease(self, nprocs, copies):
+        import collections
+
+        machine = Machine()
+        initial = initial_configuration(
+            nprocs=nprocs, nrefs=1, copies_left=copies
+        )
+        seen = {initial}
+        queue = collections.deque([initial])
+        checked = 0
+        while queue:
+            config = queue.popleft()
+            before = termination_measure(config)
+            for transition in machine.enabled(config):
+                successor = transition.fire(config)
+                after = termination_measure(successor)
+                if not transition.rule.mutator:
+                    assert after < before, (
+                        f"{transition} did not decrease the measure "
+                        f"({before} -> {after})"
+                    )
+                assert after >= 0
+                checked += 1
+                if successor not in seen:
+                    seen.add(successor)
+                    queue.append(successor)
+        assert checked > 100
+
+    def test_mutator_may_increase(self):
+        machine = Machine()
+        config = initial_configuration(nprocs=2, nrefs=1, copies_left=1)
+        before = termination_measure(config)
+        make_copy = [
+            t for t in machine.enabled(config)
+            if t.rule.name == "make_copy"
+        ][0]
+        after = termination_measure(make_copy.fire(config))
+        assert after > before
+
+
+class TestTermination:
+    def test_gc_always_quiesces(self):
+        """Lemma 17: collector-only runs terminate from any state."""
+        machine = Machine()
+        for seed in range(10):
+            config = initial_configuration(nprocs=3, nrefs=1, copies_left=3)
+            # Random mixed run for a while, then pure GC drain.
+            partial = machine.run_random(
+                config, seed=seed, max_steps=30, require_quiescence=False
+            )
+            drained = machine.run_to_gc_quiescence(partial)
+            assert machine.enabled_gc_only(drained) == []
+
+    def test_quiescent_measure_is_residual(self):
+        """At full quiescence only OK states (owner + live clients)
+        contribute to the measure."""
+        machine = Machine()
+        config = initial_configuration(nprocs=2, nrefs=1, copies_left=2)
+        final = machine.run_random(config, seed=1)
+        ok_count = sum(
+            1 for state in final.rec if state is RefState.OK
+        )
+        assert termination_measure(final) == 5 * ok_count

@@ -1,0 +1,114 @@
+"""Mechanised analysis of the owner optimisations (Section 5.2).
+
+Three results, each derived by exhaustive exploration:
+
+1. the *literal* §5.2.1 protocol (owner adds the permanent entry at
+   send time, no acknowledgement) is unsafe **even with full per-pair
+   FIFO**, via parallel sends of the same reference to the same
+   client — an instance of under-specification 3(d) the formalisation
+   charges Birrell's presentation with;
+2. the repaired variant (owner-sent copies are acknowledged; the ack
+   promotes a transient entry to the dirty set) is safe under
+   per-pair FIFO, at a cost of one extra message per cycle;
+3. without ordering, the repaired variant still exhibits exactly the
+   clean-overtakes-copy race §5.2.2 warns about, confirming the
+   paper's stated ordering requirement is the binding one.
+"""
+
+import pytest
+
+from repro.model.explorer import explore
+from repro.model.variants import (
+    OwnerOptMachine,
+    initial_owner_opt,
+    owner_opt_violations,
+)
+
+
+def run(nprocs, copies, ordered, repaired, keep_traces=False):
+    return explore(
+        initial_owner_opt(nprocs=nprocs, copies_left=copies,
+                          ordered=ordered, repaired=repaired),
+        machine=OwnerOptMachine(),
+        checker=owner_opt_violations,
+        keep_traces=keep_traces,
+        max_states=3_000_000,
+    )
+
+
+class TestLiteralSpec:
+    def test_literal_spec_unsafe_even_ordered(self):
+        """Result 1: FIFO does not save the as-described §5.2.1."""
+        result = run(2, 2, ordered=True, repaired=False, keep_traces=True)
+        assert not result.ok
+        trace = result.violations[0].trace
+        names = [step.split("(")[0] for step in trace]
+        # The counterexample is two owner sends racing one clean.
+        assert names.count("make_copy") == 2
+        assert "finalize" in names
+
+    def test_literal_spec_needs_two_sends(self):
+        """With a single copy ever sent, the literal spec holds —
+        the race needs the duplicate send."""
+        result = run(2, 1, ordered=True, repaired=False)
+        assert result.ok
+
+
+class TestRepairedVariant:
+    @pytest.mark.parametrize(
+        "nprocs,copies", [(2, 2), (2, 3), (3, 2), (3, 3)]
+    )
+    def test_safe_with_fifo(self, nprocs, copies):
+        """Result 2: ack-promoting owner sends + per-pair FIFO."""
+        result = run(nprocs, copies, ordered=True, repaired=True)
+        assert result.ok, result.violations[0].messages
+        assert result.quiescent_states >= 1
+
+    def test_unsafe_without_ordering(self):
+        """Result 3: drop the ordering and the §5.2.2 race appears —
+        a clean overtakes a copy on the client→owner path."""
+        result = run(2, 2, ordered=False, repaired=True, keep_traces=True)
+        assert not result.ok
+        names = [
+            step.split("(")[0] for step in result.violations[0].trace
+        ]
+        assert "finalize" in names
+
+    def test_full_cleanup_reachable(self):
+        result = run(2, 2, ordered=True, repaired=True)
+        assert result.quiescent_states >= 1
+
+
+class TestCosts:
+    def test_repaired_cycle_costs_two_messages(self):
+        """Owner→client import + drop under the repaired variant:
+        copy_ack + clean (vs the paper's claimed clean-only, which the
+        literal-spec counterexample shows is unsound)."""
+        from repro.dgc.states import RefState  # noqa: F401 (doc import)
+
+        machine = OwnerOptMachine()
+        config = initial_owner_opt(nprocs=2, copies_left=1, repaired=True)
+        gc_messages = 0
+
+        def fire(kind, params):
+            nonlocal config, gc_messages
+            matches = [
+                t for t in machine.enabled(config)
+                if t.kind == kind and t.params == params
+            ]
+            assert matches, f"{kind}{params} not enabled"
+            config = matches[0].fire(config)
+
+        fire("make_copy", (0, 1))
+        fire("deliver", (0, 1, ("copy", 1)))
+        fire("do_copy_ack", (1, 1, 0))
+        gc_messages += 1  # the copy_ack
+        fire("deliver", (1, 0, ("copy_ack", 1)))
+        assert 1 in config.pdirty  # promoted by the ack
+        fire("drop", (1,))
+        fire("finalize", (1,))
+        gc_messages += 1  # the clean
+        fire("deliver", (1, 0, ("clean",)))
+        assert not config.pdirty
+        assert not config.tdirty
+        assert gc_messages == 2

@@ -1,0 +1,208 @@
+"""Unit tests for the abstract machine's rules and basic runs."""
+
+import pytest
+
+from repro.dgc.states import RefState
+from repro.model import (
+    Machine,
+    initial_configuration,
+    termination_measure,
+)
+from repro.model.invariants import check_all
+from repro.model.rules import RULES_BY_NAME
+from repro.model.state import initial_configuration as init
+
+
+def fire(config, rule_name, params):
+    rule = RULES_BY_NAME[rule_name]
+    assert params in set(rule.candidates(config)), (
+        f"{rule_name}{params} not enabled"
+    )
+    return rule.fire(config, params)
+
+
+class TestInitialState:
+    def test_owner_starts_ok_and_reachable(self):
+        config = init(nprocs=3, nrefs=2, owner=(0, 1))
+        assert config.rec_of(0, 0) is RefState.OK
+        assert config.rec_of(1, 1) is RefState.OK
+        assert config.rec_of(1, 0) is RefState.NONEXISTENT
+        assert config.is_reachable(0, 0)
+        check_all(config)
+
+    def test_bad_owner_rejected(self):
+        with pytest.raises(ValueError):
+            init(nprocs=2, nrefs=1, owner=(5,))
+        with pytest.raises(ValueError):
+            init(nprocs=2, nrefs=2, owner=(0,))
+
+    def test_initial_measure(self):
+        config = init(nprocs=3, nrefs=1)
+        # Only the owner's OK state contributes.
+        assert termination_measure(config) == 5
+
+
+class TestHappyPath:
+    """Walk the full life cycle by hand, checking states and measure."""
+
+    def test_full_cycle(self):
+        config = init(nprocs=2, nrefs=1, copies_left=1)
+        measures = [termination_measure(config)]
+
+        def step(cfg, rule, params):
+            new = fire(cfg, rule, params)
+            check_all(new)
+            measures.append(termination_measure(new))
+            return new
+
+        config = step(config, "make_copy", (0, 1, 0))
+        copy_msg = next(iter(config.msgs))
+        config = step(config, "receive_copy", copy_msg)
+        assert config.rec_of(1, 0) is RefState.NIL
+        config = step(config, "do_dirty_call", (1, 0))
+        config = step(config, "receive_dirty", ("dirty", 1, 0, 0))
+        assert (0, 0, 1) in config.pdirty
+        config = step(config, "do_dirty_ack", (0, 1, 0))
+        config = step(config, "receive_dirty_ack", ("dirty_ack", 0, 1, 0))
+        assert config.rec_of(1, 0) is RefState.OK
+        config = step(config, "do_copy_ack", (1, 1, 0, 0))
+        config = step(config, "receive_copy_ack", ("copy_ack", 1, 0, 0, 1))
+        assert not config.tdirty
+        config = step(config, "mutator_drop", (1, 0))
+        config = step(config, "finalize", (1, 0))
+        config = step(config, "do_clean_call", (1, 0))
+        assert config.rec_of(1, 0) is RefState.CCIT
+        config = step(config, "receive_clean", ("clean", 1, 0, 0))
+        assert not config.pdirty
+        config = step(config, "do_clean_ack", (0, 1, 0))
+        config = step(config, "receive_clean_ack", ("clean_ack", 0, 1, 0))
+        assert config.rec_of(1, 0) is RefState.NONEXISTENT
+
+        # No collector transition remains.
+        assert Machine().enabled_gc_only(config) == []
+        # The measure decreased strictly on every collector step.
+        gc_steps = [
+            (before, after)
+            for i, (before, after) in enumerate(
+                zip(measures, measures[1:])
+            )
+            # steps 0 (make_copy), 8 (drop) and 9 (finalize) are
+            # mutator steps; all others are collector steps
+            if i not in (0, 8, 9)
+        ]
+        for before, after in gc_steps:
+            assert after < before
+
+    def test_ccitnil_postpones_dirty(self):
+        """A copy during clean-in-transit parks in ccitnil; the dirty
+        call is disabled until the clean ack arrives."""
+        config = init(nprocs=2, nrefs=1, copies_left=2)
+        config = fire(config, "make_copy", (0, 1, 0))
+        config = fire(config, "receive_copy", ("copy", 0, 1, 0, 1))
+        config = fire(config, "do_dirty_call", (1, 0))
+        config = fire(config, "receive_dirty", ("dirty", 1, 0, 0))
+        config = fire(config, "do_dirty_ack", (0, 1, 0))
+        config = fire(config, "receive_dirty_ack", ("dirty_ack", 0, 1, 0))
+        config = fire(config, "do_copy_ack", (1, 1, 0, 0))
+        config = fire(config, "receive_copy_ack", ("copy_ack", 1, 0, 0, 1))
+        config = fire(config, "mutator_drop", (1, 0))
+        config = fire(config, "finalize", (1, 0))
+        config = fire(config, "do_clean_call", (1, 0))
+        assert config.rec_of(1, 0) is RefState.CCIT
+        # Clean is in transit; now a fresh copy arrives.
+        config = fire(config, "make_copy", (0, 1, 0))
+        config = fire(config, "receive_copy", ("copy", 0, 1, 0, 2))
+        assert config.rec_of(1, 0) is RefState.CCITNIL
+        check_all(config)
+        # do_dirty_call must NOT be enabled (Note 5).
+        dirty_rule = RULES_BY_NAME["do_dirty_call"]
+        assert (1, 0) not in set(dirty_rule.candidates(config))
+        # Drain the clean; then the dirty becomes possible.
+        config = fire(config, "receive_clean", ("clean", 1, 0, 0))
+        config = fire(config, "do_clean_ack", (0, 1, 0))
+        config = fire(config, "receive_clean_ack", ("clean_ack", 0, 1, 0))
+        assert config.rec_of(1, 0) is RefState.NIL
+        assert (1, 0) in set(dirty_rule.candidates(config))
+        check_all(config)
+
+    def test_resurrection_cancels_clean(self):
+        """Note 4: copy received while a clean is scheduled (not sent)
+        cancels it."""
+        config = init(nprocs=2, nrefs=1, copies_left=2)
+        config = fire(config, "make_copy", (0, 1, 0))
+        config = fire(config, "receive_copy", ("copy", 0, 1, 0, 1))
+        config = fire(config, "do_dirty_call", (1, 0))
+        config = fire(config, "receive_dirty", ("dirty", 1, 0, 0))
+        config = fire(config, "do_dirty_ack", (0, 1, 0))
+        config = fire(config, "receive_dirty_ack", ("dirty_ack", 0, 1, 0))
+        config = fire(config, "do_copy_ack", (1, 1, 0, 0))
+        config = fire(config, "receive_copy_ack", ("copy_ack", 1, 0, 0, 1))
+        config = fire(config, "mutator_drop", (1, 0))
+        config = fire(config, "finalize", (1, 0))
+        assert (1, 0) in config.clean_call_todo
+        config = fire(config, "make_copy", (0, 1, 0))
+        config = fire(config, "receive_copy", ("copy", 0, 1, 0, 2))
+        assert (1, 0) not in config.clean_call_todo  # cancelled
+        assert config.rec_of(1, 0) is RefState.OK
+        check_all(config)
+
+    def test_transient_entry_blocks_finalize(self):
+        """The transient dirty table is a local GC root (Note 2)."""
+        config = init(nprocs=3, nrefs=1, copies_left=2)
+        # 0 -> 1 full import.
+        config = fire(config, "make_copy", (0, 1, 0))
+        config = fire(config, "receive_copy", ("copy", 0, 1, 0, 1))
+        config = fire(config, "do_dirty_call", (1, 0))
+        config = fire(config, "receive_dirty", ("dirty", 1, 0, 0))
+        config = fire(config, "do_dirty_ack", (0, 1, 0))
+        config = fire(config, "receive_dirty_ack", ("dirty_ack", 0, 1, 0))
+        config = fire(config, "do_copy_ack", (1, 1, 0, 0))
+        config = fire(config, "receive_copy_ack", ("copy_ack", 1, 0, 0, 1))
+        # 1 forwards to 2 and drops its own use immediately (Figure 1).
+        config = fire(config, "make_copy", (1, 2, 0))
+        config = fire(config, "mutator_drop", (1, 0))
+        finalize = RULES_BY_NAME["finalize"]
+        assert (1, 0) not in set(finalize.candidates(config))
+        check_all(config)
+
+
+class TestRandomRuns:
+    def test_random_runs_preserve_invariants(self):
+        machine = Machine()
+        for seed in range(20):
+            config = init(nprocs=3, nrefs=1, copies_left=3)
+            machine.run_random(
+                config, seed=seed,
+                observer=lambda cfg, _t: check_all(cfg),
+            )
+
+    def test_quiescence_empties_dirty_tables(self):
+        """Liveness (Theorem 21): after the mutator stops and all
+        messages drain, the owner's dirty tables are empty."""
+        machine = Machine()
+        for seed in range(20):
+            config = init(nprocs=3, nrefs=1, copies_left=3)
+            final = machine.run_random(config, seed=seed)
+            # At quiescence, only OK-at-owner and reachable remain.
+            assert not final.tdirty
+            assert not final.pdirty or all(
+                final.rec_of(client, ref) is RefState.OK
+                for (_o, ref, client) in final.pdirty
+            )
+
+    def test_gc_quiescence_measure_bound(self):
+        """Collector steps between mutator actions never exceed the
+        termination measure (the liveness bound is tight-ish)."""
+        machine = Machine()
+        config = init(nprocs=3, nrefs=1, copies_left=2)
+        config = fire(config, "make_copy", (0, 1, 0))
+        config = fire(config, "make_copy", (0, 2, 0))
+        measure = termination_measure(config)
+        steps = 0
+        while True:
+            transitions = machine.enabled_gc_only(config)
+            if not transitions:
+                break
+            config = transitions[0].fire(config)
+            steps += 1
+        assert steps <= measure

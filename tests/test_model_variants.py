@@ -1,0 +1,150 @@
+"""Tests for the scenario driver and the variant cost models."""
+
+import pytest
+
+from repro.model.scenario import (
+    ScenarioRun,
+    churn,
+    fan_out,
+    figure_one_race,
+    import_and_drop,
+    run_events,
+    third_party,
+)
+from repro.model.variants import (
+    BirrellCounting,
+    BirrellFifoCounting,
+    BirrellOwnerOptCounting,
+    IndirectRC,
+    LermenMaurer,
+    WeightedRC,
+    all_models,
+)
+
+SCENARIOS = [
+    ("import_and_drop", import_and_drop(), 2),
+    ("third_party", third_party(), 3),
+    ("fan_out", fan_out(3), 4),
+    ("churn", churn(3), 2),
+]
+
+
+class TestScenarioDriver:
+    def test_import_and_drop_message_breakdown(self):
+        run = run_events(2, import_and_drop())
+        assert dict(run.messages) == {
+            "copy": 1, "dirty": 1, "dirty_ack": 1,
+            "copy_ack": 1, "clean": 1, "clean_ack": 1,
+        }
+        assert run.total_gc_messages() == 5
+        assert not run.owner_entry_exists()
+        assert run.holders() == []
+
+    def test_base_cost_is_linear_in_cycles(self):
+        for rounds in (1, 2, 5):
+            run = run_events(2, churn(rounds))
+            assert run.total_gc_messages() == 5 * rounds
+
+    def test_figure_one_race_is_safe(self):
+        """The driver checks every intermediate configuration, so a
+        clean completion *is* the safety statement."""
+        run = run_events(3, figure_one_race())
+        assert not run.owner_entry_exists()
+
+    def test_invalid_event_rejected(self):
+        with pytest.raises(ValueError):
+            run_events(2, [("teleport", 1)])
+
+    def test_copy_to_holder_is_cheap(self):
+        """A second copy to an OK holder costs only a copy_ack."""
+        run = ScenarioRun(2)
+        run.copy(0, 1)
+        first = run.total_gc_messages()
+        run.copy(0, 1)
+        assert run.total_gc_messages() == first + 1  # just the ack
+        assert run.messages["dirty"] == 1
+
+
+class TestCostModels:
+    @pytest.mark.parametrize("name,events,nprocs", SCENARIOS)
+    def test_all_models_collect_after_all_drops(self, name, events, nprocs):
+        for model in all_models(nprocs):
+            model.run(events)
+            assert model.collected(), f"{model.name} failed on {name}"
+
+    @pytest.mark.parametrize("name,events,nprocs", SCENARIOS)
+    def test_cost_ordering(self, name, events, nprocs):
+        """The qualitative claims of the related-work comparison:
+        base Birrell ≥ FIFO variant ≥ owner-optimised, and the
+        decrement-only algorithms (WRC, IRC) are cheapest."""
+        costs = {}
+        for model in all_models(nprocs):
+            model.run(events)
+            costs[model.name] = model.total_gc_messages()
+        assert costs["birrell"] >= costs["birrell-fifo"]
+        assert costs["birrell-fifo"] >= costs["birrell-owner-opt"]
+        assert costs["weighted"] <= costs["lermen-maurer"]
+        assert costs["indirect"] <= costs["lermen-maurer"]
+
+    def test_birrell_matches_machine_exactly(self):
+        model = BirrellCounting(3)
+        model.run(third_party())
+        assert model.total_gc_messages() == 10
+
+    def test_fifo_saves_clean_acks(self):
+        base = BirrellCounting(2).run(churn(4))
+        fifo = BirrellFifoCounting(2).run(churn(4))
+        assert (base.total_gc_messages() - fifo.total_gc_messages()) == 4
+
+    def test_owner_opt_free_when_owner_sends(self):
+        model = BirrellOwnerOptCounting(2)
+        model.copy(0, 1)
+        assert model.total_gc_messages() == 0
+        model.drop(1)
+        assert model.total_gc_messages() == 1  # just the clean
+
+    def test_owner_opt_receiver_is_owner_free(self):
+        model = BirrellOwnerOptCounting(3)
+        model.copy(0, 1)
+        model.copy(1, 0)  # back home: no messages at all
+        assert model.total_gc_messages() == 0
+
+    def test_weighted_requests_more_weight_at_one(self):
+        model = WeightedRC(3, max_weight_log=1)  # tiny weights
+        model.copy(0, 1)   # owner 1 / client 1
+        model.copy(1, 2)   # client at weight 1 must request more
+        assert model.messages["more_weight_request"] == 1
+        model.drop(1)
+        model.drop(2)
+        assert model.collected()
+
+    def test_weighted_invariant_enforced(self):
+        model = WeightedRC(2)
+        model.copy(0, 1)
+        model.object_weight += 1  # corrupt the books
+        with pytest.raises(AssertionError):
+            model.copy(0, 1)
+
+    def test_indirect_zombie_chain(self):
+        """0 → 1 → 2: when 1 drops first it lingers as a zombie until
+        2's decrement releases it."""
+        model = IndirectRC(3)
+        model.copy(0, 1)
+        model.copy(1, 2)
+        model.drop(1)
+        assert 1 in model.zombies
+        assert model.messages["dec"] == 0  # nothing released yet
+        model.drop(2)
+        assert model.collected()
+        assert model.messages["dec"] == 2  # 2→1 and then 1→0
+
+    def test_indirect_no_zombie_without_children(self):
+        model = IndirectRC(2)
+        model.copy(0, 1)
+        model.drop(1)
+        assert not model.zombies
+        assert model.collected()
+
+    def test_lermen_maurer_counts(self):
+        model = LermenMaurer(3).run(third_party())
+        assert dict(model.messages) == {"inc": 2, "ack": 2, "dec": 2}

@@ -1,0 +1,94 @@
+"""Tests for the agent (name service) and bootstrap mechanics."""
+
+import pytest
+
+from repro import Agent, NameServiceError, NetObj, Space
+from repro.wire.wirerep import SPECIAL_OBJECT_INDEX
+from tests.helpers import Counter
+
+
+class TestAgentLocal:
+    def test_put_get(self):
+        agent = Agent()
+        token = object()
+        agent.put("x", token)
+        assert agent.get("x") is token
+
+    def test_get_missing(self):
+        with pytest.raises(NameServiceError):
+            Agent().get("missing")
+
+    def test_replace(self):
+        agent = Agent()
+        agent.put("x", 1)
+        agent.put("x", 2)
+        assert agent.get("x") == 2
+
+    def test_remove(self):
+        agent = Agent()
+        agent.put("x", 1)
+        agent.remove("x")
+        agent.remove("x")  # idempotent
+        with pytest.raises(NameServiceError):
+            agent.get("x")
+
+    def test_list_sorted(self):
+        agent = Agent()
+        for name in ("zebra", "apple", "mango"):
+            agent.put(name, name)
+        assert agent.list() == ["apple", "mango", "zebra"]
+
+
+class TestBootstrap:
+    def test_agent_is_the_special_object(self, request):
+        endpoint = f"inproc://boot-{request.node.name}"
+        with Space("server", listen=[endpoint]) as server:
+            entry = server.object_table.exported_entry(SPECIAL_OBJECT_INDEX)
+            assert entry is not None
+            assert entry.obj is server.agent
+            assert entry.pinned
+
+    def test_import_without_name_returns_agent_surrogate(self, request):
+        endpoint = f"inproc://boot2-{request.node.name}"
+        with Space("server", listen=[endpoint]) as server, \
+                Space("client") as client:
+            server.serve("thing", Counter())
+            agent = client.import_object(endpoint)
+            assert agent.list() == ["thing"]
+
+    def test_remote_registration_via_agent(self, request):
+        """A client can publish its own object in the server's agent —
+        a third-party registration."""
+        endpoint = f"inproc://boot3-{request.node.name}"
+        client_ep = f"inproc://boot3c-{request.node.name}"
+        with Space("server", listen=[endpoint]) as server, \
+                Space("client", listen=[client_ep]) as client, \
+                Space("other") as other:
+            agent = client.import_object(endpoint)
+            mine = Counter(5)
+            agent.put("client-counter", mine)
+            # A third space finds the client's object via the server.
+            found = other.import_object(endpoint, "client-counter")
+            assert found.value() == 5
+            # And it is owned by the client, not the server.
+            assert found._wirerep.owner == client.space_id
+
+    def test_agent_survives_client_churn(self, request):
+        endpoint = f"inproc://boot4-{request.node.name}"
+        with Space("server", listen=[endpoint]) as server:
+            server.serve("c", Counter())
+            import gc
+
+            for _ in range(5):
+                with Space("ephemeral") as client:
+                    counter = client.import_object(endpoint, "c")
+                    counter.increment()
+                gc.collect()
+            entry = server.object_table.exported_entry(SPECIAL_OBJECT_INDEX)
+            assert entry is not None  # pinned through it all
+
+    def test_serve_requires_netobj(self, request):
+        endpoint = f"inproc://boot5-{request.node.name}"
+        with Space("server", listen=[endpoint]) as server:
+            with pytest.raises(TypeError):
+                server.serve("bad", object())

@@ -1,0 +1,288 @@
+"""Property-based tests (hypothesis) over the core data structures.
+
+Four target families:
+
+* the pickle format — round-trip fidelity over arbitrary value graphs;
+* varints — total and lossless over non-negative integers;
+* the abstract machine — every reachable configuration along random
+  transition sequences satisfies every invariant, and collector steps
+  strictly decrease the termination measure;
+* random mutator schedules — arbitrary copy/drop event sequences
+  always end with the object collected and the books balanced, for
+  the base machine and every variant cost model.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.marshal import StructRegistry, dumps, loads
+from repro.model import Machine, initial_configuration, termination_measure
+from repro.model.invariants import all_violations
+from repro.model.scenario import run_events
+from repro.model.variants import all_models
+from repro.wire.varint import read_uvarint, write_uvarint
+
+# -- strategies -----------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+        st.tuples(children, children),
+        st.sets(
+            st.one_of(st.integers(), st.text(max_size=8)), max_size=5
+        ),
+        st.frozensets(st.integers(), max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+# -- pickles ---------------------------------------------------------------------
+
+class TestPickleProperties:
+    @given(values)
+    @settings(max_examples=300, deadline=None)
+    def test_round_trip(self, value):
+        assert loads(dumps(value)) == value
+
+    @given(values)
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_preserves_types(self, value):
+        result = loads(dumps(value))
+        assert type(result) is type(value)
+
+    @given(st.floats())
+    @settings(max_examples=100, deadline=None)
+    def test_floats_bitwise(self, value):
+        result = loads(dumps(value))
+        if math.isnan(value):
+            assert math.isnan(result)
+        else:
+            assert result == value
+            assert math.copysign(1, result) == math.copysign(1, value)
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_sharing_preserved(self, value):
+        box = [value, value]
+        result = loads(dumps(box))
+        if isinstance(value, (list, dict, set, bytearray)):
+            assert result[0] is result[1]
+        assert result[0] == result[1]
+
+    @given(st.integers())
+    @settings(max_examples=200, deadline=None)
+    def test_any_int(self, value):
+        assert loads(dumps(value)) == value
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_bytes_never_crash_decoder(self, data):
+        from repro.errors import UnmarshalError
+
+        try:
+            loads(data)
+        except UnmarshalError:
+            pass  # rejection is the contract; crashing is not
+
+
+class TestVarintProperties:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_round_trip(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        decoded, offset = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    @given(st.integers(min_value=0, max_value=2**32),
+           st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=100, deadline=None)
+    def test_concatenation_parses(self, a, b):
+        out = bytearray()
+        write_uvarint(out, a)
+        write_uvarint(out, b)
+        first, offset = read_uvarint(bytes(out), 0)
+        second, end = read_uvarint(bytes(out), offset)
+        assert (first, second) == (a, b)
+        assert end == len(out)
+
+
+# -- the abstract machine ------------------------------------------------------------
+
+class TestMachineProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(2, 3))
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_walks_safe(self, seed, nprocs):
+        """Invariants hold and the measure behaves along random runs."""
+        machine = Machine()
+        config = initial_configuration(
+            nprocs=nprocs, nrefs=1, copies_left=3
+        )
+        state = {"measure": termination_measure(config)}
+
+        def observe(successor, transition):
+            violations = all_violations(successor)
+            assert not violations, violations
+            measure = termination_measure(successor)
+            assert measure >= 0
+            if not transition.rule.mutator:
+                assert measure < state["measure"], transition
+            state["measure"] = measure
+
+        final = machine.run_random(config, seed=seed, observer=observe)
+        # Liveness at quiescence: no transient entries, no messages.
+        assert not final.tdirty
+        assert not final.msgs
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_quiescent_dirty_sets_match_holders(self, seed):
+        """At quiescence the dirty set is exactly the set of clients
+        whose reference is still usable (Invariant 2 collapsed)."""
+        from repro.dgc.states import RefState
+
+        machine = Machine()
+        config = initial_configuration(nprocs=3, nrefs=1, copies_left=3)
+        final = machine.run_random(config, seed=seed)
+        owner = final.owner[0]
+        holders = {
+            proc for proc in range(final.nprocs)
+            if proc != owner and final.rec_of(proc, 0) is RefState.OK
+        }
+        assert final.pdirty_of(owner, 0) == holders
+
+
+# -- random mutator schedules over all algorithms -------------------------------------
+
+
+@st.composite
+def event_sequences(draw, nprocs=3, max_events=12):
+    """Valid copy/drop sequences: senders hold the ref, everyone
+    drops at the end (so collection is expected)."""
+    holders = {0}
+    events = []
+    count = draw(st.integers(min_value=1, max_value=max_events))
+    for _ in range(count):
+        action = draw(st.sampled_from(["copy", "copy", "drop"]))
+        if action == "copy":
+            src = draw(st.sampled_from(sorted(holders)))
+            dst = draw(st.integers(min_value=0, max_value=nprocs - 1))
+            if dst == src:
+                continue
+            events.append(("copy", src, dst))
+            holders.add(dst)
+        else:
+            droppable = sorted(holders - {0})
+            if not droppable:
+                continue
+            victim = draw(st.sampled_from(droppable))
+            events.append(("drop", victim))
+            holders.discard(victim)
+    for proc in sorted(holders - {0}):
+        events.append(("drop", proc))
+    return events
+
+
+class TestScheduleProperties:
+    @given(event_sequences())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_base_machine_collects_and_stays_safe(self, events):
+        run = run_events(3, events, check=True)
+        assert not run.owner_entry_exists()
+        assert run.holders() == []
+
+    @given(event_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_all_variants_collect(self, events):
+        for model in all_models(3):
+            model.run(events)
+            assert model.collected(), (model.name, events)
+
+    @given(event_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_cost_hierarchy_holds_universally(self, events):
+        from repro.model.variants import (
+            BirrellCounting,
+            BirrellFifoCounting,
+            BirrellOwnerOptCounting,
+        )
+
+        base = BirrellCounting(3).run(events).total_gc_messages()
+        fifo = BirrellFifoCounting(3).run(events).total_gc_messages()
+        opt = BirrellOwnerOptCounting(3).run(events).total_gc_messages()
+        assert base >= fifo >= opt
+
+
+class TestFaultyMachineProperties:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_random_fault_walks_safe_with_seqnos(self, seed):
+        """Random walks of the fault-tolerant machine (loss, spurious
+        timeouts, retries): safety holds at every step, and quiescent
+        states are leak-free."""
+        import random as _random
+
+        from repro.model.variants import (
+            FaultyMachine,
+            faulty_leak_violations,
+            faulty_safety_violations,
+            initial_faulty,
+        )
+
+        rng = _random.Random(seed)
+        machine = FaultyMachine()
+        config = initial_faulty(
+            nprocs=3, copies_left=3, losses_left=2, timeouts_left=3,
+        )
+        for _ in range(400):
+            transitions = machine.enabled(config)
+            if not transitions:
+                break
+            config = rng.choice(transitions).fire(config)
+            violations = faulty_safety_violations(config)
+            assert not violations, violations
+        quiescent_leaks = faulty_leak_violations(config)
+        if not machine.enabled(config):
+            assert not quiescent_leaks, quiescent_leaks
+
+
+class TestMessageDecoderFuzz:
+    @given(st.binary(min_size=0, max_size=120))
+    @settings(max_examples=300, deadline=None)
+    def test_rpc_decoder_never_crashes(self, data):
+        """Arbitrary frames are either decoded or rejected with our
+        error types — no interpreter-level exceptions escape."""
+        from repro.errors import NetObjError
+        from repro.rpc import messages as rpc_messages
+
+        try:
+            rpc_messages.decode(data)
+        except NetObjError:
+            pass
+
+    @given(st.binary(min_size=0, max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_ref_payload_decoder_never_crashes(self, data):
+        from repro.core.marshalctx import decode_ref
+        from repro.errors import NetObjError
+
+        try:
+            decode_ref(data)
+        except NetObjError:
+            pass

@@ -1,0 +1,394 @@
+"""Unit tests for the RPC layer: messages, dispatcher, connections, cache."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import CallTimeout, CommFailure, ProtocolError
+from repro.rpc import messages
+from repro.rpc.cache import ConnectionCache
+from repro.rpc.connection import Connection
+from repro.rpc.dispatcher import Dispatcher
+from repro.transport.inprocess import channel_pair
+from repro.wire.ids import fresh_space_id
+from repro.wire.wirerep import WireRep
+
+
+class TestMessageCodecs:
+    def examples(self):
+        rep = WireRep(fresh_space_id("owner"), 7)
+        return [
+            messages.Hello(fresh_space_id("me"), "me"),
+            messages.HelloAck(fresh_space_id("you"), "you"),
+            messages.Bye(),
+            messages.Call(3, rep, "deposit", b"\x00\x01\x02"),
+            messages.Call(4, rep, "", b""),
+            messages.Result(3, b"\x07"),
+            messages.Fault(3, "ValueError", "bad amount", "Traceback ..."),
+            messages.Dirty(9, rep, 12),
+            messages.DirtyAck(9, True),
+            messages.DirtyAck(9, False, "no such object"),
+            messages.Clean(10, rep, 13, strong=False),
+            messages.Clean(11, rep, 14, strong=True),
+            messages.CleanAck(10),
+            messages.CopyAck(rep, 55),
+            messages.Ping(77),
+            messages.PingAck(77),
+        ]
+
+    def test_round_trip_all(self):
+        for message in self.examples():
+            decoded = messages.decode(message.encode())
+            assert decoded == message, message
+
+    def test_reply_tags_have_call_ids(self):
+        for message in self.examples():
+            if message.tag in messages.REPLY_TAGS:
+                assert hasattr(message, "call_id")
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            messages.decode(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError):
+            messages.decode(b"\xee")
+
+    def test_hello_carries_nickname(self):
+        sid = fresh_space_id("alpha")
+        decoded = messages.decode(messages.Hello(sid, "alpha").encode())
+        assert decoded.space_id == sid
+        assert decoded.space_id.nickname == "alpha"
+
+
+class TestDispatcher:
+    def test_runs_tasks(self):
+        dispatcher = Dispatcher()
+        done = threading.Event()
+        dispatcher.submit(done.set)
+        assert done.wait(5)
+        dispatcher.shutdown()
+
+    def test_blocked_task_does_not_stall_others(self):
+        dispatcher = Dispatcher()
+        release = threading.Event()
+        second_ran = threading.Event()
+        dispatcher.submit(lambda: release.wait(10))
+        dispatcher.submit(second_ran.set)
+        assert second_ran.wait(5)
+        release.set()
+        dispatcher.shutdown()
+
+    def test_many_concurrent_blockers(self):
+        dispatcher = Dispatcher(max_workers=64)
+        release = threading.Event()
+        started = []
+        lock = threading.Lock()
+
+        def blocker():
+            with lock:
+                started.append(1)
+            release.wait(10)
+
+        for _ in range(32):
+            dispatcher.submit(blocker)
+        deadline = time.time() + 5
+        while time.time() < deadline and len(started) < 32:
+            time.sleep(0.01)
+        assert len(started) == 32
+        release.set()
+        dispatcher.shutdown()
+
+    def test_shutdown_drops_new_tasks(self):
+        dispatcher = Dispatcher()
+        dispatcher.shutdown()
+        ran = threading.Event()
+        dispatcher.submit(ran.set)
+        assert not ran.wait(0.2)
+
+    def test_task_exception_contained(self, capsys):
+        dispatcher = Dispatcher()
+        done = threading.Event()
+        dispatcher.submit(lambda: 1 / 0)
+        dispatcher.submit(done.set)
+        assert done.wait(5)
+        dispatcher.shutdown()
+
+
+def connected_pair(handle_a=None, handle_b=None, on_close_a=None, on_close_b=None):
+    """Two handshaken Connections over an in-process channel pair."""
+    chan_a, chan_b = channel_pair()
+    id_a = fresh_space_id("a")
+    id_b = fresh_space_id("b")
+    dispatcher = Dispatcher()
+    default = lambda conn, msg: None  # noqa: E731
+    result = {}
+
+    def make_b():
+        result["b"] = Connection(
+            chan_b, id_b, dispatcher, handle_b or default,
+            on_close=on_close_b, outbound=False,
+        )
+
+    thread = threading.Thread(target=make_b, daemon=True)
+    thread.start()
+    conn_a = Connection(
+        chan_a, id_a, dispatcher, handle_a or default,
+        on_close=on_close_a, outbound=True,
+    )
+    thread.join(timeout=5)
+    assert "b" in result
+    return conn_a, result["b"], id_a, id_b
+
+
+class TestConnection:
+    def test_handshake_exchanges_identities(self):
+        conn_a, conn_b, id_a, id_b = connected_pair()
+        assert conn_a.peer_id == id_b
+        assert conn_b.peer_id == id_a
+        conn_a.close()
+
+    def test_call_and_reply(self):
+        def serve(conn, msg):
+            assert isinstance(msg, messages.Call)
+            conn.send(messages.Result(msg.call_id, msg.args_pickle * 2))
+
+        conn_a, _conn_b, _a, _b = connected_pair(handle_b=serve)
+        rep = WireRep(fresh_space_id(), 1)
+        reply = conn_a.call(messages.Call(conn_a.next_call_id(), rep, "m", b"xy"))
+        assert isinstance(reply, messages.Result)
+        assert reply.result_pickle == b"xyxy"
+        conn_a.close()
+
+    def test_concurrent_calls_match_replies(self):
+        def serve(conn, msg):
+            time.sleep(0.01 if msg.args_pickle == b"slow" else 0)
+            conn.send(messages.Result(msg.call_id, msg.args_pickle))
+
+        conn_a, _b, _x, _y = connected_pair(handle_b=serve)
+        rep = WireRep(fresh_space_id(), 1)
+        outputs = {}
+
+        def invoke(tagname):
+            reply = conn_a.call(
+                messages.Call(conn_a.next_call_id(), rep, "m", tagname)
+            )
+            outputs[tagname] = reply.result_pickle
+
+        threads = [
+            threading.Thread(target=invoke, args=(name,))
+            for name in (b"slow", b"fast1", b"fast2")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert outputs == {b"slow": b"slow", b"fast1": b"fast1", b"fast2": b"fast2"}
+        conn_a.close()
+
+    def test_call_timeout(self):
+        conn_a, _b, _x, _y = connected_pair()  # peer never replies
+        rep = WireRep(fresh_space_id(), 1)
+        with pytest.raises(CallTimeout):
+            conn_a.call(
+                messages.Call(conn_a.next_call_id(), rep, "m", b""),
+                timeout=0.1,
+            )
+        conn_a.close()
+
+    def test_peer_close_fails_pending_calls(self):
+        conn_a, conn_b, _x, _y = connected_pair()
+        rep = WireRep(fresh_space_id(), 1)
+        failures = []
+
+        def invoke():
+            try:
+                conn_a.call(messages.Call(conn_a.next_call_id(), rep, "m", b""))
+            except CommFailure as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=invoke, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        conn_b.close()
+        thread.join(timeout=5)
+        assert len(failures) == 1
+
+    def test_on_close_called_once(self):
+        closes = []
+        conn_a, conn_b, _x, _y = connected_pair(on_close_a=closes.append)
+        conn_b.close()
+        time.sleep(0.1)
+        conn_a.close()
+        assert closes == [conn_a]
+
+    def test_send_after_close(self):
+        conn_a, _b, _x, _y = connected_pair()
+        conn_a.close()
+        with pytest.raises(CommFailure):
+            conn_a.send(messages.Ping(1))
+
+    def test_undecodable_frame_drops_connection(self):
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        holder = {}
+
+        def make_b():
+            holder["b"] = Connection(
+                chan_b, fresh_space_id("b"), dispatcher,
+                lambda c, m: None, outbound=False,
+            )
+
+        thread = threading.Thread(target=make_b, daemon=True)
+        thread.start()
+        conn_a = Connection(
+            chan_a, fresh_space_id("a"), dispatcher,
+            lambda c, m: None, outbound=True,
+        )
+        thread.join(timeout=5)
+        chan_a.send(b"\xee garbage")
+        deadline = time.time() + 5
+        while time.time() < deadline and not holder["b"].closed:
+            time.sleep(0.01)
+        assert holder["b"].closed
+
+
+class TestConnectionCache:
+    def make_cache(self):
+        created = []
+
+        class FakeConn:
+            def __init__(self):
+                self.closed = False
+
+            def close(self):
+                self.closed = True
+
+        def connect(endpoint):
+            conn = FakeConn()
+            created.append((endpoint, conn))
+            return conn
+
+        return ConnectionCache(connect), created
+
+    def test_reuses_connection(self):
+        cache, created = self.make_cache()
+        first = cache.get("tcp://x:1")
+        second = cache.get("tcp://x:1")
+        assert first is second
+        assert len(created) == 1
+
+    def test_distinct_endpoints_distinct_connections(self):
+        cache, created = self.make_cache()
+        assert cache.get("tcp://x:1") is not cache.get("tcp://y:2")
+        assert len(created) == 2
+
+    def test_closed_connection_redialed(self):
+        cache, created = self.make_cache()
+        first = cache.get("tcp://x:1")
+        first.closed = True
+        second = cache.get("tcp://x:1")
+        assert second is not first
+        assert len(created) == 2
+
+    def test_evict(self):
+        cache, _created = self.make_cache()
+        conn = cache.get("tcp://x:1")
+        cache.evict(conn)
+        assert cache.peek("tcp://x:1") is None
+
+    def test_close_all_then_get_raises(self):
+        from repro.errors import SpaceShutdownError
+
+        cache, created = self.make_cache()
+        conn = cache.get("tcp://x:1")
+        cache.close_all()
+        assert conn.closed
+        with pytest.raises(SpaceShutdownError):
+            cache.get("tcp://x:1")
+
+    def test_concurrent_get_single_dial(self):
+        dialing = threading.Event()
+        proceed = threading.Event()
+        created = []
+
+        class FakeConn:
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        def connect(endpoint):
+            dialing.set()
+            proceed.wait(5)
+            conn = FakeConn()
+            created.append(conn)
+            return conn
+
+        cache = ConnectionCache(connect)
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(cache.get("e://1")))
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        assert dialing.wait(5)
+        proceed.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(created) == 1
+        assert all(r is results[0] for r in results)
+
+
+class TestHandshakeEdges:
+    def test_version_mismatch_rejected(self):
+        from repro.wire.varint import write_uvarint
+
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        # Hand-craft a HELLO with a bogus protocol version.
+        sid = fresh_space_id("old-peer")
+        frame = bytearray([0x01])
+        write_uvarint(frame, 999)
+        frame += sid.to_bytes()
+        write_uvarint(frame, 0)  # empty nickname
+        chan_a.send(bytes(frame))
+        with pytest.raises(ProtocolError):
+            Connection(
+                chan_b, fresh_space_id("b"), dispatcher,
+                lambda c, m: None, outbound=False,
+            )
+
+    def test_garbage_during_handshake_rejected(self):
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        chan_a.send(b"\xff not a hello")
+        with pytest.raises((ProtocolError, Exception)):
+            Connection(
+                chan_b, fresh_space_id("b"), dispatcher,
+                lambda c, m: None, outbound=False,
+            )
+
+    def test_wrong_message_type_during_handshake(self):
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        chan_a.send(messages.Ping(1).encode())
+        with pytest.raises(ProtocolError):
+            Connection(
+                chan_b, fresh_space_id("b"), dispatcher,
+                lambda c, m: None, outbound=False,
+            )
+
+    def test_peer_disappears_during_handshake(self):
+        from repro.errors import CommFailure as CF
+
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        chan_a.close()
+        with pytest.raises(CF):
+            Connection(
+                chan_b, fresh_space_id("b"), dispatcher,
+                lambda c, m: None, outbound=False,
+            )

@@ -1,0 +1,173 @@
+"""Unit tests for the discrete-event simulation substrate."""
+
+import threading
+
+import pytest
+
+from repro.sim import EventScheduler, NetworkModel, SimNetwork, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        assert clock.now() == 5.0
+
+    def test_no_backwards_travel(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+
+class TestEventScheduler:
+    @pytest.fixture()
+    def scheduler(self):
+        sched = EventScheduler()
+        sched.start()
+        yield sched
+        sched.stop()
+
+    def test_events_run_in_time_order(self, scheduler):
+        order = []
+        done = threading.Event()
+        scheduler.schedule_at(3.0, lambda: (order.append("c"), done.set()))
+        scheduler.schedule_at(1.0, lambda: order.append("a"))
+        scheduler.schedule_at(2.0, lambda: order.append("b"))
+        assert done.wait(5)
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_with_events(self, scheduler):
+        done = threading.Event()
+        scheduler.schedule_at(42.0, done.set)
+        assert done.wait(5)
+        assert scheduler.clock.now() == 42.0
+
+    def test_simultaneous_events_fifo(self, scheduler):
+        order = []
+        done = threading.Event()
+        for i in range(10):
+            scheduler.schedule_at(1.0, lambda i=i: order.append(i))
+        scheduler.schedule_at(1.0, done.set)
+        assert done.wait(5)
+        assert order == list(range(10))
+
+    def test_schedule_after_uses_current_time(self, scheduler):
+        done = threading.Event()
+        scheduler.schedule_at(10.0, lambda: scheduler.schedule_after(5.0, done.set))
+        assert done.wait(5)
+        assert scheduler.clock.now() == 15.0
+
+    def test_wait_idle(self, scheduler):
+        scheduler.schedule_at(1.0, lambda: None)
+        assert scheduler.wait_idle(timeout=5)
+        assert scheduler.pending() == 0
+
+    def test_failing_action_does_not_kill_loop(self, scheduler, capsys):
+        done = threading.Event()
+
+        def boom():
+            raise RuntimeError("intentional")
+
+        scheduler.schedule_at(1.0, boom)
+        scheduler.schedule_at(2.0, done.set)
+        assert done.wait(5)
+
+    def test_stop_is_idempotent(self):
+        sched = EventScheduler()
+        sched.start()
+        sched.stop()
+        sched.stop()
+
+    def test_start_is_idempotent(self, scheduler):
+        scheduler.start()
+        done = threading.Event()
+        scheduler.schedule_at(1.0, done.set)
+        assert done.wait(5)
+
+
+class TestNetworkModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(drop_probability=1.5)
+
+    def test_defaults(self):
+        model = NetworkModel()
+        assert model.fifo is False
+        assert model.drop_probability == 0.0
+
+
+class TestSimNetwork:
+    def make(self, **kwargs):
+        sched = EventScheduler()
+        sched.start()
+        return sched, SimNetwork(sched, NetworkModel(**kwargs))
+
+    def test_delivery(self):
+        sched, net = self.make(latency=0.5)
+        got = []
+        done = threading.Event()
+        net.send("a", "b", b"\x10hello", lambda p: (got.append(p), done.set()))
+        assert done.wait(5)
+        assert got == [b"\x10hello"]
+        assert sched.clock.now() == pytest.approx(0.5)
+        assert net.stats.sent == 1
+        assert net.stats.delivered == 1
+        assert net.stats.by_tag[0x10] == 1
+        sched.stop()
+
+    def test_loss_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            sched, net = self.make(drop_probability=0.5, seed=7)
+            delivered = []
+            for i in range(100):
+                net.send("a", "b", bytes([i]), delivered.append)
+            assert sched.wait_idle(5)
+            results.append(list(delivered))
+            assert net.stats.dropped > 10
+            assert net.stats.dropped + net.stats.delivered == 100
+            sched.stop()
+        assert results[0] == results[1]
+
+    def test_jitter_without_fifo_can_reorder(self):
+        sched, net = self.make(latency=0.001, jitter=0.1, seed=3)
+        order = []
+        for i in range(50):
+            net.send("a", "b", bytes([i]), lambda p: order.append(p[0]))
+        assert sched.wait_idle(5)
+        assert sorted(order) == list(range(50))
+        assert order != list(range(50)), "expected at least one reorder"
+        sched.stop()
+
+    def test_fifo_enforced_despite_jitter(self):
+        sched, net = self.make(latency=0.001, jitter=0.1, seed=3, fifo=True)
+        order = []
+        for i in range(50):
+            net.send("a", "b", bytes([i]), lambda p: order.append(p[0]))
+        assert sched.wait_idle(5)
+        assert order == list(range(50))
+        sched.stop()
+
+    def test_fifo_is_per_pair(self):
+        sched, net = self.make(latency=0.001, jitter=0.1, seed=5, fifo=True)
+        per_dst = {"b": [], "c": []}
+        for i in range(30):
+            net.send("a", "b", bytes([i]), lambda p: per_dst["b"].append(p[0]))
+            net.send("a", "c", bytes([i]), lambda p: per_dst["c"].append(p[0]))
+        assert sched.wait_idle(5)
+        assert per_dst["b"] == list(range(30))
+        assert per_dst["c"] == list(range(30))
+        sched.stop()
+
+    def test_reset_stats(self):
+        sched, net = self.make()
+        net.send("a", "b", b"x", lambda p: None)
+        assert sched.wait_idle(5)
+        net.reset_stats()
+        assert net.stats.sent == 0
+        sched.stop()

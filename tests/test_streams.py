@@ -1,0 +1,159 @@
+"""Tests for surrogate streams (reader/writer marshaling)."""
+
+import io
+
+import pytest
+
+from repro import NetObj, Space, Surrogate
+from repro.streams import (
+    ReaderStream,
+    WriterStream,
+    as_file,
+    export_reader,
+    export_writer,
+)
+
+
+class StreamServer(NetObj):
+    """Hands out reader/writer stream objects for named buffers."""
+
+    def __init__(self):
+        self.buffers = {}
+
+    def open_read(self, name: str) -> ReaderStream:
+        return export_reader(io.BytesIO(self.buffers[name]))
+
+    def open_write(self, name: str) -> WriterStream:
+        sink = io.BytesIO()
+        original_close = sink.close
+
+        def close_and_store():
+            self.buffers[name] = sink.getvalue()
+            original_close()
+
+        sink.close = close_and_store
+        return export_writer(sink)
+
+
+@pytest.fixture()
+def stream_spaces(request):
+    endpoint = f"inproc://streams-{request.node.name}"
+    server = Space("server", listen=[endpoint])
+    client = Space("client")
+    server.serve("streams", StreamServer())
+    yield server, client, endpoint
+    client.shutdown()
+    server.shutdown()
+
+
+class TestLocalAdapters:
+    def test_reader_round_trip(self):
+        stream = export_reader(io.BytesIO(b"hello stream"))
+        fileobj = as_file(stream)
+        assert fileobj.read() == b"hello stream"
+
+    def test_writer_round_trip(self):
+        sink = io.BytesIO()
+        fileobj = as_file(export_writer(sink))
+        fileobj.write(b"payload")
+        fileobj.flush()
+        assert sink.getvalue() == b"payload"
+
+    def test_buffered_small_reads(self):
+        stream = export_reader(io.BytesIO(bytes(range(256)) * 100))
+        fileobj = as_file(stream, buffer_size=1024)
+        assert fileobj.read(3) == b"\x00\x01\x02"
+        assert fileobj.read(2) == b"\x03\x04"
+
+    def test_seek(self):
+        fileobj = as_file(export_reader(io.BytesIO(b"0123456789")))
+        fileobj.seek(5)
+        assert fileobj.read(2) == b"56"
+
+    def test_not_a_stream(self):
+        with pytest.raises(TypeError):
+            as_file(42)
+
+
+class TestRemoteStreams:
+    def test_remote_write_then_read(self, stream_spaces):
+        server, client, endpoint = stream_spaces
+        remote = client.import_object(endpoint, "streams")
+
+        writer = remote.open_write("doc")
+        assert isinstance(writer, Surrogate)
+        out = as_file(writer)
+        payload = bytes(range(256)) * 300  # ~77 KiB, crosses buffers
+        out.write(payload)
+        out.close()
+
+        reader = remote.open_read("doc")
+        assert isinstance(reader, Surrogate)
+        inp = as_file(reader)
+        assert inp.read() == payload
+
+    def test_small_reads_are_batched(self, stream_spaces):
+        """The buffer turns many small reads into few remote calls."""
+        server, client, endpoint = stream_spaces
+        remote = client.import_object(endpoint, "streams")
+        writer = as_file(remote.open_write("blob"))
+        writer.write(b"x" * 10000)
+        writer.close()
+
+        reader_surrogate = remote.open_read("blob")
+        calls = {"n": 0}
+        original = reader_surrogate.read
+
+        def counting_read(size):
+            calls["n"] += 1
+            return original(size)
+
+        # Count remote refills through a wrapper object.
+        class CountingStream:
+            read = staticmethod(counting_read)
+            seekable = staticmethod(reader_surrogate.seekable)
+            seek = staticmethod(reader_surrogate.seek)
+            close = staticmethod(reader_surrogate.close)
+
+        fileobj = as_file(CountingStream(), buffer_size=4096)
+        total = 0
+        while True:
+            chunk = fileobj.read(100)  # 100 tiny application reads
+            if not chunk:
+                break
+            total += len(chunk)
+        assert total == 10000
+        assert calls["n"] <= 5, "buffering failed to batch remote reads"
+
+    def test_remote_seek(self, stream_spaces):
+        server, client, endpoint = stream_spaces
+        remote = client.import_object(endpoint, "streams")
+        writer = as_file(remote.open_write("s"))
+        writer.write(b"abcdefghij")
+        writer.close()
+        reader = as_file(remote.open_read("s"), buffer_size=4)
+        reader.seek(6)
+        assert reader.read(3) == b"ghi"
+
+    def test_stream_lifetime_is_gc_managed(self, stream_spaces):
+        """Dropping the client's stream surrogate lets the collector
+        retire the concrete stream object at the server."""
+        import gc
+        import time
+
+        server, client, endpoint = stream_spaces
+        remote = client.import_object(endpoint, "streams")
+        writer = as_file(remote.open_write("temp"))
+        writer.write(b"data")
+        writer.close()
+
+        reader = remote.open_read("temp")
+        exported_before = server.gc_stats()["exported"]
+        del reader
+        gc.collect()
+        client.cleanup_daemon.wait_idle()
+        deadline = time.time() + 5
+        while (time.time() < deadline
+               and server.gc_stats()["exported"] >= exported_before):
+            time.sleep(0.02)
+        assert server.gc_stats()["exported"] < exported_before

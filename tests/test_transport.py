@@ -1,0 +1,212 @@
+"""Unit tests exercising all three transports through the common API."""
+
+import threading
+
+import pytest
+
+from repro.errors import CommFailure
+from repro.sim.network import NetworkModel
+from repro.transport import (
+    InProcessTransport,
+    SimTransport,
+    TcpTransport,
+    TransportRegistry,
+)
+from repro.transport.base import split_endpoint
+from repro.transport.inprocess import channel_pair
+
+
+@pytest.fixture(params=["inproc", "tcp", "sim"])
+def transport_and_endpoint(request):
+    """Yields (transport, listen_endpoint) per scheme; cleans up after."""
+    if request.param == "inproc":
+        transport = InProcessTransport()
+        yield transport, f"inproc://t-{id(transport)}"
+    elif request.param == "tcp":
+        transport = TcpTransport()
+        yield transport, "tcp://127.0.0.1:0"
+    else:
+        transport = SimTransport(NetworkModel(latency=0.0001))
+        yield transport, "sim://srv"
+        transport.shutdown()
+
+
+class EchoAcceptor:
+    """Accepts connections and echoes frames back, reversed."""
+
+    def __init__(self):
+        self.channels = []
+
+    def __call__(self, channel):
+        self.channels.append(channel)
+        while True:
+            payload = channel.recv()
+            if payload is None:
+                return
+            channel.send(payload[::-1])
+
+
+class TestTransports:
+    def test_round_trip(self, transport_and_endpoint):
+        transport, endpoint = transport_and_endpoint
+        listener = transport.listen(endpoint, EchoAcceptor())
+        channel = transport.connect(listener.endpoint)
+        channel.send(b"hello")
+        assert channel.recv(timeout=5) == b"olleh"
+        channel.close()
+        listener.close()
+
+    def test_many_frames_in_order(self, transport_and_endpoint):
+        transport, endpoint = transport_and_endpoint
+        listener = transport.listen(endpoint, EchoAcceptor())
+        channel = transport.connect(listener.endpoint)
+        for i in range(100):
+            channel.send(f"msg-{i}".encode())
+        for i in range(100):
+            assert channel.recv(timeout=5) == f"msg-{i}".encode()[::-1]
+        channel.close()
+        listener.close()
+
+    def test_large_frame(self, transport_and_endpoint):
+        transport, endpoint = transport_and_endpoint
+        listener = transport.listen(endpoint, EchoAcceptor())
+        channel = transport.connect(listener.endpoint)
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        channel.send(blob)
+        assert channel.recv(timeout=10) == blob[::-1]
+        channel.close()
+        listener.close()
+
+    def test_connect_refused(self, transport_and_endpoint):
+        transport, endpoint = transport_and_endpoint
+        scheme = split_endpoint(endpoint)[0]
+        bogus = {
+            "inproc": "inproc://nobody-home",
+            "tcp": "tcp://127.0.0.1:1",
+            "sim": "sim://nobody-home",
+        }[scheme]
+        with pytest.raises(CommFailure):
+            transport.connect(bogus)
+
+    def test_close_wakes_peer_reader(self, transport_and_endpoint):
+        transport, endpoint = transport_and_endpoint
+        acceptor = EchoAcceptor()
+        listener = transport.listen(endpoint, acceptor)
+        channel = transport.connect(listener.endpoint)
+        channel.send(b"warmup")
+        assert channel.recv(timeout=5) == b"pumraw"
+
+        got_eof = threading.Event()
+        original = channel.recv
+
+        def reader():
+            if original(timeout=5) is None:
+                got_eof.set()
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        acceptor.channels[0].close()
+        assert got_eof.wait(5)
+        listener.close()
+
+    def test_send_after_close_fails(self, transport_and_endpoint):
+        transport, endpoint = transport_and_endpoint
+        listener = transport.listen(endpoint, EchoAcceptor())
+        channel = transport.connect(listener.endpoint)
+        channel.close()
+        with pytest.raises(CommFailure):
+            channel.send(b"too late")
+        listener.close()
+
+    def test_concurrent_clients(self, transport_and_endpoint):
+        transport, endpoint = transport_and_endpoint
+        listener = transport.listen(endpoint, EchoAcceptor())
+        errors = []
+
+        def client(i):
+            try:
+                chan = transport.connect(listener.endpoint)
+                for j in range(20):
+                    msg = f"{i}:{j}".encode()
+                    chan.send(msg)
+                    if chan.recv(timeout=5) != msg[::-1]:
+                        errors.append((i, j))
+                chan.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append((i, exc))
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=20)
+        assert not errors
+        listener.close()
+
+    def test_duplicate_listen_rejected(self, transport_and_endpoint):
+        transport, endpoint = transport_and_endpoint
+        listener = transport.listen(endpoint, EchoAcceptor())
+        with pytest.raises(CommFailure):
+            transport.listen(listener.endpoint, EchoAcceptor())
+        listener.close()
+
+
+class TestEndpoints:
+    def test_split(self):
+        assert split_endpoint("tcp://h:1") == ("tcp", "h:1")
+
+    def test_malformed(self):
+        with pytest.raises(CommFailure):
+            split_endpoint("no-scheme")
+
+    def test_registry_routes_by_scheme(self):
+        registry = TransportRegistry()
+        inproc = InProcessTransport()
+        registry.add(inproc)
+        assert registry.for_endpoint("inproc://x") is inproc
+        with pytest.raises(CommFailure):
+            registry.for_endpoint("tcp://h:1")
+
+    def test_tcp_endpoint_parsing(self):
+        assert TcpTransport._parse("tcp://10.0.0.1:8080") == ("10.0.0.1", 8080)
+        assert TcpTransport._parse("tcp://:0") == ("127.0.0.1", 0)
+        with pytest.raises(CommFailure):
+            TcpTransport._parse("tcp://noport")
+        with pytest.raises(CommFailure):
+            TcpTransport._parse("tcp://h:notaport")
+
+
+class TestChannelPair:
+    def test_direct_pair(self):
+        a, b = channel_pair()
+        a.send(b"ping")
+        assert b.recv(timeout=1) == b"ping"
+        b.send(b"pong")
+        assert a.recv(timeout=1) == b"pong"
+
+    def test_recv_timeout(self):
+        a, _b = channel_pair()
+        with pytest.raises(CommFailure):
+            a.recv(timeout=0.01)
+
+
+class TestSimTransportExtras:
+    def test_virtual_latency_observed(self):
+        transport = SimTransport(NetworkModel(latency=0.25))
+        listener = transport.listen("sim://echo", EchoAcceptor())
+        channel = transport.connect(listener.endpoint)
+        start = transport.clock.now()
+        channel.send(b"x")
+        assert channel.recv(timeout=5) == b"x"
+        elapsed = transport.clock.now() - start
+        assert elapsed == pytest.approx(0.5, abs=1e-6)
+        transport.shutdown()
+
+    def test_stats_counted(self):
+        transport = SimTransport(NetworkModel())
+        listener = transport.listen("sim://echo", EchoAcceptor())
+        channel = transport.connect(listener.endpoint)
+        channel.send(b"\x10abc")
+        assert channel.recv(timeout=5) is not None
+        assert transport.stats.sent == 2  # request + echo
+        transport.shutdown()

@@ -1,0 +1,242 @@
+"""Unit tests for typecodes, narrowing and surrogate generation."""
+
+import pytest
+
+from repro import NetObj, Surrogate
+from repro.core.netobj import remote_methods_of
+from repro.core.typecodes import (
+    TypeRegistry,
+    global_types,
+    typechain,
+    typecode_of,
+)
+from repro.errors import NarrowingError
+from repro.core.surrogate import build_surrogate_class
+from repro.wire.ids import fresh_space_id
+from repro.wire.wirerep import WireRep
+
+
+class Animal(NetObj):
+    def speak(self) -> str:
+        raise NotImplementedError
+
+    def name(self) -> str:
+        raise NotImplementedError
+
+
+class Dog(Animal):
+    def speak(self) -> str:
+        return "woof"
+
+    def name(self) -> str:
+        return "dog"
+
+    def fetch(self) -> str:
+        return "ball"
+
+
+class Puppy(Dog):
+    _typecode_ = "zoo.Puppy"
+
+    def speak(self) -> str:
+        return "yip"
+
+
+class TestTypecodes:
+    def test_default_typecode_includes_module(self):
+        assert typecode_of(Dog) == f"{Dog.__module__}.Dog"
+
+    def test_explicit_typecode(self):
+        assert typecode_of(Puppy) == "zoo.Puppy"
+
+    def test_explicit_typecode_not_inherited(self):
+        class Stray(Puppy):
+            pass
+
+        assert typecode_of(Stray) == f"{Stray.__module__}.{Stray.__qualname__}"
+        assert typecode_of(Puppy) == "zoo.Puppy"
+
+    def test_typechain_most_derived_first(self):
+        chain = typechain(Puppy)
+        assert chain == [
+            "zoo.Puppy",
+            typecode_of(Dog),
+            typecode_of(Animal),
+        ]
+
+    def test_netobj_excluded_from_chain(self):
+        assert all("NetObj" not in code for code in typechain(Puppy))
+
+    def test_subclasses_autoregister(self):
+        assert global_types.knows("zoo.Puppy")
+        assert global_types.knows(typecode_of(Animal))
+
+
+class TestRemoteMethods:
+    def test_public_methods_collected(self):
+        assert remote_methods_of(Dog) == ("fetch", "name", "speak")
+
+    def test_inherited_and_new(self):
+        assert "fetch" in remote_methods_of(Puppy)
+        assert "speak" in remote_methods_of(Puppy)
+
+    def test_underscore_excluded(self):
+        class Shy(NetObj):
+            def visible(self):
+                return 1
+
+            def _hidden(self):
+                return 2
+
+        assert remote_methods_of(Shy) == ("visible",)
+
+    def test_metaclass_attributes_excluded(self):
+        assert "register" not in remote_methods_of(Dog)
+
+    def test_data_attributes_excluded(self):
+        class WithData(NetObj):
+            constant = 42
+
+            def method(self):
+                return self.constant
+
+        assert remote_methods_of(WithData) == ("method",)
+
+
+class TestNarrowing:
+    def test_narrow_prefers_most_derived(self):
+        registry = TypeRegistry()
+        registry.register("zoo.Puppy", Puppy, remote_methods_of(Puppy))
+        registry.register(typecode_of(Dog), Dog, remote_methods_of(Dog))
+        assert registry.narrow(typechain(Puppy)) == "zoo.Puppy"
+
+    def test_narrow_falls_back_to_base(self):
+        registry = TypeRegistry()
+        # A client deployment that only ships the Animal interface.
+        registry.register(typecode_of(Animal), Animal,
+                          remote_methods_of(Animal))
+        narrowed = registry.narrow(typechain(Puppy))
+        assert narrowed == typecode_of(Animal)
+
+    def test_narrow_unknown_chain(self):
+        registry = TypeRegistry()
+        with pytest.raises(NarrowingError):
+            registry.narrow(["ghost.A", "ghost.B"])
+
+    def test_conflicting_registration_rejected(self):
+        registry = TypeRegistry()
+        registry.register("x", Dog, ())
+        with pytest.raises(ValueError):
+            registry.register("x", Puppy, ())
+
+    def test_reregistration_same_class_ok(self):
+        registry = TypeRegistry()
+        registry.register("x", Dog, ("speak",))
+        registry.register("x", Dog, ("speak", "fetch"))
+        assert registry.methods_for("x") == ("speak", "fetch")
+
+
+class TestSurrogateGeneration:
+    def make_surrogate(self, cls, recorded):
+        def invoker(wirerep, endpoints, method, args, kwargs):
+            recorded.append((method, args, kwargs))
+            return f"invoked-{method}"
+
+        surrogate_cls = build_surrogate_class(
+            typecode_of(cls), cls, remote_methods_of(cls)
+        )
+        wirerep = WireRep(fresh_space_id("owner"), 9)
+        return surrogate_cls(invoker, wirerep, ("ep",), (typecode_of(cls),))
+
+    def test_methods_forward_to_invoker(self):
+        recorded = []
+        dog = self.make_surrogate(Dog, recorded)
+        assert dog.speak() == "invoked-speak"
+        assert dog.fetch() == "invoked-fetch"
+        assert recorded == [("speak", (), {}), ("fetch", (), {})]
+
+    def test_args_and_kwargs_forwarded(self):
+        recorded = []
+
+        class Calc(NetObj):
+            def add(self, a, b=0):
+                return a + b
+
+        calc = self.make_surrogate(Calc, recorded)
+        calc.add(1, b=2)
+        assert recorded == [("add", (1,), {"b": 2})]
+
+    def test_virtual_subclass_isinstance(self):
+        dog = self.make_surrogate(Dog, [])
+        assert isinstance(dog, Dog)
+        assert isinstance(dog, Animal)
+        assert isinstance(dog, Surrogate)
+
+    def test_surrogate_does_not_inherit_implementation(self):
+        """A surrogate never runs the concrete class's code locally."""
+        recorded = []
+        dog = self.make_surrogate(Dog, recorded)
+        assert dog.speak() != "woof"
+
+    def test_repr_mentions_typecode_and_wirerep(self):
+        dog = self.make_surrogate(Dog, [])
+        text = repr(dog)
+        assert "Dog" in text
+        assert "#9" in text
+
+    def test_surrogate_class_cached(self):
+        first = global_types.surrogate_class("zoo.Puppy")
+        second = global_types.surrogate_class("zoo.Puppy")
+        assert first is second
+
+
+class TestEndToEndNarrowing:
+    def test_client_with_interface_only_stubs(self, request):
+        """A space whose type registry only knows the base interface
+        narrows an incoming derived reference to that interface."""
+        from repro import Space
+
+        client_types = TypeRegistry()
+        client_types.register(
+            typecode_of(Animal), Animal, remote_methods_of(Animal)
+        )
+
+        endpoint = f"inproc://narrow-{request.node.name}"
+        with Space("zoo", listen=[endpoint]) as zoo, \
+                Space("visitor", types=client_types) as visitor:
+            zoo.serve("pet", Puppy())
+            # The agent's typecodes must be known too.
+            from repro.naming.agent import Agent, NameServer
+
+            client_types.register(
+                typecode_of(Agent), Agent, remote_methods_of(Agent)
+            )
+            client_types.register(
+                typecode_of(NameServer), NameServer,
+                remote_methods_of(NameServer),
+            )
+            pet = visitor.import_object(endpoint, "pet")
+            # Narrowed to Animal: speak works (remotely: "yip"),
+            # fetch is not part of the narrowed surface.
+            assert pet.speak() == "yip"
+            assert isinstance(pet, Animal)
+            assert not hasattr(pet, "fetch")
+
+    def test_client_with_no_stubs_fails_cleanly(self, request):
+        from repro import Space
+        from repro.naming.agent import Agent, NameServer
+
+        client_types = TypeRegistry()
+        client_types.register(
+            typecode_of(Agent), Agent, remote_methods_of(Agent)
+        )
+        client_types.register(
+            typecode_of(NameServer), NameServer,
+            remote_methods_of(NameServer),
+        )
+        endpoint = f"inproc://nostub-{request.node.name}"
+        with Space("zoo", listen=[endpoint]) as zoo, \
+                Space("stranger", types=client_types) as stranger:
+            zoo.serve("pet", Puppy())
+            with pytest.raises(NarrowingError):
+                stranger.import_object(endpoint, "pet")

@@ -1,0 +1,172 @@
+"""Unit tests for the wire layer: varints, ids, wireReps, framing."""
+
+import struct
+
+import pytest
+
+from repro.errors import CommFailure, ProtocolError, UnmarshalError
+from repro.wire import (
+    FrameReader,
+    SpaceID,
+    WireRep,
+    fresh_space_id,
+    pack_frame,
+    read_frame,
+    read_uvarint,
+    write_uvarint,
+)
+from repro.wire.wirerep import SPECIAL_OBJECT_INDEX
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 255, 300, 16384, 2**32, 2**63 - 1]
+    )
+    def test_round_trip(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        decoded, offset = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_small_values_are_one_byte(self):
+        out = bytearray()
+        write_uvarint(out, 100)
+        assert len(out) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_uvarint(bytearray(), -1)
+
+    def test_truncated_input(self):
+        out = bytearray()
+        write_uvarint(out, 2**40)
+        with pytest.raises(UnmarshalError):
+            read_uvarint(bytes(out[:-1]), 0)
+
+    def test_overlong_encoding_rejected(self):
+        with pytest.raises(UnmarshalError):
+            read_uvarint(b"\xff" * 11, 0)
+
+    def test_offset_respected(self):
+        out = bytearray(b"xy")
+        write_uvarint(out, 777)
+        decoded, offset = read_uvarint(bytes(out), 2)
+        assert decoded == 777
+        assert offset == len(out)
+
+
+class TestSpaceID:
+    def test_fresh_ids_are_unique(self):
+        ids = {fresh_space_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_round_trip(self):
+        sid = fresh_space_id("server")
+        again = SpaceID.from_bytes(sid.to_bytes())
+        assert again == sid
+
+    def test_nickname_not_part_of_identity(self):
+        sid = SpaceID(1, 2, "alpha")
+        assert sid == SpaceID(1, 2, "beta")
+        assert hash(sid) == hash(SpaceID(1, 2))
+
+    def test_ordering_is_total(self):
+        a, b = SpaceID(1, 5), SpaceID(2, 0)
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(UnmarshalError):
+            SpaceID.from_bytes(b"short")
+
+    def test_str_contains_nickname(self):
+        assert "server" in str(fresh_space_id("server"))
+
+
+class TestWireRep:
+    def test_round_trip(self):
+        rep = WireRep(fresh_space_id("o"), 42)
+        out = bytearray(b"pad")
+        rep.to_wire(out)
+        decoded, offset = WireRep.from_wire(bytes(out), 3)
+        assert decoded == rep
+        assert offset == len(out)
+
+    def test_special_index(self):
+        assert WireRep(fresh_space_id(), SPECIAL_OBJECT_INDEX).is_special()
+        assert not WireRep(fresh_space_id(), 3).is_special()
+
+    def test_truncated(self):
+        with pytest.raises(UnmarshalError):
+            WireRep.from_wire(b"\x00" * 10, 0)
+
+    def test_usable_as_dict_key(self):
+        sid = fresh_space_id()
+        table = {WireRep(sid, 1): "a", WireRep(sid, 2): "b"}
+        assert table[WireRep(SpaceID(sid.hi, sid.lo), 1)] == "a"
+
+
+class TestFraming:
+    def test_pack_and_read(self):
+        data = pack_frame(b"hello")
+        chunks = [data]
+
+        def recv_exact(n):
+            buf = chunks[0][:n]
+            chunks[0] = chunks[0][n:]
+            return buf if len(buf) == n else None
+
+        assert read_frame(recv_exact) == b"hello"
+
+    def test_read_eof(self):
+        assert read_frame(lambda n: None) is None
+
+    def test_mid_frame_eof_is_error(self):
+        state = {"first": True}
+
+        def recv_exact(n):
+            if state["first"]:
+                state["first"] = False
+                return struct.pack("!I", 100)
+            return None
+
+        with pytest.raises(CommFailure):
+            read_frame(recv_exact)
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            pack_frame(b"x" * (64 * 1024 * 1024 + 1))
+
+    def test_oversized_announcement_rejected(self):
+        def recv_exact(n):
+            return struct.pack("!I", 2**31)
+
+        with pytest.raises(ProtocolError):
+            read_frame(recv_exact)
+
+    def test_empty_frame(self):
+        data = pack_frame(b"")
+        reader = FrameReader()
+        reader.feed(data)
+        assert list(reader.frames()) == [b""]
+
+    def test_frame_reader_partial_feeds(self):
+        data = pack_frame(b"abc") + pack_frame(b"defg")
+        reader = FrameReader()
+        collected = []
+        for i in range(len(data)):
+            reader.feed(data[i : i + 1])
+            collected.extend(reader.frames())
+        assert collected == [b"abc", b"defg"]
+
+    def test_frame_reader_bulk_feed(self):
+        reader = FrameReader()
+        reader.feed(pack_frame(b"one") + pack_frame(b"two") + pack_frame(b"three"))
+        assert list(reader.frames()) == [b"one", b"two", b"three"]
+
+    def test_frame_reader_oversized(self):
+        reader = FrameReader()
+        reader.feed(struct.pack("!I", 2**31))
+        with pytest.raises(ProtocolError):
+            list(reader.frames())
