@@ -75,7 +75,8 @@ class TestMarshalShape:
 
         rows = benchmark.pedantic(run, rounds=1, iterations=1)
         for kind, micros in rows.items():
-            report("E2 marshal", f"{kind:15s}: {micros:9.1f} us/round-trip")
+            report("E2 marshal", f"{kind:15s}: {micros:9.1f} us/round-trip",
+                   **{f"marshal_{kind}_ns": micros * 1e3})
 
         # Linear-ish scaling: 100x the elements should cost no more
         # than ~2x linear (per-pickle overhead amortises away).

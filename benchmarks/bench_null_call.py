@@ -194,11 +194,16 @@ class TestShape:
         (same_space, raw_inproc_us, inproc_us,
          raw_tcp_us, tcp_us) = benchmark.pedantic(run, rounds=1, iterations=1)
 
-        report("E1 null call", f"same-space   netobj : {same_space:9.1f} us")
-        report("E1 null call", f"same-machine raw    : {raw_inproc_us:9.1f} us")
-        report("E1 null call", f"same-machine netobj : {inproc_us:9.1f} us")
-        report("E1 null call", f"network      raw    : {raw_tcp_us:9.1f} us")
-        report("E1 null call", f"network      netobj : {tcp_us:9.1f} us")
+        report("E1 null call", f"same-space   netobj : {same_space:9.1f} us",
+               null_call_same_space_ns=same_space * 1e3)
+        report("E1 null call", f"same-machine raw    : {raw_inproc_us:9.1f} us",
+               null_call_raw_inproc_ns=raw_inproc_us * 1e3)
+        report("E1 null call", f"same-machine netobj : {inproc_us:9.1f} us",
+               null_call_inproc_ns=inproc_us * 1e3)
+        report("E1 null call", f"network      raw    : {raw_tcp_us:9.1f} us",
+               null_call_raw_tcp_ns=raw_tcp_us * 1e3)
+        report("E1 null call", f"network      netobj : {tcp_us:9.1f} us",
+               null_call_tcp_ns=tcp_us * 1e3)
         report("E1 null call",
                f"object-layer overhead: x{inproc_us / raw_inproc_us:.1f} "
                f"(same machine), x{tcp_us / raw_tcp_us:.1f} (network)")

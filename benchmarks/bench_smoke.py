@@ -1,0 +1,83 @@
+"""Smoke benchmarks: the hot path at tiny iteration counts.
+
+CI runs this module on every PR (see .github/workflows/ci.yml) so a
+hot-path regression — a reintroduced copy, a broken fast path, a
+stalled dispatcher — fails mechanically within seconds instead of
+surfacing as a mysteriously slower E1/E3 table three PRs later.
+
+These are *sanity* gates, not measurements: iteration counts are tiny
+and the assertions are loose enough to pass on a loaded CI runner.
+The real numbers come from the full E1..E8 suite and from
+``measure_hotpath.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.marshal import dumps, loads
+
+#: Deliberately tiny: the whole module must finish in a few seconds.
+SMOKE_CALLS = 50
+SMOKE_PAYLOAD = 64 * 1024
+
+#: Generous wall-clock ceilings (seconds) — an order of magnitude above
+#: expected cost, tight enough to catch a stall or an O(n) blowup.
+NULL_CALL_BUDGET = 5.0
+THROUGHPUT_BUDGET = 5.0
+
+
+def _timed_calls(fn, count=SMOKE_CALLS):
+    fn()  # warm: dials the connection, primes the pools
+    start = time.perf_counter()
+    for _ in range(count):
+        fn()
+    return time.perf_counter() - start
+
+
+class TestSmokeNullCall:
+    def test_inproc(self, inproc_pair, report):
+        server, client = inproc_pair
+        echo = client.import_object(server.endpoints[0], "echo")
+        elapsed = _timed_calls(echo.nothing)
+        per_call_us = elapsed / SMOKE_CALLS * 1e6
+        report("smoke", f"null call inproc : {per_call_us:9.1f} us",
+               smoke_null_inproc_ns=per_call_us * 1e3)
+        assert elapsed < NULL_CALL_BUDGET
+
+    def test_tcp(self, tcp_pair, report):
+        server, client = tcp_pair
+        echo = client.import_object(server.endpoints[0], "echo")
+        elapsed = _timed_calls(echo.nothing)
+        per_call_us = elapsed / SMOKE_CALLS * 1e6
+        report("smoke", f"null call tcp    : {per_call_us:9.1f} us",
+               smoke_null_tcp_ns=per_call_us * 1e3)
+        assert elapsed < NULL_CALL_BUDGET
+
+
+class TestSmokeThroughput:
+    def test_tcp_64k_echo(self, tcp_pair, report):
+        server, client = tcp_pair
+        echo = client.import_object(server.endpoints[0], "echo")
+        payload = b"\xab" * SMOKE_PAYLOAD
+        echo.echo(payload)  # warm
+        start = time.perf_counter()
+        for _ in range(SMOKE_CALLS):
+            result = echo.echo(payload)
+        elapsed = time.perf_counter() - start
+        assert result == payload
+        rate = 2 * SMOKE_PAYLOAD * SMOKE_CALLS / elapsed / 1e6
+        report("smoke", f"throughput 64KiB : {rate:9.1f} MB/s",
+               smoke_throughput_64KiB_mbps=rate)
+        assert elapsed < THROUGHPUT_BUDGET
+
+
+class TestSmokeMarshal:
+    @pytest.mark.parametrize("value", [
+        list(range(100)),
+        "x" * 1000,
+        b"\x00" * SMOKE_PAYLOAD,
+        {"nested": [(1, 2.5), {"deep": None}], "flags": {True, False}},
+    ], ids=["ints", "str-1k", "bytes-64k", "nested"])
+    def test_round_trip(self, value):
+        assert loads(dumps(value)) == value

@@ -47,7 +47,8 @@ class TestThroughputCurve:
         rates = benchmark.pedantic(run, rounds=1, iterations=1)
         for size, rate in rates.items():
             report("E3 throughput",
-                   f"payload {size:8d} B : {rate:8.1f} MB/s round-trip")
+                   f"payload {size:8d} B : {rate:8.1f} MB/s round-trip",
+                   **{f"throughput_{size}B_mbps": rate})
         # Shape: throughput grows with payload then flattens; the
         # megabyte payload must beat the kilobyte payload by >= 10x.
         assert rates[2**20] > 10 * rates[2**10]

@@ -11,14 +11,19 @@ evaluation — see DESIGN.md and EXPERIMENTS.md) gets:
 
 from __future__ import annotations
 
+import json
+import os
 import sys
+import time
 from collections import defaultdict
+from pathlib import Path
 
 import pytest
 
 from repro import NetObj, Space
 
 _REPORT_ROWS = defaultdict(list)
+_REPORT_METRICS = defaultdict(dict)
 
 
 class Echo(NetObj):
@@ -36,12 +41,49 @@ class Echo(NetObj):
 
 @pytest.fixture()
 def report():
-    """``report(experiment, row)`` — collected and printed at exit."""
+    """``report(experiment, row, **metrics)`` — collected and printed
+    (and dumped as JSON) at session exit.
 
-    def add(experiment: str, row: str) -> None:
+    Keyword arguments are machine-readable numbers for the run's
+    ``BENCH_<runid>.json`` — name them with their unit as the suffix
+    (``null_call_tcp_ns=...``, ``throughput_64KiB_mbps=...``) so the
+    JSON is self-describing.
+    """
+
+    def add(experiment: str, row: str, **metrics) -> None:
         _REPORT_ROWS[experiment].append(row)
+        if metrics:
+            _REPORT_METRICS[experiment].update(metrics)
 
     return add
+
+
+def _dump_json_report() -> Path:
+    """Write BENCH_<runid>.json so perf is trackable across PRs.
+
+    ``runid`` defaults to a UTC timestamp; set ``BENCH_RUNID`` to pin
+    it (CI sets this to the PR/commit id).  ``BENCH_DIR`` overrides
+    the output directory (default: the repo root, next to this file's
+    parent).
+    """
+    runid = os.environ.get("BENCH_RUNID") or time.strftime(
+        "%Y%m%dT%H%M%S", time.gmtime()
+    )
+    directory = Path(os.environ.get("BENCH_DIR", Path(__file__).parent.parent))
+    payload = {
+        "runid": runid,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "experiments": {
+            experiment: {
+                "rows": _REPORT_ROWS[experiment],
+                "metrics": _REPORT_METRICS.get(experiment, {}),
+            }
+            for experiment in sorted(_REPORT_ROWS)
+        },
+    }
+    path = directory / f"BENCH_{runid}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -55,6 +97,11 @@ def pytest_sessionfinish(session, exitstatus):
         out.write(f"\n--- {experiment} ---\n")
         for row in _REPORT_ROWS[experiment]:
             out.write(row + "\n")
+    try:
+        path = _dump_json_report()
+        out.write(f"\n[results written to {path}]\n")
+    except OSError as exc:
+        out.write(f"\n[could not write JSON report: {exc}]\n")
     out.write("\n")
 
 

@@ -26,13 +26,13 @@ def _write_str(out: bytearray, text: str) -> None:
     out += raw
 
 
-def _read_str(data: bytes, offset: int):
+def _read_str(data, offset: int):
     length, offset = read_uvarint(data, offset)
     end = offset + length
     if end > len(data):
         raise UnmarshalError("truncated reference payload")
     try:
-        return data[offset:end].decode("utf-8"), end
+        return str(data[offset:end], "utf-8"), end
     except UnicodeDecodeError as exc:
         raise UnmarshalError(f"invalid UTF-8 in reference payload: {exc}") from exc
 
@@ -52,8 +52,12 @@ def encode_ref(wirerep: WireRep, copy_id: int, endpoints: Tuple[str, ...],
     return bytes(out)
 
 
-def decode_ref(payload: bytes):
-    """Decode a reference payload; raises UnmarshalError on corruption."""
+def decode_ref(payload):
+    """Decode a reference payload; raises UnmarshalError on corruption.
+
+    ``payload`` may be any bytes-like object — the zero-copy receive
+    path hands this a ``memoryview`` slice of the frame buffer.
+    """
     wirerep, offset = WireRep.from_wire(payload, 0)
     copy_id, offset = read_uvarint(payload, offset)
     count, offset = read_uvarint(payload, offset)
@@ -115,7 +119,7 @@ class MarshalContext:
             space.dgc_owner.record_copy_sent(entry, copy_id)
         return encode_ref(wirerep, copy_id, tuple(endpoints), tuple(chain))
 
-    def unmarshal(self, payload: bytes) -> object:
+    def unmarshal(self, payload) -> object:
         wirerep, copy_id, endpoints, chain = decode_ref(payload)
         space = self._space
         if self._connection is None:

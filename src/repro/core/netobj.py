@@ -19,6 +19,16 @@ from typing import Tuple, Type
 from repro.core.typecodes import global_types, typecode_of
 
 
+#: Per-class remote surface, computed once — ``remote_methods_of`` sits
+#: on the per-call dispatch path, and the MRO walk plus sort costs more
+#: than the rest of method resolution combined.  Keyed by the class
+#: object itself: a remote interface is fixed at class-definition time
+#: (methods added to a class after definition are not remotely
+#: callable, matching the stub-generation model of the paper).
+_METHODS_CACHE: dict = {}
+_METHOD_SET_CACHE: dict = {}
+
+
 def remote_methods_of(cls: Type) -> Tuple[str, ...]:
     """Public methods of ``cls``, i.e. its remote surface.
 
@@ -26,6 +36,9 @@ def remote_methods_of(cls: Type) -> Tuple[str, ...]:
     attributes (ABCMeta's ``register`` etc.) do not leak into the
     remote interface.
     """
+    cached = _METHODS_CACHE.get(cls)
+    if cached is not None:
+        return cached
     names = set()
     for klass in cls.__mro__:
         if klass is object:
@@ -35,7 +48,17 @@ def remote_methods_of(cls: Type) -> Tuple[str, ...]:
                 continue
             if callable(getattr(cls, name, None)):
                 names.add(name)
-    return tuple(sorted(names))
+    result = tuple(sorted(names))
+    _METHODS_CACHE[cls] = result
+    return result
+
+
+def remote_method_set(cls: Type) -> frozenset:
+    """``remote_methods_of`` as a frozenset, for membership tests."""
+    cached = _METHOD_SET_CACHE.get(cls)
+    if cached is None:
+        cached = _METHOD_SET_CACHE[cls] = frozenset(remote_methods_of(cls))
+    return cached
 
 
 class NetObj(metaclass=ABCMeta):

@@ -23,7 +23,7 @@ import traceback
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.marshalctx import MarshalContext
-from repro.core.netobj import NetObj, remote_methods_of
+from repro.core.netobj import NetObj, remote_method_set
 from repro.core.objtable import ObjectTable
 from repro.core.typecodes import TypeRegistry, global_types, typechain
 from repro.dgc.client import DgcClient, TransientTable
@@ -43,9 +43,10 @@ from repro.errors import (
     SpaceShutdownError,
     UnmarshalError,
 )
-from repro.marshal.pickler import Pickler
+from repro.marshal import tags
+from repro.marshal.pickler import EMPTY_ARGS_PICKLE, NONE_PICKLE
+from repro.marshal.pool import MarshalPool
 from repro.marshal.registry import StructRegistry, global_registry
-from repro.marshal.unpickler import Unpickler
 from repro.naming.agent import Agent
 from repro.rpc import messages
 from repro.rpc.cache import ConnectionCache
@@ -54,7 +55,7 @@ from repro.rpc.dispatcher import Dispatcher
 from repro.transport.base import Transport, TransportRegistry
 from repro.transport.inprocess import InProcessTransport
 from repro.transport.tcp import TcpTransport
-from repro.wire.ids import SpaceID, fresh_space_id
+from repro.wire.ids import SpaceID, fresh_space_id, intern_existing
 from repro.wire.wirerep import SPECIAL_OBJECT_INDEX, WireRep
 
 #: Fault kinds translated back into our exception types at the caller.
@@ -66,6 +67,10 @@ _FAULT_KINDS = {
     "UnmarshalError": UnmarshalError,
     "CommFailure": CommFailure,
 }
+
+#: First byte of :data:`NONE_PICKLE`; a one-byte result pickle with
+#: this tag short-circuits the reply unpickle in ``_invoke_remote``.
+_NONE_TAG = tags.NONE
 
 
 class Space:
@@ -82,6 +87,10 @@ class Space:
         call_timeout: float = 30.0,
     ):
         self.space_id = fresh_space_id(nickname)
+        # Wire decodes of our own identity (the owner field of every
+        # incoming call target) then return this very instance, making
+        # the serve path's owner check an ``is`` hit.
+        intern_existing(self.space_id)
         self.nickname = nickname
         self.call_timeout = call_timeout
         self.gc_config = gc if gc is not None else GcConfig()
@@ -95,6 +104,7 @@ class Space:
             self.transports.add(transport)
 
         self.dispatcher = Dispatcher(name=nickname or str(self.space_id))
+        self._marshal = MarshalPool(self.structs)
         self.object_table = ObjectTable(self.space_id)
         self.transient = TransientTable()
         self.dgc_owner = DgcOwner(self.object_table)
@@ -247,25 +257,57 @@ class Space:
                 failure = exc
         raise failure
 
+    def _codec_ctx(self, connection: Connection) -> MarshalContext:
+        """The codec context for ``connection``, created once per
+        connection — it is stateless (space + connection only), so one
+        instance serves every message on every thread."""
+        ctx = connection.marshal_ctx
+        if ctx is None:
+            ctx = connection.marshal_ctx = MarshalContext(self, connection)
+        return ctx
+
     # -- outgoing invocations ---------------------------------------------------------
 
     def _invoke_remote(self, wirerep: WireRep, endpoints: Sequence[str],
                        method: str, args: tuple, kwargs: dict):
-        """Entry point for every surrogate method call."""
+        """Entry point for every surrogate method call.
+
+        The request is built in a single pooled frame buffer: envelope
+        prefix first, then the args pickle streamed directly after it
+        (see DESIGN.md, "Hot path & copy discipline").
+        """
         if self._closed.is_set():
             raise SpaceShutdownError("space is shut down")
         connection = self._conn_for_endpoints(endpoints)
-        context = MarshalContext(self, connection)
-        args_pickle = Pickler(self.structs, context).dumps((args, kwargs))
-        call = messages.Call(
-            connection.next_call_id(), wirerep, method, args_pickle
-        )
-        reply = connection.call(call, timeout=self.call_timeout)
+        call_id = connection.next_call_id()
+        buffer = connection.new_send_buffer()
+        if not args and not kwargs:
+            # Void-call fast path: ``((), {})`` has one canonical
+            # encoding, so append it instead of running the pickler.
+            messages.encode_call_prefix(buffer, call_id, wirerep, method)
+            buffer += EMPTY_ARGS_PICKLE
+        else:
+            pickler = self._marshal.acquire_pickler(self._codec_ctx(connection))
+            try:
+                messages.encode_call_prefix(buffer, call_id, wirerep, method)
+                pickler.dump_into((args, kwargs), buffer)
+            except BaseException:
+                connection.discard_send_buffer(buffer)
+                raise
+            finally:
+                self._marshal.release_pickler(pickler)
+        reply = connection.call_buffer(call_id, buffer, timeout=self.call_timeout)
         if isinstance(reply, messages.Fault):
             raise self._fault_to_exception(reply)
         assert isinstance(reply, messages.Result)
-        context = MarshalContext(self, connection)
-        return Unpickler(self.structs, context).loads(reply.result_pickle)
+        pickle = reply.result_pickle
+        if len(pickle) == 1 and pickle[0] == _NONE_TAG:
+            return None
+        unpickler = self._marshal.acquire_unpickler(self._codec_ctx(connection))
+        try:
+            return unpickler.loads(pickle)
+        finally:
+            self._marshal.release_unpickler(unpickler)
 
     @staticmethod
     def _fault_to_exception(fault: messages.Fault) -> Exception:
@@ -366,14 +408,20 @@ class Space:
         try:
             obj = self._resolve_target(call.target)
             method = self._resolve_method(obj, call.method)
-            context = MarshalContext(self, connection)
-            args, kwargs = Unpickler(self.structs, context).loads(
-                call.args_pickle
-            )
+            if call.args_pickle == EMPTY_ARGS_PICKLE:
+                # Mirror of the void-call fast path in _invoke_remote.
+                args, kwargs = (), {}
+            else:
+                unpickler = self._marshal.acquire_unpickler(
+                    self._codec_ctx(connection)
+                )
+                try:
+                    args, kwargs = unpickler.loads(call.args_pickle)
+                finally:
+                    self._marshal.release_unpickler(unpickler)
             result = method(*args, **kwargs)
-            context = MarshalContext(self, connection)
-            result_pickle = Pickler(self.structs, context).dumps(result)
-            reply = messages.Result(call.call_id, result_pickle)
+            self._send_result(connection, call.call_id, result)
+            return
         except NetObjError as exc:
             reply = messages.Fault(
                 call.call_id, type(exc).__name__, str(exc), ""
@@ -385,6 +433,29 @@ class Space:
             )
         self._reply(connection, reply)
 
+    def _send_result(self, connection: Connection, call_id: int,
+                     result: object) -> None:
+        """Encode and send a Result as one frame buffer (mirror image
+        of the request path in :meth:`_invoke_remote`)."""
+        buffer = connection.new_send_buffer()
+        if result is None:
+            messages.encode_result_prefix(buffer, call_id)
+            buffer += NONE_PICKLE
+        else:
+            pickler = self._marshal.acquire_pickler(self._codec_ctx(connection))
+            try:
+                messages.encode_result_prefix(buffer, call_id)
+                pickler.dump_into(result, buffer)
+            except BaseException:
+                connection.discard_send_buffer(buffer)
+                raise
+            finally:
+                self._marshal.release_pickler(pickler)
+        try:
+            connection.send_buffer(buffer)
+        except CommFailure:
+            pass  # peer vanished; nothing to tell it
+
     def _resolve_target(self, target: WireRep) -> NetObj:
         if target.owner != self.space_id:
             raise NoSuchObjectError(f"not the owner of {target}")
@@ -394,7 +465,7 @@ class Space:
         return entry.obj
 
     def _resolve_method(self, obj: NetObj, name: str):
-        if name not in remote_methods_of(type(obj)):
+        if name not in remote_method_set(type(obj)):
             raise NoSuchMethodError(
                 f"{type(obj).__qualname__} has no remote method {name!r}"
             )

@@ -21,9 +21,11 @@ basic prudence when reading bytes off a network.
 
 from repro.marshal.registry import StructRegistry, global_registry, register_struct
 from repro.marshal.pickler import NetObjHandler, Pickler, dumps
+from repro.marshal.pool import MarshalPool
 from repro.marshal.unpickler import Unpickler, loads
 
 __all__ = [
+    "MarshalPool",
     "NetObjHandler",
     "Pickler",
     "StructRegistry",

@@ -35,6 +35,21 @@ _UVARINT_MAX = (1 << 63) - 1
 #: under the default interpreter recursion limit.
 MAX_DEPTH = 256
 
+#: Strings/bytes longer than this skip by-value memoization: hashing a
+#: large payload for the memo table costs more than re-encoding ever
+#: saves, and bulk payloads are rarely repeated within one message.
+#: (A memo id is still *burned* for them so the decoder, which assigns
+#: ids positionally, stays in lockstep.)
+MEMO_VALUE_LIMIT = 4096
+
+#: Canonical pickles of the two payloads every void RPC carries — the
+#: argument tuple ``((), {})`` and the result ``None``.  The call path
+#: special-cases them (append / compare a constant) so a null call
+#: never runs the general encoder at all.  Kept next to the encoder
+#: that defines the format; a marshal test pins each to a round trip.
+EMPTY_ARGS_PICKLE = bytes((tags.TUPLE, 2, tags.TUPLE, 0, tags.DICT, 0))
+NONE_PICKLE = bytes((tags.NONE,))
+
 
 class NetObjHandler(Protocol):
     """Hook through which the object runtime plugs into pickling.
@@ -55,11 +70,13 @@ class NetObjHandler(Protocol):
 
 
 class Pickler:
-    """Single-use encoder for one value graph.
+    """Reusable encoder; memo ids are scoped to one value graph.
 
-    A fresh pickler (or a call to :meth:`reset`) must be used per
-    message: memo ids are scoped to one pickle, matching the lockstep
-    decoder in :class:`~repro.marshal.unpickler.Unpickler`.
+    Each :meth:`dumps`/:meth:`dump_into` call encodes one message and
+    resets the memo state afterwards, so one instance can be pooled and
+    reused across messages (the dicts and scratch buffer keep their
+    allocations).  :meth:`bind` swaps the per-message netobj handler
+    without reallocating anything.
     """
 
     def __init__(
@@ -76,8 +93,13 @@ class Pickler:
         self._next_memo = 0
         self._depth = 0
 
+    def bind(self, netobj_handler: Optional[NetObjHandler]) -> "Pickler":
+        """Attach the handler for the next message; returns ``self``."""
+        self._handler = netobj_handler
+        return self
+
     def reset(self) -> None:
-        self._out = bytearray()
+        self._out.clear()
         self._memo_by_id.clear()
         self._memo_by_value.clear()
         self._keepalive.clear()
@@ -86,10 +108,27 @@ class Pickler:
 
     def dumps(self, value: object) -> bytes:
         """Encode ``value`` and return the pickle bytes."""
-        self._write(value)
-        result = bytes(self._out)
-        self.reset()
-        return result
+        try:
+            self._write(value)
+            return bytes(self._out)
+        finally:
+            self.reset()
+
+    def dump_into(self, value: object, out: bytearray) -> None:
+        """Encode ``value`` by appending directly to ``out``.
+
+        This is the zero-copy send path: ``out`` is typically a frame
+        buffer already holding the message envelope, so the pickle is
+        produced in its final resting place with no intermediate
+        ``bytes`` materialisation.
+        """
+        own = self._out
+        self._out = out
+        try:
+            self._write(value)
+        finally:
+            self._out = own
+            self.reset()
 
     # -- memo management ----------------------------------------------------
 
@@ -123,38 +162,23 @@ class Pickler:
             self._depth -= 1
 
     def _write_inner(self, value: object) -> None:
-        out = self._out
+        # Singletons first (bool is an int subclass, so True/False must
+        # never reach the type table), then one dict lookup replaces
+        # the former 14-branch if/elif chain.
         if value is None:
-            out.append(tags.NONE)
+            self._out.append(tags.NONE)
         elif value is True:
-            out.append(tags.TRUE)
+            self._out.append(tags.TRUE)
         elif value is False:
-            out.append(tags.FALSE)
-        elif type(value) is int:
-            self._write_int(value)
-        elif type(value) is float:
-            out.append(tags.FLOAT)
-            out += _FLOAT_STRUCT.pack(value)
-        elif type(value) is str:
-            self._write_str(value)
-        elif type(value) is bytes:
-            self._write_bytes(value)
-        elif type(value) is bytearray:
-            self._write_bytearray(value)
-        elif type(value) is list:
-            self._write_list(value)
-        elif type(value) is tuple:
-            self._write_tuple(value)
-        elif type(value) is dict:
-            self._write_dict(value)
-        elif type(value) is set:
-            self._write_set(tags.SET, value)
-        elif type(value) is frozenset:
-            self._write_set(tags.FROZENSET, value)
-        elif self._handler is not None and self._handler.recognizes(value):
-            self._write_netobj(value)
+            self._out.append(tags.FALSE)
         else:
-            self._write_struct(value)
+            writer = _DISPATCH.get(type(value))
+            if writer is not None:
+                writer(self, value)
+            elif self._handler is not None and self._handler.recognizes(value):
+                self._write_netobj(value)
+            else:
+                self._write_struct(value)
 
     def _write_int(self, value: int) -> None:
         out = self._out
@@ -172,23 +196,35 @@ class Pickler:
             write_uvarint(out, len(raw))
             out += raw
 
+    def _write_float(self, value: float) -> None:
+        self._out.append(tags.FLOAT)
+        self._out += _FLOAT_STRUCT.pack(value)
+
     def _write_str(self, value: str) -> None:
-        memo_id = self._memo_by_value.get((str, value))
-        if memo_id is not None:
-            self._write_ref(memo_id)
-            return
-        self._assign_memo_id(value, by_value=True)
+        if len(value) <= MEMO_VALUE_LIMIT:
+            memo_id = self._memo_by_value.get((str, value))
+            if memo_id is not None:
+                self._write_ref(memo_id)
+                return
+            self._assign_memo_id(value, by_value=True)
+        else:
+            # Burn the id (decoder numbering is positional) but skip
+            # hashing the payload into the memo table.
+            self._next_memo += 1
         encoded = value.encode("utf-8")
         self._out.append(tags.STR)
         write_uvarint(self._out, len(encoded))
         self._out += encoded
 
     def _write_bytes(self, value: bytes) -> None:
-        memo_id = self._memo_by_value.get((bytes, value))
-        if memo_id is not None:
-            self._write_ref(memo_id)
-            return
-        self._assign_memo_id(value, by_value=True)
+        if len(value) <= MEMO_VALUE_LIMIT:
+            memo_id = self._memo_by_value.get((bytes, value))
+            if memo_id is not None:
+                self._write_ref(memo_id)
+                return
+            self._assign_memo_id(value, by_value=True)
+        else:
+            self._next_memo += 1
         self._out.append(tags.BYTES)
         write_uvarint(self._out, len(value))
         self._out += value
@@ -250,6 +286,12 @@ class Pickler:
         for item in value:
             self._write(item)
 
+    def _write_mutable_set(self, value: set) -> None:
+        self._write_set(tags.SET, value)
+
+    def _write_frozenset(self, value: frozenset) -> None:
+        self._write_set(tags.FROZENSET, value)
+
     def _write_netobj(self, value: object) -> None:
         memo_id = self._memo_by_id.get(id(value))
         if memo_id is not None:
@@ -279,6 +321,24 @@ class Pickler:
         write_uvarint(self._out, len(fields))
         for field_value in fields:
             self._write(field_value)
+
+
+#: Exact-type dispatch table for :meth:`Pickler._write_inner`.
+#: Subclasses of these types deliberately do *not* hit the fast path:
+#: they fall through to the struct registry, exactly as the old
+#: ``type(value) is X`` chain behaved.
+_DISPATCH = {
+    int: Pickler._write_int,
+    float: Pickler._write_float,
+    str: Pickler._write_str,
+    bytes: Pickler._write_bytes,
+    bytearray: Pickler._write_bytearray,
+    list: Pickler._write_list,
+    tuple: Pickler._write_tuple,
+    dict: Pickler._write_dict,
+    set: Pickler._write_mutable_set,
+    frozenset: Pickler._write_frozenset,
+}
 
 
 def dumps(

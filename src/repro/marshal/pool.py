@@ -1,0 +1,67 @@
+"""Per-thread pools of reusable :class:`Pickler`/:class:`Unpickler`.
+
+Creating a pickler per message costs three dict/list allocations plus a
+buffer; at null-call rates that churn is measurable.  The pool keeps
+one small stack of instances per thread (reset is cheap — the dicts
+keep their storage) and rebinding the per-message netobj handler is a
+single attribute store.
+
+The stacks are per-thread, so acquire/release pairs need no locking
+and reentrancy is safe: if marshaling recurses into another marshal on
+the same thread (e.g. a nested call issued while unpickling), the inner
+acquire simply pops the next instance — or builds a fresh one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.marshal.pickler import NetObjHandler, Pickler
+from repro.marshal.registry import StructRegistry
+from repro.marshal.unpickler import Unpickler
+
+#: Instances retained per thread; beyond this, released instances are
+#: dropped for the garbage collector (deep recursion is rare).
+_MAX_PER_THREAD = 4
+
+
+class MarshalPool:
+    """Reusable codec instances for one registry (typically one Space)."""
+
+    def __init__(self, registry: Optional[StructRegistry] = None):
+        self._registry = registry
+        self._local = threading.local()
+
+    def acquire_pickler(
+        self, handler: Optional[NetObjHandler] = None
+    ) -> Pickler:
+        stack = self._stack("picklers")
+        pickler = stack.pop() if stack else Pickler(self._registry)
+        return pickler.bind(handler)
+
+    def release_pickler(self, pickler: Pickler) -> None:
+        pickler.bind(None)
+        stack = self._stack("picklers")
+        if len(stack) < _MAX_PER_THREAD:
+            stack.append(pickler)
+
+    def acquire_unpickler(
+        self, handler: Optional[NetObjHandler] = None
+    ) -> Unpickler:
+        stack = self._stack("unpicklers")
+        unpickler = stack.pop() if stack else Unpickler(self._registry)
+        return unpickler.bind(handler)
+
+    def release_unpickler(self, unpickler: Unpickler) -> None:
+        unpickler.bind(None)
+        stack = self._stack("unpicklers")
+        if len(stack) < _MAX_PER_THREAD:
+            stack.append(unpickler)
+
+    def _stack(self, name: str) -> list:
+        stack = getattr(self._local, name, None)
+        if stack is None:
+            stack = []
+            setattr(self._local, name, stack)
+        return stack

@@ -26,7 +26,15 @@ _UNFILLED = object()
 
 
 class Unpickler:
-    """Decoder for pickles produced by :class:`Pickler`."""
+    """Decoder for pickles produced by :class:`Pickler`.
+
+    Stateless between messages, so one instance can be pooled and
+    reused; :meth:`bind` swaps the per-message netobj handler.
+    ``loads`` accepts any bytes-like input — the zero-copy receive
+    path hands it a ``memoryview`` into the frame buffer, and payload
+    bytes are only materialised where user code will hold them (BYTES
+    values, decoded strings).
+    """
 
     def __init__(
         self,
@@ -36,7 +44,12 @@ class Unpickler:
         self._registry = registry if registry is not None else global_registry
         self._handler = netobj_handler
 
-    def loads(self, data: bytes) -> object:
+    def bind(self, netobj_handler: Optional[NetObjHandler]) -> "Unpickler":
+        """Attach the handler for the next message; returns ``self``."""
+        self._handler = netobj_handler
+        return self
+
+    def loads(self, data) -> object:
         """Decode one value from ``data``; all bytes must be consumed."""
         memo: List[object] = []
         value, offset = self._read(data, 0, memo)
@@ -81,7 +94,7 @@ class Unpickler:
             length, offset = read_uvarint(data, offset)
             raw, offset = self._take(data, offset, length)
             try:
-                value = raw.decode("utf-8")
+                value = str(raw, "utf-8")
             except UnicodeDecodeError as exc:
                 raise UnmarshalError(f"invalid UTF-8 in string: {exc}") from exc
             memo.append(value)
@@ -89,8 +102,11 @@ class Unpickler:
         if tag == tags.BYTES:
             length, offset = read_uvarint(data, offset)
             raw, offset = self._take(data, offset, length)
-            memo.append(raw)
-            return raw, offset
+            # Materialise: the caller keeps this value, the frame
+            # buffer it is a view into does not outlive the message.
+            value = bytes(raw)
+            memo.append(value)
+            return value, offset
         if tag == tags.BYTEARRAY:
             length, offset = read_uvarint(data, offset)
             raw, offset = self._take(data, offset, length)
@@ -194,7 +210,7 @@ class Unpickler:
         raise UnmarshalError(f"unknown pickle tag {tags.tag_name(tag)}")
 
     @staticmethod
-    def _take(data: bytes, offset: int, length: int):
+    def _take(data, offset: int, length: int):
         end = offset + length
         if end > len(data):
             raise UnmarshalError("truncated pickle payload")
@@ -202,7 +218,7 @@ class Unpickler:
 
 
 def loads(
-    data: bytes,
+    data,
     registry: Optional[StructRegistry] = None,
     netobj_handler: Optional[NetObjHandler] = None,
 ) -> object:

@@ -41,13 +41,34 @@ class ConnectionCache:
                 existing = self._connections.get(endpoint)
                 if existing is not None and not existing.closed:
                     return existing
-            connection = self._connect(endpoint)
+            try:
+                connection = self._connect(endpoint)
+            except BaseException:
+                # Nothing cached for this endpoint, so its dial lock
+                # would otherwise linger forever — unreachable peers
+                # retried periodically (e.g. by the pinger) would grow
+                # ``_locks`` without bound.
+                with self._lock:
+                    if endpoint not in self._connections:
+                        self._locks.pop(endpoint, None)
+                raise
             with self._lock:
-                if self._shutdown:
-                    connection.close()
-                    raise SpaceShutdownError("space is shut down")
-                self._connections[endpoint] = connection
-            return connection
+                if not self._shutdown:
+                    racer = self._connections.get(endpoint)
+                    if racer is None or racer.closed:
+                        self._connections[endpoint] = connection
+                        return connection
+                    # An evict dropped our dial lock mid-flight and a
+                    # fresh dial won the endpoint; keep theirs.
+                else:
+                    racer = None
+            try:
+                connection.close()
+            except CommFailure:
+                pass
+            if racer is not None:
+                return racer
+            raise SpaceShutdownError("space is shut down")
 
     def evict(self, connection: Connection) -> None:
         """Forget ``connection`` (typically from its on_close hook)."""
@@ -55,6 +76,10 @@ class ConnectionCache:
             for endpoint, cached in list(self._connections.items()):
                 if cached is connection:
                     del self._connections[endpoint]
+                    # Drop the endpoint's dial lock with it: entries
+                    # must track *live* endpoints, not every endpoint
+                    # ever contacted.
+                    self._locks.pop(endpoint, None)
 
     def peek(self, endpoint: str) -> Optional[Connection]:
         with self._lock:
@@ -65,6 +90,7 @@ class ConnectionCache:
             self._shutdown = True
             connections = list(self._connections.values())
             self._connections.clear()
+            self._locks.clear()
         for connection in connections:
             try:
                 connection.close()

@@ -20,19 +20,37 @@ from repro.errors import CallTimeout, CommFailure, ProtocolError
 from repro.rpc import messages
 from repro.rpc.dispatcher import Dispatcher
 from repro.transport.base import Channel
+from repro.wire.framing import BufferPool, finish_frame
 from repro.wire.ids import SpaceID
 
 #: Default per-call deadline, generous enough for loaded CI machines.
 DEFAULT_CALL_TIMEOUT = 30.0
 
 
+#: Recycled pending-call slots kept per connection.  Bounds the free
+#: list so a burst of concurrent callers doesn't pin Events forever.
+_MAX_FREE_PENDING = 8
+
+
 class _PendingCall:
+    """One awaited reply slot.  Instances are recycled: an Event (and
+    its internal Condition/lock) is three allocations per call we can
+    avoid on the null-call hot path.  Recycling is only safe because
+    completion happens *under* the connection's pending lock — once a
+    caller holding that lock finds the slot absent from the table, the
+    completer is guaranteed to be entirely done with it."""
+
     __slots__ = ("event", "reply", "failure")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.reply: Optional[messages.Message] = None
         self.failure: Optional[Exception] = None
+
+    def reset(self) -> None:
+        self.event.clear()
+        self.reply = None
+        self.failure = None
 
 
 class Connection:
@@ -55,9 +73,14 @@ class Connection:
         self._on_close = on_close
         self._pending: dict[int, _PendingCall] = {}
         self._pending_lock = threading.Lock()
+        self._pending_free: list[_PendingCall] = []
         self._call_ids = itertools.count(1)
         self._closed = threading.Event()
+        self._send_buffers = BufferPool()
         self.peer_id: Optional[SpaceID] = None
+        #: Slot for the owning space's per-connection codec context
+        #: (set lazily by Space; the connection itself never reads it).
+        self.marshal_ctx: Optional[object] = None
 
         self._handshake(outbound, handshake_timeout)
         self._reader = threading.Thread(
@@ -74,11 +97,11 @@ class Connection:
         ack = messages.HelloAck(self._local_id, self._local_id.nickname)
         try:
             if outbound:
-                self._channel.send(hello.encode())
+                self.send(hello)
                 reply = self._expect_handshake(messages.HelloAck, timeout)
             else:
                 reply = self._expect_handshake(messages.Hello, timeout)
-                self._channel.send(ack.encode())
+                self.send(ack)
         except CommFailure:
             self._channel.close()
             raise
@@ -94,7 +117,7 @@ class Connection:
         frame = self._channel.recv(timeout=timeout)
         if frame is None:
             raise CommFailure("peer closed during handshake")
-        message = messages.decode(frame)
+        message = messages.decode(memoryview(frame))
         if not type(message) is expected_type:
             raise ProtocolError(
                 f"expected {expected_type.__name__} during handshake, "
@@ -107,11 +130,41 @@ class Connection:
     def next_call_id(self) -> int:
         return next(self._call_ids)
 
+    # Frame buffers: ``new_send_buffer`` hands out a pooled bytearray
+    # with the 4 length-prefix bytes reserved; callers append the
+    # message (envelope + pickle) in place and pass it to
+    # ``send_buffer``/``call_buffer``, which patch the length, hand the
+    # channel the single buffer, and return it to the pool.  A caller
+    # that fails before sending must ``discard_send_buffer`` it.
+
+    def new_send_buffer(self) -> bytearray:
+        return self._send_buffers.acquire()
+
+    def discard_send_buffer(self, buffer: bytearray) -> None:
+        self._send_buffers.release(buffer)
+
+    def send_buffer(self, buffer: bytearray) -> None:
+        """Finish and transmit a frame built in ``new_send_buffer``.
+
+        Takes ownership of ``buffer`` — it goes back to the pool
+        whether the send succeeds or not.
+        """
+        try:
+            if self._closed.is_set():
+                raise CommFailure("connection closed")
+            self._channel.send_framed(finish_frame(buffer))
+        finally:
+            self._send_buffers.release(buffer)
+
     def send(self, message: messages.Message) -> None:
         """Fire-and-forget send (results, acks, one-way GC messages)."""
-        if self._closed.is_set():
-            raise CommFailure("connection closed")
-        self._channel.send(message.encode())
+        buffer = self.new_send_buffer()
+        try:
+            message.encode_into(buffer)
+        except BaseException:
+            self.discard_send_buffer(buffer)
+            raise
+        self.send_buffer(buffer)
 
     def call(
         self,
@@ -119,28 +172,62 @@ class Connection:
         timeout: float = DEFAULT_CALL_TIMEOUT,
     ) -> messages.Message:
         """Send a request carrying ``message.call_id``; await its reply."""
-        call_id = message.call_id
-        pending = _PendingCall()
+        buffer = self.new_send_buffer()
+        try:
+            message.encode_into(buffer)
+        except BaseException:
+            self.discard_send_buffer(buffer)
+            raise
+        return self.call_buffer(message.call_id, buffer, timeout)
+
+    def call_buffer(
+        self,
+        call_id: int,
+        buffer: bytearray,
+        timeout: float = DEFAULT_CALL_TIMEOUT,
+    ) -> messages.Message:
+        """Send a pre-built request frame; await the matching reply.
+
+        Takes ownership of ``buffer`` (see :meth:`send_buffer`).
+        """
         with self._pending_lock:
             if self._closed.is_set():
+                self._send_buffers.release(buffer)
                 raise CommFailure("connection closed")
+            free = self._pending_free
+            pending = free.pop() if free else _PendingCall()
             self._pending[call_id] = pending
         try:
-            self._channel.send(message.encode())
+            self.send_buffer(buffer)
         except CommFailure:
             with self._pending_lock:
                 self._pending.pop(call_id, None)
+                self._recycle(pending)
             raise
         if not pending.event.wait(timeout):
             with self._pending_lock:
+                # Either we pop the slot here, or the completer already
+                # did — and completion runs under this lock, so once we
+                # hold it the slot is exclusively ours to recycle.
                 self._pending.pop(call_id, None)
+                self._recycle(pending)
             raise CallTimeout(
                 f"no reply to call {call_id} within {timeout:.1f}s"
             )
-        if pending.failure is not None:
-            raise pending.failure
-        assert pending.reply is not None
-        return pending.reply
+        reply, failure = pending.reply, pending.failure
+        with self._pending_lock:
+            self._recycle(pending)
+        if failure is not None:
+            raise failure
+        assert reply is not None
+        return reply
+
+    def _recycle(self, pending: _PendingCall) -> None:
+        """Return a pending slot to the free list.  Caller must hold
+        ``_pending_lock`` and must be the slot's sole owner."""
+        pending.reset()
+        if len(self._pending_free) < _MAX_FREE_PENDING:
+            self._pending_free.append(pending)
 
     # -- incoming traffic -------------------------------------------------------
 
@@ -152,7 +239,9 @@ class Connection:
                 if frame is None:
                     break
                 try:
-                    message = messages.decode(frame)
+                    # memoryview: a decoded Call/Result's pickle is a
+                    # zero-copy slice of the frame buffer.
+                    message = messages.decode(memoryview(frame))
                 except Exception as exc:  # corrupt frame: drop connection
                     failure = ProtocolError(f"undecodable frame: {exc}")
                     break
@@ -170,11 +259,14 @@ class Connection:
             self._teardown(failure)
 
     def _complete(self, reply: messages.Message) -> None:
+        # Fields are set and the event raised *under* the lock: slot
+        # recycling in ``call_buffer`` depends on completion being
+        # atomic with respect to the pending table.
         with self._pending_lock:
             pending = self._pending.pop(reply.call_id, None)
-        if pending is not None:
-            pending.reply = reply
-            pending.event.set()
+            if pending is not None:
+                pending.reply = reply
+                pending.event.set()
         # Replies to calls we gave up on (timeout) are dropped silently.
 
     # -- teardown -------------------------------------------------------------
@@ -184,7 +276,7 @@ class Connection:
             return
         if notify_peer:
             try:
-                self._channel.send(messages.Bye().encode())
+                self.send(messages.Bye())
             except CommFailure:
                 pass
         self._channel.close()
@@ -198,9 +290,10 @@ class Connection:
         with self._pending_lock:
             pending = list(self._pending.values())
             self._pending.clear()
-        for entry in pending:
-            entry.failure = failure
-            entry.event.set()
+            self._pending_free.clear()
+            for entry in pending:
+                entry.failure = failure
+                entry.event.set()
         if self._on_close is not None:
             self._on_close(self)
 

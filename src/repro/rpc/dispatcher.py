@@ -27,7 +27,9 @@ class Dispatcher:
         self.name = name
         self.max_workers = max_workers
         self.idle_timeout = idle_timeout
-        self._tasks: "queue.Queue" = queue.Queue()
+        # SimpleQueue: C-implemented put/get, no unfinished-task
+        # bookkeeping — this queue is crossed once per incoming call.
+        self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
         self._lock = threading.Lock()
         self._workers = 0
         self._idle = 0
@@ -35,13 +37,20 @@ class Dispatcher:
 
     def submit(self, task: Task) -> None:
         """Run ``task`` promptly on some worker thread."""
+        if self._shutdown:
+            return
+        # Enqueue first, then decide whether to spawn — in that order
+        # the spawn check cannot be raced by an idle worker timing out
+        # past the task: a worker that times out while the queue is
+        # non-empty stays alive (see ``_worker``), and a worker that
+        # retired before the put is no longer counted idle here.
+        self._tasks.put(task)
         with self._lock:
             if self._shutdown:
                 return
             spawn = self._idle == 0 and self._workers < self.max_workers
             if spawn:
                 self._workers += 1
-        self._tasks.put(task)
         if spawn:
             threading.Thread(
                 target=self._worker, name=f"{self.name}-worker", daemon=True
@@ -66,6 +75,11 @@ class Dispatcher:
             except queue.Empty:
                 with self._lock:
                     self._idle -= 1
+                    # A submitter that saw us idle may have enqueued a
+                    # task between our timeout and this lock; retiring
+                    # now would strand it.  Stay alive instead.
+                    if not self._tasks.empty():
+                        continue
                     self._workers -= 1
                 return
             with self._lock:

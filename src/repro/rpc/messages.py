@@ -5,6 +5,15 @@ fields (varints, length-prefixed strings/bytes, wireReps).  We keep
 the envelope codecs separate from the pickles so the reader thread can
 decode an envelope — and route it — without touching the argument
 payload; unpickling happens later, in the thread that owns the call.
+
+Encoding is write-into: every message appends itself to a caller-owned
+``bytearray`` via ``encode_into`` (the hot path hands it a pooled frame
+buffer with the 4 length-prefix bytes already reserved); ``encode()``
+remains as a one-shot convenience wrapper.  ``decode`` accepts any
+bytes-like input, and CALL/RESULT carry their pickle as the *trailing*
+bytes of the frame — no length prefix — so the sender can stream the
+pickle straight into the frame buffer after the envelope, and the
+receiver can take a zero-copy ``memoryview`` slice of it.
 """
 
 from __future__ import annotations
@@ -25,23 +34,23 @@ def _write_str(out: bytearray, text: str) -> None:
     out += raw
 
 
-def _read_str(data: bytes, offset: int):
+def _read_str(data, offset: int):
     length, offset = read_uvarint(data, offset)
     end = offset + length
     if end > len(data):
         raise UnmarshalError("truncated string field")
     try:
-        return data[offset:end].decode("utf-8"), end
+        return str(data[offset:end], "utf-8"), end
     except UnicodeDecodeError as exc:
         raise UnmarshalError(f"invalid UTF-8 in string field: {exc}") from exc
 
 
-def _write_bytes(out: bytearray, raw: bytes) -> None:
+def _write_bytes(out: bytearray, raw) -> None:
     write_uvarint(out, len(raw))
     out += raw
 
 
-def _read_bytes(data: bytes, offset: int):
+def _read_bytes(data, offset: int):
     length, offset = read_uvarint(data, offset)
     end = offset + length
     if end > len(data):
@@ -49,8 +58,40 @@ def _read_bytes(data: bytes, offset: int):
     return data[offset:end], end
 
 
+class _Encodable:
+    """One-shot ``encode()`` on top of each message's ``encode_into``."""
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        self.encode_into(out)
+        return bytes(out)
+
+
+# -- envelope prefix writers (the zero-copy send path) -----------------------
+#
+# The hot path never materialises a Call/Result object on the way out:
+# it writes the envelope prefix into the frame buffer and lets the
+# pickler append the payload in place.  ``Call.encode_into`` /
+# ``Result.encode_into`` delegate here so there is exactly one
+# definition of each envelope.
+
+def encode_call_prefix(out: bytearray, call_id: int, target: WireRep,
+                       method: str) -> None:
+    """Write a CALL envelope; the args pickle follows as trailing bytes."""
+    out.append(protocol.CALL)
+    write_uvarint(out, call_id)
+    target.to_wire(out)
+    _write_str(out, method)
+
+
+def encode_result_prefix(out: bytearray, call_id: int) -> None:
+    """Write a RESULT envelope; the result pickle follows as trailing bytes."""
+    out.append(protocol.RESULT)
+    write_uvarint(out, call_id)
+
+
 @dataclass(frozen=True)
-class Hello:
+class Hello(_Encodable):
     """Handshake: announces protocol version and the sender's identity."""
 
     space_id: SpaceID
@@ -58,15 +99,14 @@ class Hello:
     version: int = protocol.PROTOCOL_VERSION
     tag = protocol.HELLO
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
         write_uvarint(out, self.version)
         out += self.space_id.to_bytes()
         _write_str(out, self.nickname)
-        return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "Hello":
+    def decode(cls, data, offset: int) -> "Hello":
         version, offset = read_uvarint(data, offset)
         end = offset + 16
         space_id = SpaceID.from_bytes(data[offset:end])
@@ -81,69 +121,102 @@ class HelloAck(Hello):
 
 
 @dataclass(frozen=True)
-class Bye:
+class Bye(_Encodable):
     """Orderly shutdown notice."""
 
     tag = protocol.BYE
 
-    def encode(self) -> bytes:
-        return bytes([self.tag])
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "Bye":
+    def decode(cls, data, offset: int) -> "Bye":
         return cls()
 
 
-@dataclass(frozen=True)
-class Call:
-    """Method invocation request.  ``args_pickle`` stays opaque here."""
+class Call(_Encodable):
+    """Method invocation request.  ``args_pickle`` stays opaque here.
 
-    call_id: int
-    target: WireRep
-    method: str
-    args_pickle: bytes
+    The pickle is the frame's trailing bytes (no length prefix), so a
+    decoded Call's ``args_pickle`` is a zero-copy view into the frame
+    buffer when the frame arrives as a ``memoryview``.
+
+    A plain ``__slots__`` class rather than a frozen dataclass: one is
+    constructed per incoming call, and the frozen-dataclass
+    ``object.__setattr__`` dance costs several times a normal init.
+    """
+
+    __slots__ = ("call_id", "target", "method", "args_pickle")
     tag = protocol.CALL
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
-        write_uvarint(out, self.call_id)
-        self.target.to_wire(out)
-        _write_str(out, self.method)
-        _write_bytes(out, self.args_pickle)
-        return bytes(out)
+    def __init__(self, call_id: int, target: WireRep, method: str,
+                 args_pickle) -> None:
+        self.call_id = call_id
+        self.target = target
+        self.method = method
+        self.args_pickle = args_pickle
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Call):
+            return (self.call_id == other.call_id
+                    and self.target == other.target
+                    and self.method == other.method
+                    and self.args_pickle == other.args_pickle)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"Call(call_id={self.call_id}, target={self.target}, "
+                f"method={self.method!r}, "
+                f"args_pickle=<{len(self.args_pickle)} bytes>)")
+
+    def encode_into(self, out: bytearray) -> None:
+        encode_call_prefix(out, self.call_id, self.target, self.method)
+        out += self.args_pickle
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "Call":
+    def decode(cls, data, offset: int) -> "Call":
         call_id, offset = read_uvarint(data, offset)
         target, offset = WireRep.from_wire(data, offset)
         method, offset = _read_str(data, offset)
-        args_pickle, offset = _read_bytes(data, offset)
-        return cls(call_id, target, method, args_pickle)
+        return cls(call_id, target, method, data[offset:])
 
 
-@dataclass(frozen=True)
-class Result:
-    """Successful completion of a :class:`Call`."""
+class Result(_Encodable):
+    """Successful completion of a :class:`Call`.
 
-    call_id: int
-    result_pickle: bytes
+    Like :class:`Call`, the pickle is the frame's trailing bytes, and
+    like it this is a ``__slots__`` class — one per reply.
+    """
+
+    __slots__ = ("call_id", "result_pickle")
     tag = protocol.RESULT
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
-        write_uvarint(out, self.call_id)
-        _write_bytes(out, self.result_pickle)
-        return bytes(out)
+    def __init__(self, call_id: int, result_pickle) -> None:
+        self.call_id = call_id
+        self.result_pickle = result_pickle
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Result):
+            return (self.call_id == other.call_id
+                    and self.result_pickle == other.result_pickle)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"Result(call_id={self.call_id}, "
+                f"result_pickle=<{len(self.result_pickle)} bytes>)")
+
+    def encode_into(self, out: bytearray) -> None:
+        encode_result_prefix(out, self.call_id)
+        out += self.result_pickle
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "Result":
+    def decode(cls, data, offset: int) -> "Result":
         call_id, offset = read_uvarint(data, offset)
-        result_pickle, offset = _read_bytes(data, offset)
-        return cls(call_id, result_pickle)
+        return cls(call_id, data[offset:])
 
 
 @dataclass(frozen=True)
-class Fault:
+class Fault(_Encodable):
     """The remote implementation raised; carried back to the caller."""
 
     call_id: int
@@ -152,16 +225,15 @@ class Fault:
     remote_traceback: str
     tag = protocol.FAULT
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
         write_uvarint(out, self.call_id)
         _write_str(out, self.kind)
         _write_str(out, self.message)
         _write_str(out, self.remote_traceback)
-        return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "Fault":
+    def decode(cls, data, offset: int) -> "Fault":
         call_id, offset = read_uvarint(data, offset)
         kind, offset = _read_str(data, offset)
         message, offset = _read_str(data, offset)
@@ -170,7 +242,7 @@ class Fault:
 
 
 @dataclass(frozen=True)
-class Dirty:
+class Dirty(_Encodable):
     """Dirty call: register the sender in the object's dirty set.
 
     Carries the client's sequence number; the owner only applies an
@@ -183,15 +255,14 @@ class Dirty:
     seqno: int
     tag = protocol.DIRTY
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
         write_uvarint(out, self.call_id)
         self.target.to_wire(out)
         write_uvarint(out, self.seqno)
-        return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "Dirty":
+    def decode(cls, data, offset: int) -> "Dirty":
         call_id, offset = read_uvarint(data, offset)
         target, offset = WireRep.from_wire(data, offset)
         seqno, offset = read_uvarint(data, offset)
@@ -199,7 +270,7 @@ class Dirty:
 
 
 @dataclass(frozen=True)
-class DirtyAck:
+class DirtyAck(_Encodable):
     """Owner's reply to a dirty call; ``ok`` is False when the object
     is already gone (the client then raises NoSuchObjectError)."""
 
@@ -208,15 +279,14 @@ class DirtyAck:
     error: str = ""
     tag = protocol.DIRTY_ACK
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
         write_uvarint(out, self.call_id)
         out.append(1 if self.ok else 0)
         _write_str(out, self.error)
-        return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "DirtyAck":
+    def decode(cls, data, offset: int) -> "DirtyAck":
         call_id, offset = read_uvarint(data, offset)
         if offset >= len(data):
             raise UnmarshalError("truncated DirtyAck")
@@ -226,7 +296,7 @@ class DirtyAck:
 
 
 @dataclass(frozen=True)
-class Clean:
+class Clean(_Encodable):
     """Clean call: remove the sender from the object's dirty set.
 
     A *strong* clean (paper §2.3) also bumps past any dirty call the
@@ -240,16 +310,15 @@ class Clean:
     strong: bool = False
     tag = protocol.CLEAN
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
         write_uvarint(out, self.call_id)
         self.target.to_wire(out)
         write_uvarint(out, self.seqno)
         out.append(1 if self.strong else 0)
-        return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "Clean":
+    def decode(cls, data, offset: int) -> "Clean":
         call_id, offset = read_uvarint(data, offset)
         target, offset = WireRep.from_wire(data, offset)
         seqno, offset = read_uvarint(data, offset)
@@ -260,23 +329,22 @@ class Clean:
 
 
 @dataclass(frozen=True)
-class CleanAck:
+class CleanAck(_Encodable):
     call_id: int
     tag = protocol.CLEAN_ACK
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
         write_uvarint(out, self.call_id)
-        return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "CleanAck":
+    def decode(cls, data, offset: int) -> "CleanAck":
         call_id, offset = read_uvarint(data, offset)
         return cls(call_id)
 
 
 @dataclass(frozen=True)
-class CopyAck:
+class CopyAck(_Encodable):
     """Receiver acknowledges a reference copy (one-way, no reply).
 
     Releases the sender's transient dirty entry identified by
@@ -288,49 +356,46 @@ class CopyAck:
     copy_id: int
     tag = protocol.COPY_ACK
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
         self.target.to_wire(out)
         write_uvarint(out, self.copy_id)
-        return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "CopyAck":
+    def decode(cls, data, offset: int) -> "CopyAck":
         target, offset = WireRep.from_wire(data, offset)
         copy_id, offset = read_uvarint(data, offset)
         return cls(target, copy_id)
 
 
 @dataclass(frozen=True)
-class Ping:
+class Ping(_Encodable):
     """Owner-to-client liveness probe (paper §2.4)."""
 
     call_id: int
     tag = protocol.PING
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
         write_uvarint(out, self.call_id)
-        return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "Ping":
+    def decode(cls, data, offset: int) -> "Ping":
         call_id, offset = read_uvarint(data, offset)
         return cls(call_id)
 
 
 @dataclass(frozen=True)
-class PingAck:
+class PingAck(_Encodable):
     call_id: int
     tag = protocol.PING_ACK
 
-    def encode(self) -> bytes:
-        out = bytearray([self.tag])
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
         write_uvarint(out, self.call_id)
-        return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> "PingAck":
+    def decode(cls, data, offset: int) -> "PingAck":
         call_id, offset = read_uvarint(data, offset)
         return cls(call_id)
 
@@ -363,9 +428,14 @@ REPLY_TAGS = frozenset(
 )
 
 
-def decode(data: bytes) -> Message:
-    """Decode one frame into its message object."""
-    if not data:
+def decode(data) -> Message:
+    """Decode one frame into its message object.
+
+    ``data`` may be ``bytes``, ``bytearray`` or ``memoryview``.  Pass
+    a ``memoryview`` to make the decoded Call/Result pickle a
+    zero-copy slice of the frame (the connection reader does).
+    """
+    if not len(data):
         raise ProtocolError("empty frame")
     decoder = _DECODERS.get(data[0])
     if decoder is None:

@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 from typing import Callable, Dict, Optional
 
 from repro.errors import CommFailure
+from repro.wire.framing import FRAME_HEADER_SIZE
 
 
 class Channel(ABC):
@@ -16,10 +17,28 @@ class Channel(ABC):
     merged.  ``recv`` blocks for the next frame and returns ``None``
     on orderly end-of-stream.  Both directions may be used from
     multiple threads; implementations serialise sends internally.
+
+    Payloads may be any bytes-like object (``bytes``, ``bytearray``,
+    ``memoryview``); the hot path hands channels reusable buffers, so
+    an implementation that retains a payload past the ``send`` call
+    must copy it.
     """
 
     @abstractmethod
-    def send(self, payload: bytes) -> None: ...
+    def send(self, payload) -> None: ...
+
+    def send_framed(self, frame: bytearray) -> None:
+        """Send a complete frame built in place: 4-byte length header
+        (already patched by :func:`repro.wire.framing.finish_frame`)
+        followed by the payload.
+
+        The caller may reuse ``frame`` as soon as this returns.  Stream
+        transports override this to hand the socket the single buffer;
+        the default strips the header and copies the payload out — the
+        one payload-sized allocation a datagram-style transport needs
+        to decouple the receiver from the sender's buffer reuse.
+        """
+        self.send(bytes(memoryview(frame)[FRAME_HEADER_SIZE:]))
 
     @abstractmethod
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]: ...

@@ -20,13 +20,16 @@ _EOF = object()
 
 class QueueChannel(Channel):
     """One direction-pair of in-process queues."""
-    def __init__(self, inbox: "queue.Queue", outbox: "queue.Queue"):
+    def __init__(self, inbox: "queue.SimpleQueue", outbox: "queue.SimpleQueue"):
         self._inbox = inbox
         self._outbox = outbox
         self._closed = threading.Event()
         self._peer_closed = threading.Event()
 
-    def send(self, payload: bytes) -> None:
+    def send(self, payload) -> None:
+        # Accepts any bytes-like payload.  The object is handed to the
+        # peer as-is (no copy): callers sending a reusable buffer must
+        # go through ``send_framed``, which copies exactly once.
         if self._closed.is_set() or self._peer_closed.is_set():
             raise CommFailure("channel is closed")
         self._outbox.put(payload)
@@ -57,9 +60,14 @@ class QueueChannel(Channel):
 
 
 def channel_pair() -> "tuple[QueueChannel, QueueChannel]":
-    """A connected pair of channels (useful directly in tests)."""
-    a_to_b: "queue.Queue" = queue.Queue()
-    b_to_a: "queue.Queue" = queue.Queue()
+    """A connected pair of channels (useful directly in tests).
+
+    ``SimpleQueue`` rather than ``Queue``: the C implementation costs a
+    fraction of a ``Condition`` dance per put/get, and this channel sits
+    under every E1 in-process measurement.
+    """
+    a_to_b: "queue.SimpleQueue" = queue.SimpleQueue()
+    b_to_a: "queue.SimpleQueue" = queue.SimpleQueue()
     return QueueChannel(b_to_a, a_to_b), QueueChannel(a_to_b, b_to_a)
 
 

@@ -31,7 +31,10 @@ class SimChannel(Channel):
         self._closed = threading.Event()
         self.peer: Optional["SimChannel"] = None
 
-    def send(self, payload: bytes) -> None:
+    def send(self, payload) -> None:
+        # Accepts any bytes-like payload; it is queued in the event
+        # scheduler as-is, so reusable buffers must arrive through
+        # ``send_framed`` (which copies once before queueing).
         peer = self.peer
         if self._closed.is_set() or peer is None or peer._closed.is_set():
             raise CommFailure("simulated channel is closed")

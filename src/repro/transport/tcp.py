@@ -28,10 +28,20 @@ class SocketChannel(Channel):
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         self._closed = threading.Event()
+        # Reused for every frame header; only touched under _recv_lock.
+        self._header = bytearray(_LEN_STRUCT.size)
+        self._header_view = memoryview(self._header)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
-    def send(self, payload: bytes) -> None:
-        frame = pack_frame(payload)
+    def send(self, payload) -> None:
+        self._sendall(pack_frame(payload))
+
+    def send_framed(self, frame: bytearray) -> None:
+        # The buffer already carries its patched header: one sendall,
+        # no concatenation, no intermediate bytes object.
+        self._sendall(frame)
+
+    def _sendall(self, frame) -> None:
         try:
             with self._send_lock:
                 self._sock.sendall(frame)
@@ -43,16 +53,18 @@ class SocketChannel(Channel):
         with self._recv_lock:
             try:
                 self._sock.settimeout(timeout)
-                header = self._recv_exact(_LEN_STRUCT.size, allow_eof=True)
-                if header is None:
+                if not self._recv_into(self._header_view, allow_eof=True):
                     return None
-                (length,) = _LEN_STRUCT.unpack(header)
+                (length,) = _LEN_STRUCT.unpack(self._header)
                 if length > MAX_FRAME_SIZE:
                     raise CommFailure(f"oversized frame announced ({length})")
                 if length == 0:
                     return b""
-                payload = self._recv_exact(length, allow_eof=False)
-                assert payload is not None
+                # The frame's only payload-sized allocation: the buffer
+                # the payload lands in, filled in place by recv_into and
+                # decoded through memoryview slices from then on.
+                payload = bytearray(length)
+                self._recv_into(memoryview(payload), allow_eof=False)
                 return payload
             except socket.timeout as exc:
                 raise CommFailure("recv timed out") from exc
@@ -61,18 +73,18 @@ class SocketChannel(Channel):
                     return None
                 raise CommFailure(f"recv failed: {exc}") from exc
 
-    def _recv_exact(self, count: int, allow_eof: bool) -> Optional[bytes]:
-        chunks = []
-        remaining = count
-        while remaining:
-            chunk = self._sock.recv(remaining)
-            if not chunk:
-                if allow_eof and remaining == count:
-                    return None
+    def _recv_into(self, view: memoryview, allow_eof: bool) -> bool:
+        """Fill ``view`` exactly from the socket; False on clean EOF
+        before the first byte (only when ``allow_eof``)."""
+        total = len(view)
+        while view:
+            count = self._sock.recv_into(view)
+            if count == 0:
+                if allow_eof and len(view) == total:
+                    return False
                 raise CommFailure("connection closed mid-frame")
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+            view = view[count:]
+        return True
 
     def close(self) -> None:
         if self._closed.is_set():

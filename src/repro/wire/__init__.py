@@ -10,8 +10,12 @@ length-prefixed frame whose payload begins with a one-byte message tag
 from repro.wire.ids import SpaceID, fresh_space_id
 from repro.wire.wirerep import WireRep
 from repro.wire.framing import (
+    BufferPool,
+    FRAME_HEADER_SIZE,
     FrameReader,
     MAX_FRAME_SIZE,
+    finish_frame,
+    new_frame,
     pack_frame,
     read_frame,
 )
@@ -22,8 +26,12 @@ __all__ = [
     "SpaceID",
     "fresh_space_id",
     "WireRep",
+    "BufferPool",
+    "FRAME_HEADER_SIZE",
     "FrameReader",
     "MAX_FRAME_SIZE",
+    "finish_frame",
+    "new_frame",
     "pack_frame",
     "read_frame",
     "protocol",

@@ -9,11 +9,15 @@ network) carry payloads natively and do not use this module.
 from __future__ import annotations
 
 import struct
-from typing import Callable, Optional
+import threading
+from typing import Callable, List, Optional
 
 from repro.errors import CommFailure, ProtocolError
 
 _LEN_STRUCT = struct.Struct("!I")
+
+#: Size of the length prefix every stream frame starts with.
+FRAME_HEADER_SIZE = _LEN_STRUCT.size
 
 #: Upper bound on a single frame.  Large enough for any benchmark in
 #: this repository; small enough to fail fast on a corrupt length
@@ -21,11 +25,73 @@ _LEN_STRUCT = struct.Struct("!I")
 MAX_FRAME_SIZE = 64 * 1024 * 1024
 
 
-def pack_frame(payload: bytes) -> bytes:
-    """Return ``payload`` prefixed with its 4-byte length."""
-    if len(payload) > MAX_FRAME_SIZE:
-        raise ProtocolError(f"frame of {len(payload)} bytes exceeds limit")
-    return _LEN_STRUCT.pack(len(payload)) + payload
+def new_frame() -> bytearray:
+    """A fresh frame buffer with header space reserved.
+
+    Writers append the payload directly after the four reserved bytes
+    and call :func:`finish_frame` once, so the whole message lives in
+    a single buffer from encode to socket.
+    """
+    return bytearray(FRAME_HEADER_SIZE)
+
+
+def finish_frame(frame: bytearray) -> bytearray:
+    """Patch the length prefix of a buffer built on :func:`new_frame`.
+
+    Returns the same buffer, now a complete frame ready for
+    ``Channel.send_framed``.
+    """
+    length = len(frame) - FRAME_HEADER_SIZE
+    if length < 0:
+        raise ProtocolError("frame buffer is missing its header space")
+    if length > MAX_FRAME_SIZE:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    _LEN_STRUCT.pack_into(frame, 0, length)
+    return frame
+
+
+def pack_frame(payload) -> bytes:
+    """Return ``payload`` prefixed with its 4-byte length.
+
+    One-shot convenience (tests, raw baselines); the RPC hot path
+    builds frames in place with :func:`new_frame`/:func:`finish_frame`
+    instead.  Accepts any bytes-like payload.
+    """
+    frame = new_frame()
+    frame += payload
+    return bytes(finish_frame(frame))
+
+
+class BufferPool:
+    """A small pool of reusable frame buffers.
+
+    ``acquire`` hands out a buffer pre-seeded with header space (as
+    from :func:`new_frame`); ``release`` truncates it back to the bare
+    header and keeps it for reuse, so steady-state sends perform no
+    buffer allocation at all.  Oversized buffers are dropped on
+    release rather than pinning megabytes in the pool.
+    """
+
+    def __init__(self, max_buffers: int = 8,
+                 max_retained: int = 1 << 20) -> None:
+        self._max_buffers = max_buffers
+        self._max_retained = max_retained
+        self._lock = threading.Lock()
+        self._buffers: List[bytearray] = []
+
+    def acquire(self) -> bytearray:
+        with self._lock:
+            if self._buffers:
+                return self._buffers.pop()
+        return new_frame()
+
+    def release(self, buffer: bytearray) -> None:
+        if len(buffer) > self._max_retained:
+            return
+        del buffer[FRAME_HEADER_SIZE:]
+        with self._lock:
+            if len(self._buffers) < self._max_buffers:
+                self._buffers.append(buffer)
 
 
 def read_frame(recv_exact: Callable[[int], Optional[bytes]]) -> Optional[bytes]:

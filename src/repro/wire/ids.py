@@ -37,6 +37,20 @@ class SpaceID:
     lo: int
     nickname: str = field(default="", compare=False)
 
+    # Hand-written so the decode hot path (which compares interned
+    # instances, see ``intern_from_wire``) short-circuits on identity
+    # instead of building comparison tuples.  Semantics are identical
+    # to the dataclass-generated pair: the nickname never participates.
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, SpaceID):
+            return self.hi == other.hi and self.lo == other.lo
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.hi, self.lo))
+
     def to_bytes(self) -> bytes:
         return _SPACE_ID_STRUCT.pack(self.hi, self.lo)
 
@@ -58,6 +72,36 @@ class SpaceID:
 
 
 SPACE_ID_WIRE_SIZE = _SPACE_ID_STRUCT.size
+
+#: Interning table for ids seen on the wire.  A process talks to a
+#: handful of peers but decodes a wireRep on every incoming call, so
+#: decode returns one shared instance per identity: the table lookup
+#: replaces struct-unpack + construction, and downstream equality
+#: checks short-circuit on ``is``.  Bounded defensively — input is
+#: remote — by discarding the table if a flood of distinct ids ever
+#: fills it (correctness never depends on interning, only speed).
+_INTERN_CAP = 4096
+_interned: dict = {}
+
+
+def intern_space_id(raw) -> SpaceID:
+    """The shared :class:`SpaceID` for 16 wire bytes (``raw`` may be
+    any bytes-like; a memoryview is copied only on a table miss)."""
+    sid = _interned.get(raw if type(raw) is bytes else bytes(raw))
+    if sid is not None:
+        return sid
+    key = bytes(raw)
+    sid = SpaceID.from_bytes(key)
+    if len(_interned) >= _INTERN_CAP:
+        _interned.clear()
+    _interned[key] = sid
+    return sid
+
+
+def intern_existing(sid: SpaceID) -> None:
+    """Pre-seed the intern table with a locally minted id, so wire
+    decodes of our own identity return the very same instance."""
+    _interned[sid.to_bytes()] = sid
 
 
 def fresh_space_id(nickname: str = "") -> SpaceID:

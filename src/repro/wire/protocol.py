@@ -9,7 +9,9 @@ ordinary messages on the same channels as method invocations.
 
 from __future__ import annotations
 
-PROTOCOL_VERSION = 1
+#: Version 2: CALL/RESULT carry their pickle as the frame's trailing
+#: bytes (no varint length prefix), enabling single-buffer encode.
+PROTOCOL_VERSION = 2
 
 # --- connection management -------------------------------------------------
 HELLO = 0x01          # handshake: protocol version + SpaceID + nickname

@@ -14,6 +14,11 @@ from repro.errors import UnmarshalError
 
 def write_uvarint(out: bytearray, value: int) -> None:
     """Append ``value`` (a non-negative int) to ``out`` as a varint."""
+    if 0 <= value < 0x80:
+        # Lengths, counts and memo ids are almost always < 128; this
+        # single-byte path dominates the encode hot loop.
+        out.append(value)
+        return
     if value < 0:
         raise ValueError(f"uvarint cannot encode negative value {value}")
     while True:
@@ -26,14 +31,22 @@ def write_uvarint(out: bytearray, value: int) -> None:
             return
 
 
-def read_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+def read_uvarint(data, offset: int) -> Tuple[int, int]:
     """Decode a varint from ``data`` at ``offset``.
 
-    Returns ``(value, new_offset)``.  Raises :class:`UnmarshalError` on
+    ``data`` may be any indexable bytes-like object (``bytes``,
+    ``bytearray`` or ``memoryview``) — the zero-copy receive path
+    decodes straight out of the frame buffer.  Returns
+    ``(value, new_offset)``.  Raises :class:`UnmarshalError` on
     truncated input or on encodings longer than 10 bytes (which cannot
     arise from :func:`write_uvarint` for values below 2**70 and guards
     against maliciously long encodings).
     """
+    if offset >= len(data):
+        raise UnmarshalError("truncated varint")
+    byte = data[offset]
+    if not byte & 0x80:
+        return byte, offset + 1
     result = 0
     shift = 0
     start = offset

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import UnmarshalError
-from repro.wire.ids import SPACE_ID_WIRE_SIZE, SpaceID
+from repro.wire.ids import SPACE_ID_WIRE_SIZE, SpaceID, intern_space_id
 from repro.wire.varint import read_uvarint, write_uvarint
 
 #: Index of the distinguished *special object* every space exports at
@@ -26,6 +26,19 @@ class WireRep:
     owner: SpaceID
     index: int
 
+    # Identity-first equality: decoded wireReps share interned owner
+    # ids (see ``from_wire``), so the common owner check in the serve
+    # path is two ``is`` tests instead of tuple construction.
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, WireRep):
+            return self.index == other.index and self.owner == other.owner
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.owner, self.index))
+
     def to_wire(self, out: bytearray) -> None:
         out += self.owner.to_bytes()
         write_uvarint(out, self.index)
@@ -35,7 +48,7 @@ class WireRep:
         end = offset + SPACE_ID_WIRE_SIZE
         if end > len(data):
             raise UnmarshalError("truncated wireRep")
-        owner = SpaceID.from_bytes(data[offset:end])
+        owner = intern_space_id(data[offset:end])
         index, offset = read_uvarint(data, end)
         return cls(owner, index), offset
 

@@ -362,6 +362,45 @@ class TestPicklerReuse:
         assert unpickler.loads(data) == {"k": [1, 2]}
         assert unpickler.loads(data) == {"k": [1, 2]}
 
+    def test_dump_into_appends_after_existing_bytes(self):
+        pickler = Pickler()
+        out = bytearray(b"envelope")
+        pickler.dump_into([1, "two", b"three"], out)
+        assert out.startswith(b"envelope")
+        assert loads(bytes(out[len(b"envelope"):])) == [1, "two", b"three"]
+
+    def test_loads_accepts_memoryview(self):
+        # The zero-copy receive path hands the unpickler a memoryview
+        # slice of the frame buffer, never a bytes copy.
+        value = {"k": ["v", (1, 2.5)], "raw": b"\x00\xff" * 100}
+        assert loads(memoryview(dumps(value))) == value
+
+    def test_shared_graph_via_memoryview(self):
+        shared = ["aliased"]
+        out = loads(memoryview(dumps([shared, shared])))
+        assert out[0] is out[1]
+
+    def test_large_values_skip_memo_but_stay_in_lockstep(self):
+        from repro.marshal.pickler import MEMO_VALUE_LIMIT
+
+        big = "x" * (MEMO_VALUE_LIMIT + 1)
+        small = "y"
+        # big burns a memo id without being memoized; small's id and
+        # every later back-reference must still line up positionally.
+        value = [big, small, small, big]
+        out = loads(dumps(value))
+        assert out == value
+        assert out[1] is out[2]  # small was memoized and back-referenced
+
+    def test_large_bytes_skip_memo_but_stay_in_lockstep(self):
+        from repro.marshal.pickler import MEMO_VALUE_LIMIT
+
+        big = b"b" * (MEMO_VALUE_LIMIT + 1)
+        value = [big, "tail", "tail", big]
+        out = loads(dumps(value))
+        assert out == value
+        assert out[1] is out[2]
+
 
 class TestDepthGuard:
     """Deep nesting must fail cleanly, never with RecursionError."""
@@ -404,3 +443,20 @@ class TestDepthGuard:
             pickler.dumps(self._deep_list(MAX_DEPTH + 10))
         pickler.reset()
         assert loads(pickler.dumps([1, 2])) == [1, 2]
+
+
+class TestCanonicalPickles:
+    """The void-call fast path appends/compares these constants instead
+    of running the codec; each must stay in lockstep with the format."""
+
+    def test_empty_args_constant_matches_encoder(self):
+        from repro.marshal.pickler import EMPTY_ARGS_PICKLE
+
+        assert dumps(((), {})) == EMPTY_ARGS_PICKLE
+        assert loads(EMPTY_ARGS_PICKLE) == ((), {})
+
+    def test_none_constant_matches_encoder(self):
+        from repro.marshal.pickler import NONE_PICKLE
+
+        assert dumps(None) == NONE_PICKLE
+        assert loads(NONE_PICKLE) is None

@@ -1,5 +1,6 @@
 """Unit tests for the RPC layer: messages, dispatcher, connections, cache."""
 
+import queue
 import threading
 import time
 
@@ -40,6 +41,13 @@ class TestMessageCodecs:
     def test_round_trip_all(self):
         for message in self.examples():
             decoded = messages.decode(message.encode())
+            assert decoded == message, message
+
+    def test_round_trip_via_memoryview(self):
+        # The receive path decodes memoryview slices of the frame
+        # buffer; every codec must accept them like bytes.
+        for message in self.examples():
+            decoded = messages.decode(memoryview(message.encode()))
             assert decoded == message, message
 
     def test_reply_tags_have_call_ids(self):
@@ -116,6 +124,88 @@ class TestDispatcher:
         dispatcher.shutdown()
 
 
+class _ScriptedQueue:
+    """Wraps a dispatcher's task queue so a test can park the lone
+    worker inside its idle-timeout window and release it on cue —
+    making the submit-vs-retire race deterministic instead of a
+    one-in-a-million timing accident."""
+
+    def __init__(self, real, park_on_call, parked, fire_timeout):
+        self._real = real
+        self._park_on_call = park_on_call
+        self._parked = parked
+        self._fire_timeout = fire_timeout
+        self._calls = 0
+        self.delay_put_until_retired = None  # set to a Dispatcher to enable
+
+    def put(self, item):
+        dispatcher = self.delay_put_until_retired
+        if dispatcher is not None:
+            self.delay_put_until_retired = None
+            # Simulate the worker's idle timeout winning the race: let
+            # it retire completely before the task lands on the queue.
+            self._fire_timeout.set()
+            deadline = time.time() + 5
+            while dispatcher._workers > 0 and time.time() < deadline:
+                time.sleep(0.001)
+            assert dispatcher._workers == 0, "worker failed to retire"
+        self._real.put(item)
+
+    def empty(self):
+        return self._real.empty()
+
+    def get(self, timeout=None):
+        self._calls += 1
+        if self._calls == self._park_on_call:
+            self._parked.set()
+            self._fire_timeout.wait(5)
+            raise queue.Empty
+        return self._real.get(timeout=timeout)
+
+
+class TestDispatcherSpawnRace:
+    """The submit/idle-timeout race: ``submit`` sees an idle worker and
+    skips spawning, but that worker times out concurrently.  Both
+    interleavings must leave someone to run the task."""
+
+    def _park_lone_worker(self, dispatcher):
+        parked = threading.Event()
+        fire_timeout = threading.Event()
+        scripted = _ScriptedQueue(
+            dispatcher._tasks, park_on_call=2,
+            parked=parked, fire_timeout=fire_timeout,
+        )
+        dispatcher._tasks = scripted
+        primed = threading.Event()
+        dispatcher.submit(primed.set)  # spawns the worker (get #1)
+        assert primed.wait(5)
+        assert parked.wait(5)  # worker is now inside get #2
+        return scripted, fire_timeout
+
+    def test_task_enqueued_before_worker_retires_still_runs(self):
+        # Window 1: the task is on the queue by the time the timed-out
+        # worker reaches the lock, so the worker must notice and stay.
+        dispatcher = Dispatcher(idle_timeout=5.0)
+        _scripted, fire_timeout = self._park_lone_worker(dispatcher)
+        ran = threading.Event()
+        dispatcher.submit(ran.set)  # sees idle == 1, does not spawn
+        fire_timeout.set()  # worker's get raises Empty *after* the put
+        assert ran.wait(5), "task stranded: idle worker retired past it"
+        dispatcher.shutdown()
+
+    def test_task_enqueued_after_worker_retires_still_runs(self):
+        # Window 2: the worker retires completely between submit's
+        # idle-count check and the put, so submit must re-check and
+        # spawn a replacement.
+        dispatcher = Dispatcher(idle_timeout=5.0)
+        scripted, _fire_timeout = self._park_lone_worker(dispatcher)
+        scripted.delay_put_until_retired = dispatcher
+        ran = threading.Event()
+        dispatcher.submit(ran.set)
+        assert ran.wait(5), "task stranded: no worker and none spawned"
+        dispatcher.shutdown()
+
+
 def connected_pair(handle_a=None, handle_b=None, on_close_a=None, on_close_b=None):
     """Two handshaken Connections over an in-process channel pair."""
     chan_a, chan_b = channel_pair()
@@ -152,7 +242,8 @@ class TestConnection:
     def test_call_and_reply(self):
         def serve(conn, msg):
             assert isinstance(msg, messages.Call)
-            conn.send(messages.Result(msg.call_id, msg.args_pickle * 2))
+            # args_pickle arrives as a zero-copy memoryview slice.
+            conn.send(messages.Result(msg.call_id, bytes(msg.args_pickle) * 2))
 
         conn_a, _conn_b, _a, _b = connected_pair(handle_b=serve)
         rep = WireRep(fresh_space_id(), 1)
@@ -254,6 +345,67 @@ class TestConnection:
         assert holder["b"].closed
 
 
+class _CountingChannel:
+    """Channel wrapper recording every frame buffer by identity, to
+    assert the send path's copy discipline at the Connection layer."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.framed_buffers = []
+
+    def send(self, payload):
+        self._inner.send(payload)
+
+    def send_framed(self, frame):
+        self.framed_buffers.append(frame)
+        # Mimic the default Channel.send_framed: one copy, header off.
+        self._inner.send(bytes(memoryview(frame)[4:]))
+
+    def recv(self, timeout=None):
+        return self._inner.recv(timeout=timeout)
+
+    def close(self):
+        self._inner.close()
+
+    @property
+    def closed(self):
+        return self._inner.closed
+
+
+class TestSendCopyDiscipline:
+    def test_steady_state_sends_reuse_one_pooled_buffer(self):
+        """Every message must travel in the connection's pooled frame
+        buffer: after warmup, N sends hand the channel the same
+        bytearray N times — zero buffer allocations per message."""
+        chan_a, chan_b = channel_pair()
+        counting = _CountingChannel(chan_a)
+        dispatcher = Dispatcher()
+        holder = {}
+
+        def make_b():
+            holder["b"] = Connection(
+                chan_b, fresh_space_id("b"), dispatcher,
+                lambda c, m: None, outbound=False,
+            )
+
+        thread = threading.Thread(target=make_b, daemon=True)
+        thread.start()
+        conn_a = Connection(
+            counting, fresh_space_id("a"), dispatcher,
+            lambda c, m: None, outbound=True,
+        )
+        thread.join(timeout=5)
+
+        counting.framed_buffers.clear()  # drop the handshake frames
+        for i in range(10):
+            conn_a.send(messages.Ping(i))
+        assert len(counting.framed_buffers) == 10
+        first = counting.framed_buffers[0]
+        assert all(frame is first for frame in counting.framed_buffers)
+        assert isinstance(first, bytearray)
+        conn_a.close()
+
+
 class TestConnectionCache:
     def make_cache(self):
         created = []
@@ -307,6 +459,40 @@ class TestConnectionCache:
         assert conn.closed
         with pytest.raises(SpaceShutdownError):
             cache.get("tcp://x:1")
+
+    def test_evict_drops_endpoint_lock(self):
+        cache, _created = self.make_cache()
+        conn = cache.get("tcp://x:1")
+        assert "tcp://x:1" in cache._locks
+        cache.evict(conn)
+        assert "tcp://x:1" not in cache._locks
+
+    def test_endpoint_churn_bounds_lock_table(self):
+        # A long-lived space contacting many transient peers must not
+        # accumulate one lock entry per endpoint ever seen.
+        cache, _created = self.make_cache()
+        for i in range(200):
+            conn = cache.get(f"tcp://peer-{i}:1")
+            cache.evict(conn)
+        assert len(cache) == 0
+        assert len(cache._locks) == 0
+
+    def test_failed_dials_do_not_grow_lock_table(self):
+        def connect(endpoint):
+            raise CommFailure("unreachable")
+
+        cache = ConnectionCache(connect)
+        for i in range(200):
+            with pytest.raises(CommFailure):
+                cache.get(f"tcp://down-{i}:1")
+        assert len(cache._locks) == 0
+
+    def test_close_all_clears_locks(self):
+        cache, _created = self.make_cache()
+        cache.get("tcp://x:1")
+        cache.get("tcp://y:2")
+        cache.close_all()
+        assert len(cache._locks) == 0
 
     def test_concurrent_get_single_dial(self):
         dialing = threading.Event()

@@ -210,3 +210,159 @@ class TestSimTransportExtras:
         assert channel.recv(timeout=5) is not None
         assert transport.stats.sent == 2  # request + echo
         transport.shutdown()
+
+
+def tcp_channel_pair():
+    """Two connected SocketChannels over a real loopback socket."""
+    accepted = {}
+    ready = threading.Event()
+
+    def on_connect(channel):
+        accepted["chan"] = channel
+        ready.set()
+
+    transport = TcpTransport()
+    listener = transport.listen("tcp://127.0.0.1:0", on_connect)
+    client = transport.connect(listener.endpoint)
+    assert ready.wait(5)
+    listener.close()
+    return client, accepted["chan"]
+
+
+class TestTcpFrameEdges:
+    """Boundary frames through the recv_into receive path."""
+
+    def test_zero_length_frame(self):
+        a, b = tcp_channel_pair()
+        try:
+            a.send(b"")
+            got = b.recv(timeout=5)
+            assert got is not None
+            assert bytes(got) == b""
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_exactly_at_limit(self, monkeypatch):
+        # tcp.py imports MAX_FRAME_SIZE by name, so both bindings must
+        # shrink for the limit to bite on send *and* recv.
+        monkeypatch.setattr("repro.wire.framing.MAX_FRAME_SIZE", 4096)
+        monkeypatch.setattr("repro.transport.tcp.MAX_FRAME_SIZE", 4096)
+        a, b = tcp_channel_pair()
+        try:
+            payload = b"m" * 4096
+            a.send(payload)
+            assert bytes(b.recv(timeout=5)) == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversize_rejected_on_send(self, monkeypatch):
+        from repro.errors import ProtocolError
+
+        monkeypatch.setattr("repro.wire.framing.MAX_FRAME_SIZE", 4096)
+        a, b = tcp_channel_pair()
+        try:
+            with pytest.raises(ProtocolError):
+                a.send(b"m" * 4097)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversize_rejected_on_recv(self, monkeypatch):
+        import struct
+
+        monkeypatch.setattr("repro.transport.tcp.MAX_FRAME_SIZE", 4096)
+        a, b = tcp_channel_pair()
+        try:
+            # Bypass the sender-side check: write a raw oversize header.
+            a._sock.sendall(struct.pack("!I", 4097))
+            with pytest.raises(CommFailure):
+                b.recv(timeout=5)
+        finally:
+            a.close()
+            b.close()
+
+    def test_memoryview_payload_accepted(self):
+        a, b = tcp_channel_pair()
+        try:
+            a.send(memoryview(b"view-payload"))
+            assert bytes(b.recv(timeout=5)) == b"view-payload"
+        finally:
+            a.close()
+            b.close()
+
+
+class _ScriptedSock:
+    """Enough of the socket interface for SocketChannel, with sendall
+    recorded by identity and recv_into fed from a script of chunk
+    sizes — proving the receive loop fills one preallocated buffer
+    instead of joining chunk lists."""
+
+    def __init__(self, inbound=b"", chunk_limit=None):
+        self.sent = []
+        self.inbound = bytearray(inbound)
+        self.chunk_limit = chunk_limit
+        self.recv_into_calls = 0
+
+    def setsockopt(self, *args):
+        pass
+
+    def settimeout(self, timeout):
+        pass
+
+    def sendall(self, data):
+        self.sent.append(data)
+
+    def recv_into(self, view):
+        self.recv_into_calls += 1
+        count = min(len(view), len(self.inbound))
+        if self.chunk_limit is not None:
+            count = min(count, self.chunk_limit)
+        view[:count] = self.inbound[:count]
+        del self.inbound[:count]
+        return count
+
+    def shutdown(self, how):
+        pass
+
+    def close(self):
+        pass
+
+
+class TestSocketChannelCopyDiscipline:
+    """The acceptance criteria of the zero-copy rework, checked against
+    an instrumented socket."""
+
+    def test_send_framed_passes_buffer_through_untouched(self):
+        from repro.transport.tcp import SocketChannel
+        from repro.wire import finish_frame, new_frame
+
+        sock = _ScriptedSock()
+        channel = SocketChannel(sock)
+        frame = new_frame()
+        frame += b"payload"
+        channel.send_framed(finish_frame(frame))
+        # Exactly one write, and it is the *same object* the caller
+        # built — no intermediate bytes, no concatenation.
+        assert len(sock.sent) == 1
+        assert sock.sent[0] is frame
+
+    def test_recv_fills_single_preallocated_buffer(self):
+        from repro.transport.tcp import SocketChannel
+        from repro.wire import pack_frame
+
+        payload = bytes(range(256)) * 8  # 2 KiB
+        # Dribble 7 bytes per recv_into: a chunk-list implementation
+        # would allocate ~300 fragments; recv_into fills one buffer.
+        sock = _ScriptedSock(inbound=pack_frame(payload), chunk_limit=7)
+        channel = SocketChannel(sock)
+        got = channel.recv(timeout=5)
+        assert bytes(got) == payload
+        assert isinstance(got, bytearray)  # the one payload allocation
+        assert sock.recv_into_calls > 100  # the dribble really happened
+
+    def test_recv_exact_is_gone(self):
+        from repro.transport.tcp import SocketChannel
+
+        assert not hasattr(SocketChannel, "_recv_exact")

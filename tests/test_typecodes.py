@@ -102,6 +102,22 @@ class TestRemoteMethods:
 
         assert remote_methods_of(WithData) == ("method",)
 
+    def test_result_is_cached_per_class(self):
+        # remote_methods_of sits on the per-call dispatch path; the
+        # expensive MRO walk must run once per class, not per call.
+        class Cached(NetObj):
+            def ping(self):
+                return 1
+
+        first = remote_methods_of(Cached)
+        assert remote_methods_of(Cached) is first
+
+    def test_method_set_matches_tuple(self):
+        from repro.core.netobj import remote_method_set
+
+        assert remote_method_set(Dog) == frozenset(remote_methods_of(Dog))
+        assert remote_method_set(Dog) is remote_method_set(Dog)
+
 
 class TestNarrowing:
     def test_narrow_prefers_most_derived(self):

@@ -6,10 +6,14 @@ import pytest
 
 from repro.errors import CommFailure, ProtocolError, UnmarshalError
 from repro.wire import (
+    FRAME_HEADER_SIZE,
+    BufferPool,
     FrameReader,
     SpaceID,
     WireRep,
+    finish_frame,
     fresh_space_id,
+    new_frame,
     pack_frame,
     read_frame,
     read_uvarint,
@@ -106,6 +110,24 @@ class TestWireRep:
         table = {WireRep(sid, 1): "a", WireRep(sid, 2): "b"}
         assert table[WireRep(SpaceID(sid.hi, sid.lo), 1)] == "a"
 
+    def test_decoded_owners_are_interned(self):
+        # Wire decode returns one shared SpaceID per identity, so the
+        # serve path's owner comparison short-circuits on identity.
+        rep = WireRep(fresh_space_id("o"), 1)
+        out = bytearray()
+        rep.to_wire(out)
+        first, _ = WireRep.from_wire(bytes(out), 0)
+        second, _ = WireRep.from_wire(memoryview(bytes(out)), 0)
+        assert first.owner is second.owner
+        assert first.owner == rep.owner
+
+    def test_intern_existing_preseeds_instance(self):
+        from repro.wire.ids import intern_existing, intern_space_id
+
+        sid = fresh_space_id("seeded")
+        intern_existing(sid)
+        assert intern_space_id(sid.to_bytes()) is sid
+
 
 class TestFraming:
     def test_pack_and_read(self):
@@ -170,3 +192,102 @@ class TestFraming:
         reader.feed(struct.pack("!I", 2**31))
         with pytest.raises(ProtocolError):
             list(reader.frames())
+
+
+class TestFrameBuild:
+    """The in-place frame-building API behind the zero-copy send path."""
+
+    def test_new_frame_reserves_header(self):
+        frame = new_frame()
+        assert len(frame) == FRAME_HEADER_SIZE
+
+    def test_finish_patches_length_in_place(self):
+        frame = new_frame()
+        frame += b"payload"
+        finished = finish_frame(frame)
+        assert finished is frame  # same buffer, no copy
+        assert bytes(finished) == pack_frame(b"payload")
+
+    def test_finish_zero_length_frame(self):
+        frame = finish_frame(new_frame())
+        assert bytes(frame) == struct.pack("!I", 0)
+        reader = FrameReader()
+        reader.feed(bytes(frame))
+        assert list(reader.frames()) == [b""]
+
+    def test_finish_exactly_at_limit(self, monkeypatch):
+        monkeypatch.setattr("repro.wire.framing.MAX_FRAME_SIZE", 1024)
+        frame = new_frame()
+        frame += b"x" * 1024
+        assert len(finish_frame(frame)) == FRAME_HEADER_SIZE + 1024
+
+    def test_finish_oversize_rejected(self, monkeypatch):
+        monkeypatch.setattr("repro.wire.framing.MAX_FRAME_SIZE", 1024)
+        frame = new_frame()
+        frame += b"x" * 1025
+        with pytest.raises(ProtocolError):
+            finish_frame(frame)
+
+    def test_finish_missing_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            finish_frame(bytearray(b"abc"[:2]))  # shorter than the header
+
+    def test_pack_frame_accepts_memoryview(self):
+        assert pack_frame(memoryview(b"hello")) == pack_frame(b"hello")
+
+
+class TestBufferPool:
+    def test_round_trip_reuses_buffer(self):
+        pool = BufferPool()
+        first = pool.acquire()
+        first += b"some payload"
+        pool.release(first)
+        second = pool.acquire()
+        assert second is first
+        assert len(second) == FRAME_HEADER_SIZE  # truncated back
+
+    def test_oversized_buffer_not_retained(self):
+        pool = BufferPool(max_retained=64)
+        buffer = pool.acquire()
+        buffer += b"x" * 100
+        pool.release(buffer)
+        assert pool.acquire() is not buffer
+
+    def test_pool_size_bounded(self):
+        pool = BufferPool(max_buffers=2)
+        buffers = [pool.acquire() for _ in range(4)]
+        for buffer in buffers:
+            pool.release(buffer)
+        assert len(pool._buffers) == 2
+
+
+class TestMemoryviewInputs:
+    """The zero-copy receive path hands decoders memoryview slices;
+    every wire-level reader must accept them interchangeably with
+    bytes."""
+
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**40])
+    def test_varint_from_memoryview(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        decoded, offset = read_uvarint(memoryview(bytes(out)), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_truncated_varint_from_memoryview(self):
+        out = bytearray()
+        write_uvarint(out, 2**40)
+        with pytest.raises(UnmarshalError):
+            read_uvarint(memoryview(bytes(out[:-1])), 0)
+
+    def test_empty_memoryview_truncated(self):
+        with pytest.raises(UnmarshalError):
+            read_uvarint(memoryview(b""), 0)
+
+    def test_wirerep_from_memoryview(self):
+        rep = WireRep(fresh_space_id("o"), 42)
+        out = bytearray()
+        rep.to_wire(out)
+        decoded, offset = WireRep.from_wire(memoryview(bytes(out)), 0)
+        assert decoded == rep
+        assert offset == len(out)
