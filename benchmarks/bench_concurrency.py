@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from repro import NetObj, Space
+from repro import NetObj, Space, async_call
 
 
 class Adder(NetObj):
@@ -104,6 +104,95 @@ class TestConcurrentClients:
         # 8 threads x 4 naps would serialise to 8x; multiplexed
         # dispatch should keep it under 3x the single-thread time.
         assert parallel < 3 * serial
+
+
+class TestPipelinedFutures:
+    @pytest.mark.benchmark(group="E8-concurrency")
+    def test_pipelined_vs_blocking_threads(self, benchmark, report, request):
+        """16 callers against a method with 10 ms of service latency.
+        A blocking caller parks a thread for a full round trip per
+        call, so each thread's rate is capped at 1/latency; a
+        pipelined caller fires every future up front and drains them,
+        so the naps overlap on the server's per-call handler threads.
+        The pipelined aggregate rate must be at least 2x blocking."""
+        endpoint = f"inproc://e8p-{request.node.name}"
+        ncallers = 16
+        calls_per_caller = 20
+        nap = 0.01
+
+        class Worker(NetObj):
+            def work(self, seconds: float, value: int) -> int:
+                time.sleep(seconds)
+                return value + 1
+
+        def timed(worker):
+            threads = [
+                threading.Thread(target=worker) for _ in range(ncallers)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return ncallers * calls_per_caller / (time.perf_counter() - start)
+
+        def run():
+            with Space("server", listen=[endpoint]) as server, \
+                    Space("client") as client:
+                server.serve("worker", Worker())
+                remote = client.import_object(endpoint, "worker")
+
+                def blocking_worker():
+                    for i in range(calls_per_caller):
+                        assert remote.work(nap, i) == i + 1
+
+                def pipelined_worker():
+                    futures = [
+                        async_call(remote.work, nap, i)
+                        for i in range(calls_per_caller)
+                    ]
+                    for i, future in enumerate(futures):
+                        assert future.result(30) == i + 1
+
+                blocking = timed(blocking_worker)
+                pipelined = timed(pipelined_worker)
+                return blocking, pipelined
+
+        blocking, pipelined = benchmark.pedantic(run, rounds=1, iterations=1)
+        speedup = pipelined / blocking
+        report("E8 concurrency",
+               f"16 callers x 20 calls @ 10 ms latency: "
+               f"blocking {blocking:7.0f} calls/s, "
+               f"pipelined {pipelined:7.0f} calls/s ({speedup:.1f}x)",
+               blocking_16x20_at_10ms_calls_per_s=round(blocking),
+               pipelined_16x20_at_10ms_calls_per_s=round(pipelined),
+               pipelined_speedup_x=round(speedup, 2))
+        assert speedup >= 2.0
+
+    @pytest.mark.benchmark(group="E8-concurrency")
+    def test_pipelined_null_calls_single_caller(self, benchmark, report,
+                                                request):
+        """Context row: null calls are marshal-bound, not latency-bound,
+        so pipelining is about parity there — its win is hiding latency
+        (above), not cutting per-call CPU."""
+        endpoint = f"inproc://e8n-{request.node.name}"
+        calls = 2000
+
+        def run():
+            with Space("server", listen=[endpoint]) as server, \
+                    Space("client") as client:
+                server.serve("adder", Adder())
+                adder = client.import_object(endpoint, "adder")
+                start = time.perf_counter()
+                futures = [async_call(adder.add, i, 1) for i in range(calls)]
+                for i, future in enumerate(futures):
+                    assert future.result(30) == i + 1
+                return calls / (time.perf_counter() - start)
+
+        rate = benchmark.pedantic(run, rounds=1, iterations=1)
+        report("E8 concurrency",
+               f"1 caller, 2000 pipelined null calls: {rate:9.0f} calls/s",
+               pipelined_null_calls_per_s=round(rate))
 
 
 class TestConnectionCaching:

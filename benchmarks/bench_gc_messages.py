@@ -116,6 +116,81 @@ class TestResurrectionAblation:
                f"with cancellation vs {full_cost} without")
 
 
+class TestBatchedCleans:
+    @pytest.mark.benchmark(group="E4-gc-messages")
+    def test_batched_vs_unit_clean_frames(self, benchmark, report):
+        """100 surrogates dropped at once toward one owner: a protocol
+        v3 client folds the clean calls into CLEAN_BATCH frames, a v2
+        client (batching negotiated off) ships one CLEAN + CLEAN_ACK
+        per reclamation.  Batching must cut collector frames by ≥5x."""
+        import gc as pygc
+        import time
+
+        from repro import NetObj, Space
+        from repro.sim.network import NetworkModel
+        from repro.transport.simulated import SimTransport
+        from repro.wire import protocol
+
+        class Maker(NetObj):
+            def make(self, count: int):
+                return [Token() for _ in range(count)]
+
+        class Token(NetObj):
+            def poke(self):
+                return True
+
+        def reclaim_frames(version):
+            transport = SimTransport(NetworkModel(latency=0.0001))
+            server = Space("owner", listen=["sim://owner"],
+                           transports=[transport])
+            client = Space("client", listen=["sim://client"],
+                           transports=[transport],
+                           protocol_version=version)
+            try:
+                server.serve("maker", Maker())
+                agent = client.import_object("sim://owner")
+                maker = agent.get("maker")
+                tokens = maker.make(100)
+                assert all(t.poke() for t in tokens[:3])
+                exported = server.gc_stats()["exported"]
+                transport.network.reset_stats()
+                del tokens
+                pygc.collect()
+                assert client.cleanup_daemon.wait_idle(30)
+                deadline = time.time() + 10
+                while time.time() < deadline:
+                    if server.gc_stats()["exported"] == exported - 100:
+                        break
+                    time.sleep(0.01)
+                assert server.gc_stats()["exported"] == exported - 100
+                assert agent is not None and maker is not None
+                tags = transport.stats.by_tag
+                return sum(
+                    tags.get(tag, 0)
+                    for tag in (protocol.CLEAN, protocol.CLEAN_ACK,
+                                protocol.CLEAN_BATCH,
+                                protocol.CLEAN_BATCH_ACK)
+                )
+            finally:
+                client.shutdown()
+                server.shutdown()
+                transport.shutdown()
+
+        def run():
+            return reclaim_frames(2), reclaim_frames(None)
+
+        unit, batched = benchmark.pedantic(run, rounds=1, iterations=1)
+        reduction = unit / batched
+        report("E4 GC messages",
+               f"100 reclamations to one owner: {unit} clean frames at "
+               f"v2 (unit), {batched} at v3 (batched) — "
+               f"{reduction:.1f}x fewer",
+               unit_clean_frames_per_100=unit,
+               batched_clean_frames_per_100=batched,
+               clean_frame_reduction_x=round(reduction, 1))
+        assert reduction >= 5.0
+
+
 class TestRuntimeAgreement:
     @pytest.mark.benchmark(group="E4-gc-messages")
     def test_real_runtime_matches_model(self, benchmark, report):

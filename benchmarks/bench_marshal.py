@@ -13,7 +13,7 @@ import time
 
 import pytest
 
-from repro.marshal import Pickler, Unpickler, dumps, loads
+from repro.marshal import dumps, loads
 
 
 def round_trip(value):

@@ -16,7 +16,7 @@ import threading
 import pytest
 
 from repro import Space
-from repro.transport.inprocess import InProcessTransport, channel_pair
+from repro.transport.inprocess import channel_pair
 from repro.transport.tcp import TcpTransport
 
 from conftest import Echo

@@ -28,7 +28,8 @@ Quickstart::
     assert counter.increment() == 1
 """
 
-from repro.core import GcConfig, NetObj, Space, Surrogate
+from repro.core import GcConfig, NetObj, Space, Surrogate, async_call
+from repro.rpc.futures import CallFuture, RemoteFuture
 from repro.errors import (
     CallTimeout,
     CommFailure,
@@ -50,6 +51,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Agent",
+    "CallFuture",
     "CallTimeout",
     "CommFailure",
     "GcConfig",
@@ -63,10 +65,12 @@ __all__ = [
     "NoSuchObjectError",
     "ProtocolError",
     "RemoteError",
+    "RemoteFuture",
     "Space",
     "SpaceShutdownError",
     "Surrogate",
     "UnmarshalError",
+    "async_call",
     "register_struct",
     "__version__",
 ]

@@ -11,10 +11,11 @@ from repro.core.netobj import NetObj, remote_methods_of
 from repro.core.surrogate import Surrogate
 from repro.core.typecodes import TypeRegistry, global_types, typechain
 from repro.core.objtable import ObjectTable
-from repro.core.space import GcConfig, Space
+from repro.core.space import GcConfig, Space, async_call
 
 __all__ = [
     "GcConfig",
+    "async_call",
     "NetObj",
     "ObjectTable",
     "Space",

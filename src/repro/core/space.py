@@ -22,9 +22,10 @@ import threading
 import traceback
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.marshalctx import MarshalContext
+from repro.core.marshalctx import MarshalContext, decode_ref
 from repro.core.netobj import NetObj, remote_method_set
 from repro.core.objtable import ObjectTable
+from repro.core.surrogate import Surrogate
 from repro.core.typecodes import TypeRegistry, global_types, typechain
 from repro.dgc.client import DgcClient, TransientTable
 from repro.dgc.config import GcConfig
@@ -43,18 +44,22 @@ from repro.errors import (
     SpaceShutdownError,
     UnmarshalError,
 )
+from repro.dgc.states import RefState
 from repro.marshal import tags
 from repro.marshal.pickler import EMPTY_ARGS_PICKLE, NONE_PICKLE
 from repro.marshal.pool import MarshalPool
 from repro.marshal.registry import StructRegistry, global_registry
+from repro.marshal.unpickler import scan_netobj_payloads
 from repro.naming.agent import Agent
 from repro.rpc import messages
 from repro.rpc.cache import ConnectionCache
 from repro.rpc.connection import Connection
 from repro.rpc.dispatcher import Dispatcher
+from repro.rpc.futures import RemoteFuture
 from repro.transport.base import Transport, TransportRegistry
 from repro.transport.inprocess import InProcessTransport
 from repro.transport.tcp import TcpTransport
+from repro.wire import protocol as wire_protocol
 from repro.wire.ids import SpaceID, fresh_space_id, intern_existing
 from repro.wire.wirerep import SPECIAL_OBJECT_INDEX, WireRep
 
@@ -72,6 +77,11 @@ _FAULT_KINDS = {
 #: this tag short-circuits the reply unpickle in ``_invoke_remote``.
 _NONE_TAG = tags.NONE
 
+#: Pickles shorter than this cannot hold two reference payloads, so the
+#: dirty-prefetch scan is skipped without looking at them (keeps the
+#: null-call hot path untouched).
+_PREFETCH_MIN_BYTES = 64
+
 
 class Space:
     """One address space: objects, connections and collector state."""
@@ -85,6 +95,7 @@ class Space:
         structs: Optional[StructRegistry] = None,
         gc: Optional[GcConfig] = None,
         call_timeout: float = 30.0,
+        protocol_version: Optional[int] = None,
     ):
         self.space_id = fresh_space_id(nickname)
         # Wire decodes of our own identity (the owner field of every
@@ -93,6 +104,13 @@ class Space:
         intern_existing(self.space_id)
         self.nickname = nickname
         self.call_timeout = call_timeout
+        # The highest protocol version this space announces at HELLO;
+        # lowering it (tests, staged rollouts) yields a well-formed
+        # "old" peer that never sees v3 frames.
+        self._protocol_version = (
+            protocol_version if protocol_version is not None
+            else wire_protocol.PROTOCOL_VERSION
+        )
         self.gc_config = gc if gc is not None else GcConfig()
         self.types = types if types is not None else global_types
         self.structs = structs if structs is not None else global_registry
@@ -116,6 +134,10 @@ class Space:
             self.dgc_client, self.gc_config,
             name=f"gc-cleanup-{nickname or self.space_id.short()}",
         )
+
+        #: CLEAN_BATCH frames actually sent (v3 connections only);
+        #: the daemon's ``batches_sent`` counts logical batch attempts.
+        self.clean_batch_frames = 0
 
         self._listeners: List = []
         self._connections: set = set()
@@ -202,7 +224,7 @@ class Space:
             connection = Connection(
                 channel, self.space_id, self.dispatcher,
                 self._handle_request, on_close=self._on_conn_close,
-                outbound=False,
+                outbound=False, max_version=self._protocol_version,
             )
         except (CommFailure, ProtocolError):
             return
@@ -215,7 +237,7 @@ class Space:
         connection = Connection(
             channel, self.space_id, self.dispatcher,
             self._handle_request, on_close=self._on_conn_close,
-            outbound=True,
+            outbound=True, max_version=self._protocol_version,
         )
         self._track(connection)
         return connection
@@ -225,8 +247,15 @@ class Space:
             self._connections.add(connection)
             peers = self._conns_by_peer.setdefault(connection.peer_id, [])
             peers.append(connection)
+        if self._closed.is_set():
+            # An accept (or a dial raced by shutdown) landed after the
+            # shutdown snapshot walked ``_connections``; nobody else
+            # will ever close this connection, so do it here.  Closing
+            # triggers ``_on_conn_close`` via the teardown hook.
+            connection.close()
         if connection.closed:
-            # Lost a race with teardown; make sure it is untracked.
+            # Lost a race with teardown; make sure it is untracked
+            # (teardown may have fired before we were in the set).
             self._on_conn_close(connection)
 
     def _on_conn_close(self, connection: Connection) -> None:
@@ -280,6 +309,42 @@ class Space:
             raise SpaceShutdownError("space is shut down")
         connection = self._conn_for_endpoints(endpoints)
         call_id = connection.next_call_id()
+        buffer = self._encode_call(connection, call_id, wirerep, method,
+                                   args, kwargs)
+        reply = connection.call_buffer(call_id, buffer, timeout=self.call_timeout)
+        return self._decode_reply(connection, reply)
+
+    def invoke_async(self, surrogate, method: str, *args, **kwargs
+                     ) -> RemoteFuture:
+        """Start ``surrogate.method(*args, **kwargs)`` without blocking.
+
+        Returns a :class:`~repro.rpc.futures.RemoteFuture` whose
+        ``result()`` yields the call's return value (or raises its
+        exception).  Hundreds of invocations can be in flight on one
+        connection — the reply frames complete the futures as they
+        arrive, and the result pickle is decoded on the thread that
+        first asks for it.  Most callers want :func:`repro.async_call`.
+        """
+        if not isinstance(surrogate, Surrogate):
+            raise TypeError(
+                "invoke_async needs a surrogate; local objects are "
+                f"called directly (got {type(surrogate).__qualname__})"
+            )
+        if self._closed.is_set():
+            raise SpaceShutdownError("space is shut down")
+        connection = self._conn_for_endpoints(surrogate._endpoints)
+        call_id = connection.next_call_id()
+        buffer = self._encode_call(connection, call_id, surrogate._wirerep,
+                                   method, args, kwargs)
+        future = connection.call_buffer_async(call_id, buffer)
+        return RemoteFuture(
+            future, lambda reply: self._decode_reply(connection, reply)
+        )
+
+    def _encode_call(self, connection: Connection, call_id: int,
+                     wirerep: WireRep, method: str, args: tuple,
+                     kwargs: dict) -> bytearray:
+        """Build one Call frame in a pooled buffer (caller owns it)."""
         buffer = connection.new_send_buffer()
         if not args and not kwargs:
             # Void-call fast path: ``((), {})`` has one canonical
@@ -296,13 +361,18 @@ class Space:
                 raise
             finally:
                 self._marshal.release_pickler(pickler)
-        reply = connection.call_buffer(call_id, buffer, timeout=self.call_timeout)
+        return buffer
+
+    def _decode_reply(self, connection: Connection,
+                      reply: messages.Message):
+        """Turn a reply message into the call's value (or exception)."""
         if isinstance(reply, messages.Fault):
             raise self._fault_to_exception(reply)
         assert isinstance(reply, messages.Result)
         pickle = reply.result_pickle
         if len(pickle) == 1 and pickle[0] == _NONE_TAG:
             return None
+        self._prefetch_refs(connection, pickle)
         unpickler = self._marshal.acquire_unpickler(self._codec_ctx(connection))
         try:
             return unpickler.loads(pickle)
@@ -319,8 +389,15 @@ class Space:
     # -- GC plumbing -------------------------------------------------------------------
 
     def _gc_request(self, endpoints: Sequence[str], kind: str, *,
-                    target: WireRep, seqno: int, strong: bool = False):
-        """Send one dirty or clean call to the owner and await its ack."""
+                    target: Optional[WireRep] = None, seqno: int = 0,
+                    strong: bool = False, entries: Sequence = ()):
+        """Send collector traffic to an owner and await its ack(s).
+
+        ``kind`` is "dirty", "clean" or "clean_batch".  A clean batch
+        rides one CLEAN_BATCH frame when the connection negotiated
+        protocol ≥ 3; toward a v2 peer it degrades to unit CLEAN
+        frames here, so the cleanup daemon stays version-blind.
+        """
         connection = self._conn_for_endpoints(endpoints)
         timeout = self.gc_config.gc_call_timeout
         if kind == "dirty":
@@ -334,8 +411,93 @@ class Space:
                 connection.next_call_id(), target, seqno, strong
             )
             connection.call(request, timeout=timeout)
+        elif kind == "clean_batch":
+            if connection.version >= 3 and len(entries) > 1:
+                request = messages.CleanBatch(
+                    connection.next_call_id(), tuple(entries)
+                )
+                self.clean_batch_frames += 1
+                reply = connection.call(request, timeout=timeout)
+                assert isinstance(reply, messages.CleanBatchAck)
+            else:
+                for entry_target, entry_seqno, entry_strong in entries:
+                    request = messages.Clean(
+                        connection.next_call_id(), entry_target,
+                        entry_seqno, entry_strong,
+                    )
+                    connection.call(request, timeout=timeout)
         else:  # pragma: no cover - internal misuse
             raise ValueError(f"unknown GC request kind {kind!r}")
+
+    def _gc_dirty_async(self, endpoints: Sequence[str], target: WireRep,
+                        seqno: int, on_done) -> None:
+        """Send one dirty call without blocking.
+
+        ``on_done(failure_or_None)`` runs exactly once when the ack
+        lands (or the connection dies); an immediate send failure
+        raises here instead and ``on_done`` is never invoked.  Used by
+        the unmarshal path to pipeline the dirty calls of a message
+        carrying several new references.
+        """
+        connection = self._conn_for_endpoints(endpoints)
+        request = messages.Dirty(connection.next_call_id(), target, seqno)
+        future = connection.call_async(request)
+
+        def _finish(completed):
+            failure = completed.exception(0)
+            if failure is None:
+                reply = completed.result(0)
+                if isinstance(reply, messages.DirtyAck):
+                    if not reply.ok:
+                        failure = NoSuchObjectError(reply.error)
+                elif isinstance(reply, messages.Fault):
+                    failure = self._fault_to_exception(reply)
+                else:
+                    failure = ProtocolError(
+                        "unexpected reply to dirty call: "
+                        f"{type(reply).__name__}"
+                    )
+            on_done(failure)
+
+        future.add_done_callback(_finish)
+
+    def _prefetch_refs(self, connection: Connection, pickle) -> None:
+        """Pipeline the dirty calls of a multi-reference message.
+
+        Scans the still-encoded pickle for NETOBJ payloads; when it
+        carries two or more references new to this space, their dirty
+        calls are issued as futures *before* the sequential unpickle
+        walks into them, collapsing k dirty round trips into ~1.  The
+        unpickle then finds each entry already OK (or waits briefly on
+        the in-flight dirty) and builds the surrogate as usual.  Dirty
+        calls themselves stay synchronous per the formal model — only
+        their mutual serialisation is removed.
+        """
+        if len(pickle) < _PREFETCH_MIN_BYTES:
+            return
+        payloads = scan_netobj_payloads(pickle)
+        if len(payloads) < 2:
+            return
+        fresh = []
+        seen = set()
+        client = self.dgc_client
+        for payload in payloads:
+            try:
+                wirerep, _copy_id, endpoints, chain = decode_ref(payload)
+            except UnmarshalError:
+                return  # corrupt; the real decode reports it properly
+            if wirerep.owner == self.space_id or wirerep in seen:
+                continue
+            seen.add(wirerep)
+            entry = client.entry(wirerep)
+            if entry is not None and (
+                entry.dirty_in_progress
+                or entry.state not in (RefState.NONEXISTENT, RefState.NIL)
+            ):
+                continue  # already usable or busy; nothing to hide
+            fresh.append((wirerep, endpoints, chain))
+        if len(fresh) >= 2:
+            client.prefetch_refs(fresh, self._gc_dirty_async)
 
     def _sweep_transients(self) -> None:
         """Expire transient pins whose copy_ack never came (the
@@ -384,6 +546,14 @@ class Space:
                 message.strong,
             )
             self._reply(connection, messages.CleanAck(message.call_id))
+        elif isinstance(message, messages.CleanBatch):
+            for target, seqno, strong in message.entries:
+                self.dgc_owner.handle_clean(
+                    connection.peer_id, target, seqno, strong
+                )
+            self._reply(connection, messages.CleanBatchAck(
+                message.call_id, len(message.entries)
+            ))
         elif isinstance(message, messages.CopyAck):
             self._apply_copy_ack(message)
         elif isinstance(message, messages.Ping):
@@ -412,6 +582,7 @@ class Space:
                 # Mirror of the void-call fast path in _invoke_remote.
                 args, kwargs = (), {}
             else:
+                self._prefetch_refs(connection, call.args_pickle)
                 unpickler = self._marshal.acquire_unpickler(
                     self._codec_ctx(connection)
                 )
@@ -526,11 +697,41 @@ class Space:
             "clean_calls_seen": self.dgc_owner.clean_calls_seen,
             "objects_dropped": self.dgc_owner.objects_dropped,
             "resurrections": self.dgc_client.resurrections,
+            "dropped_tasks": self.dispatcher.tasks_failed,
+            "failed_cleans": self.cleanup_daemon.cleans_failed,
+            "clean_batches_sent": self.clean_batch_frames,
         }
 
     def __repr__(self) -> str:
         return f"<Space {self.space_id} endpoints={self.endpoints}>"
 
 
+def async_call(method, *args, **kwargs) -> RemoteFuture:
+    """Start ``surrogate.method(*args, **kwargs)`` without blocking.
+
+    ``method`` must be a bound method of a surrogate::
+
+        future = repro.async_call(bank.deposit, "alice", 100)
+        ...
+        future.result()
+
+    Returns a :class:`~repro.rpc.futures.RemoteFuture`; see
+    :meth:`Space.invoke_async`.  Calling it with anything but a bound
+    surrogate method raises TypeError — local objects don't need it.
+    """
+    surrogate = getattr(method, "__self__", None)
+    if not isinstance(surrogate, Surrogate):
+        raise TypeError(
+            "async_call needs a bound surrogate method, got "
+            f"{method!r}"
+        )
+    space = getattr(surrogate._invoker, "__self__", None)
+    if not isinstance(space, Space):
+        raise TypeError(
+            f"surrogate {surrogate!r} is not attached to a Space"
+        )
+    return space.invoke_async(surrogate, method.__name__, *args, **kwargs)
+
+
 #: Re-exported for the package root.
-__all__ = ["GcConfig", "Space"]
+__all__ = ["GcConfig", "Space", "async_call"]

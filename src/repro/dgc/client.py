@@ -29,7 +29,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.dgc.config import GcConfig
 from repro.dgc.states import RefState
-from repro.errors import CommFailure, NetObjError
+from repro.errors import CommFailure, NarrowingError, NetObjError
 from repro.wire.wirerep import WireRep
 
 #: ``gc_request(endpoints, kind, **fields) -> reply`` — provided by the
@@ -201,10 +201,14 @@ class DgcClient:
                         return surrogate
                     # The surrogate died but the owner still lists us:
                     # cancel any pending clean and resurrect in place.
+                    # (An entry that never had a surrogate — a prefetch
+                    # completed its dirty call first — is not a
+                    # resurrection, just the first materialisation.)
                     if entry.clean_scheduled:
                         entry.clean_scheduled = False
                         entry.strong_pending = False
-                    self.resurrections += 1
+                    if entry.generation:
+                        self.resurrections += 1
                     return self._new_surrogate(entry)
                 if state is RefState.NONEXISTENT or (
                     state is RefState.NIL and not entry.dirty_in_progress
@@ -238,19 +242,7 @@ class DgcClient:
             self._gc_request(entry.endpoints, "dirty",
                              target=entry.wirerep, seqno=seqno)
         except NetObjError as failure:
-            with entry.cond:
-                entry.dirty_in_progress = False
-                # §2.3: the owner *may* have seen the dirty call, so a
-                # strong clean must chase it; no surrogate is created.
-                entry.state = RefState.CCIT
-                entry.clean_scheduled = True
-                entry.strong_pending = True
-                entry.seqno += 1          # the clean outranks the dirty
-                entry.epoch += 1
-                entry.last_failure = failure
-                entry.cond.notify_all()
-            if self._daemon is not None:
-                self._daemon.enqueue(entry.wirerep)
+            self._dirty_failed(entry, failure)
             raise
         with entry.cond:
             entry.dirty_in_progress = False
@@ -258,6 +250,86 @@ class DgcClient:
             surrogate = self._new_surrogate(entry)
             entry.cond.notify_all()
             return surrogate
+
+    def _dirty_failed(self, entry: RefEntry, failure: Exception) -> None:
+        """A dirty call (synchronous or prefetched) failed.
+
+        §2.3: the owner *may* have seen the dirty call, so a strong
+        clean must chase it; no surrogate is created, and any threads
+        parked on the entry are failed through the epoch bump.
+        """
+        with entry.cond:
+            entry.dirty_in_progress = False
+            entry.state = RefState.CCIT
+            entry.clean_scheduled = True
+            entry.strong_pending = True
+            entry.seqno += 1          # the clean outranks the dirty
+            entry.epoch += 1
+            entry.last_failure = failure
+            entry.cond.notify_all()
+        if self._daemon is not None:
+            self._daemon.enqueue(entry.wirerep)
+
+    # -- pipelined dirty prefetch ---------------------------------------------------
+
+    def prefetch_refs(self, refs, dirty_async) -> int:
+        """Issue the dirty calls for several incoming references as
+        pipelined futures, collapsing k dirty round trips into ~1.
+
+        ``refs`` yields ``(wirerep, endpoints, chain)`` triples scanned
+        out of a not-yet-decoded message; ``dirty_async(endpoints,
+        target, seqno, on_done)`` sends one dirty call without blocking
+        and later invokes ``on_done(failure_or_None)`` exactly once
+        (it may raise for an immediate send failure).
+
+        Each claimed entry goes NIL with ``dirty_in_progress`` set —
+        exactly the state the sequential decode's :meth:`acquire_ref`
+        knows how to wait on — and the completion callback performs the
+        NIL→OK (or failure) transition.  Surrogates are still built by
+        the decoding thread, never here.  Returns the number of dirty
+        calls issued; references already known, owned by us, or
+        unclaimable in their current state are skipped silently.
+        """
+        issued = 0
+        for wirerep, endpoints, chain in refs:
+            try:
+                entry = self._entry_for(wirerep, endpoints, chain)
+            except NarrowingError:
+                continue  # the sequential decode will raise properly
+            with entry.cond:
+                state = entry.state
+                if not (state is RefState.NONEXISTENT or
+                        (state is RefState.NIL and
+                         not entry.dirty_in_progress)):
+                    continue
+                entry.state = RefState.NIL
+                entry.dirty_in_progress = True
+                entry.seqno += 1
+                seqno = entry.seqno
+            self.dirty_calls_sent += 1
+            try:
+                dirty_async(
+                    entry.endpoints, wirerep, seqno,
+                    lambda failure, entry=entry:
+                        self._finish_prefetch(entry, failure),
+                )
+            except NetObjError as failure:
+                self._dirty_failed(entry, failure)
+                continue
+            issued += 1
+        return issued
+
+    def _finish_prefetch(self, entry: RefEntry,
+                         failure: Optional[Exception]) -> None:
+        """Completion of a prefetched dirty call (reader thread)."""
+        if failure is not None:
+            self._dirty_failed(entry, failure)
+            return
+        with entry.cond:
+            entry.dirty_in_progress = False
+            if entry.state is RefState.NIL:
+                entry.state = RefState.OK
+            entry.cond.notify_all()
 
     def _new_surrogate(self, entry: RefEntry):
         """Build, register and track a fresh surrogate (cond held)."""
@@ -328,6 +400,21 @@ class DgcClient:
         self.clean_calls_sent += 1
         self._gc_request(entry.endpoints, "clean",
                          target=entry.wirerep, seqno=seqno, strong=strong)
+
+    def send_clean_batch(self, endpoints, claims) -> None:
+        """Daemon step 2, batched: one attempt at delivering several
+        claimed cleans bound for the same owner (may raise CommFailure).
+        Falls back to unit CLEAN frames below protocol v3 — the space
+        decides per connection; the daemon stays version-blind.
+        """
+        self.clean_calls_sent += len(claims)
+        self._gc_request(
+            endpoints, "clean_batch",
+            entries=tuple(
+                (entry.wirerep, seqno, strong)
+                for entry, seqno, strong in claims
+            ),
+        )
 
     def finish_clean(self, entry: RefEntry, delivered: bool) -> None:
         """Daemon step 3: apply the clean acknowledgement (or give up).

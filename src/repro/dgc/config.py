@@ -37,3 +37,7 @@ class GcConfig:
     transient_ttl: Optional[float] = None
     #: Sweep period for expired transient entries.
     transient_sweep_interval: float = 1.0
+    #: Upper bound on clean calls shipped to one owner in a single
+    #: CLEAN_BATCH frame (protocol v3).  1 disables batching: every
+    #: clean goes out as a unit CLEAN frame, as in v2.
+    clean_batch_max: int = 64

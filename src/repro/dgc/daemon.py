@@ -15,12 +15,15 @@ three-step clean cycle on :class:`~repro.dgc.client.DgcClient`
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 from repro.dgc.client import DgcClient
 from repro.dgc.config import GcConfig
 from repro.errors import NetObjError
 from repro.wire.wirerep import WireRep
+
+logger = logging.getLogger("repro.dgc.daemon")
 
 _STOP = object()
 
@@ -43,6 +46,8 @@ class CleanupDaemon:
         # Statistics.
         self.cleans_completed = 0
         self.cleans_abandoned = 0
+        self.cleans_failed = 0
+        self.batches_sent = 0
         self.retries = 0
 
     def enqueue(self, wirerep: WireRep) -> None:
@@ -61,31 +66,80 @@ class CleanupDaemon:
     # -- worker -------------------------------------------------------------------
 
     def _run(self) -> None:
+        limit = max(1, self._config.clean_batch_max)
         while not self._stop_event.is_set():
             item = self._queue.get()
             if item is _STOP:
                 return
+            # Drain whatever else is already queued (up to the batch
+            # bound) so one collector pass over many surrogates turns
+            # into a handful of frames instead of one frame each.
+            batch = [item]
+            saw_stop = False
+            while len(batch) < limit:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    saw_stop = True
+                    break
+                batch.append(extra)
             try:
-                self._process(item)
+                self._process_batch(batch)
             except Exception:  # noqa: BLE001 - daemon must survive anything
-                import traceback
-
-                traceback.print_exc()
+                self.cleans_failed += len(batch)
+                logger.exception("cleanup daemon: batch of %d dropped",
+                                 len(batch))
             finally:
                 if self._queue.empty():
                     self._idle.set()
+            if saw_stop:
+                return
 
     def _process(self, wirerep: WireRep) -> None:
-        claim = self._client.begin_clean(wirerep)
-        if claim is None:
-            return  # cancelled (resurrection) or moot
-        entry, seqno, strong = claim
+        """Run the clean cycle for a single queue item (tests)."""
+        self._process_batch([wirerep])
+
+    def _process_batch(self, wirereps: "list[WireRep]") -> None:
+        # Step 1: claim each scheduled clean.  Cancelled (resurrected)
+        # or moot entries drop out here, exactly as in the unit path.
+        claims = []
+        for wirerep in wirereps:
+            claim = self._client.begin_clean(wirerep)
+            if claim is not None:
+                claims.append(claim)
+        if not claims:
+            return
+        # Step 2+3 per owner: entries bound for the same endpoints ride
+        # one CLEAN_BATCH frame; singletons stay unit CLEAN frames.
+        groups: "dict[tuple, list]" = {}
+        for claim in claims:
+            groups.setdefault(claim[0].endpoints, []).append(claim)
+        for endpoints, group in groups.items():
+            try:
+                self._deliver(endpoints, group)
+            except Exception:  # noqa: BLE001 - a bad group must not strand the rest
+                self.cleans_failed += len(group)
+                logger.exception(
+                    "cleanup daemon: clean group of %d for %r dropped",
+                    len(group), endpoints,
+                )
+
+    def _deliver(self, endpoints, group) -> None:
+        """Send one owner's claimed cleans, with retries at the *same*
+        sequence numbers, then apply the outcome to each entry."""
         delivered = False
-        for attempt in range(self._config.clean_max_retries):
+        for _attempt in range(self._config.clean_max_retries):
             if self._stop_event.is_set():
                 break
             try:
-                self._client.send_clean(entry, seqno, strong)
+                if len(group) > 1:
+                    self._client.send_clean_batch(endpoints, group)
+                    self.batches_sent += 1
+                else:
+                    entry, seqno, strong = group[0]
+                    self._client.send_clean(entry, seqno, strong)
                 delivered = True
                 break
             except NetObjError:
@@ -93,7 +147,8 @@ class CleanupDaemon:
                 if self._stop_event.wait(self._config.clean_retry_interval):
                     break
         if delivered:
-            self.cleans_completed += 1
+            self.cleans_completed += len(group)
         else:
-            self.cleans_abandoned += 1
-        self._client.finish_clean(entry, delivered)
+            self.cleans_abandoned += len(group)
+        for entry, _seqno, _strong in group:
+            self._client.finish_clean(entry, delivered)

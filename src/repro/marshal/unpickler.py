@@ -224,3 +224,79 @@ def loads(
 ) -> object:
     """One-shot convenience wrapper around :class:`Unpickler`."""
     return Unpickler(registry, netobj_handler).loads(data)
+
+
+# -- structural prescan ---------------------------------------------------------
+
+#: Tags whose payload is a single uvarint to skip.
+_SKIP_UVARINT = frozenset({tags.INT_POS, tags.INT_NEG, tags.REF})
+#: Tags whose payload is a uvarint length followed by that many bytes.
+_SKIP_SIZED = frozenset({tags.INT_BIG, tags.STR, tags.BYTES, tags.BYTEARRAY})
+#: Container tags: uvarint count followed by that many child values.
+_SKIP_COUNTED = frozenset({tags.LIST, tags.TUPLE, tags.SET, tags.FROZENSET})
+
+
+def scan_netobj_payloads(data) -> list:
+    """Collect every NETOBJ payload in a pickle without decoding values.
+
+    A structural walk over the tag grammar: containers are traversed,
+    scalars skipped by length, and each ``NETOBJ`` payload slice is
+    collected (views into ``data``, valid only while the frame buffer
+    lives).  This powers the dirty-call prefetch — the caller can see
+    which remote references a message carries *before* the sequential
+    unpickle walks into them.
+
+    Best effort by design: any malformed input returns ``[]`` and the
+    real decode reports the corruption properly.  Duplicate references
+    appear once (later occurrences are ``REF`` back-references).
+    """
+    found: list = []
+    try:
+        if _scan(data, 0, found, 0) != len(data):
+            return []
+    except Exception:  # noqa: BLE001 - malformed input is the decode's problem
+        return []
+    return found
+
+
+def _scan(data, offset: int, found: list, depth: int) -> int:
+    if depth > MAX_DEPTH:
+        raise UnmarshalError(f"pickle nesting exceeds {MAX_DEPTH} levels")
+    tag = data[offset]
+    offset += 1
+    if tag in (tags.NONE, tags.TRUE, tags.FALSE):
+        return offset
+    if tag in _SKIP_UVARINT:
+        return read_uvarint(data, offset)[1]
+    if tag in _SKIP_SIZED:
+        length, offset = read_uvarint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise UnmarshalError("truncated pickle payload")
+        return end
+    if tag == tags.FLOAT:
+        return offset + _FLOAT_STRUCT.size
+    if tag in _SKIP_COUNTED:
+        count, offset = read_uvarint(data, offset)
+        for _ in range(count):
+            offset = _scan(data, offset, found, depth + 1)
+        return offset
+    if tag == tags.DICT:
+        count, offset = read_uvarint(data, offset)
+        for _ in range(2 * count):
+            offset = _scan(data, offset, found, depth + 1)
+        return offset
+    if tag == tags.STRUCT:
+        offset = _scan(data, offset, found, depth + 1)  # the type name
+        count, offset = read_uvarint(data, offset)
+        for _ in range(count):
+            offset = _scan(data, offset, found, depth + 1)
+        return offset
+    if tag == tags.NETOBJ:
+        length, offset = read_uvarint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise UnmarshalError("truncated pickle payload")
+        found.append(data[offset:end])
+        return end
+    raise UnmarshalError(f"unknown pickle tag {tags.tag_name(tag)}")

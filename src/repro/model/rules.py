@@ -13,7 +13,6 @@ distributed reference-listing algorithm proper.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Iterable, Tuple
 
 from repro.dgc.states import RefState

@@ -55,6 +55,20 @@ class ConnectionCache:
             with self._lock:
                 if not self._shutdown:
                     racer = self._connections.get(endpoint)
+                    if connection.closed:
+                        # The connection died between handshake and
+                        # here — its on_close hook already ran, so an
+                        # evict for it can never fire again.  Caching
+                        # it would wedge the endpoint behind a dead
+                        # entry; hand out a live racer if one slipped
+                        # in, else surface the failure.
+                        if racer is not None and not racer.closed:
+                            return racer
+                        if racer is None:
+                            self._locks.pop(endpoint, None)
+                        raise CommFailure(
+                            f"connection to {endpoint!r} closed during dial"
+                        )
                     if racer is None or racer.closed:
                         self._connections[endpoint] = connection
                         return connection

@@ -8,6 +8,20 @@ the issuer's thread, requests go to the space's dispatcher.  Argument
 and result pickles are *not* decoded on the reader thread — blocking
 work (including nested dirty calls triggered by unpickling) happens in
 the thread that owns the call.
+
+Calls come in two shapes over the same call-id multiplexing:
+
+* ``call_buffer``/``call`` — the classic blocking RPC: send, park the
+  calling thread, return the reply.  Implemented on the same machinery
+  as the async path, with the future slot recycled afterwards.
+* ``call_buffer_async``/``call_async`` — pipelined: send and return a
+  :class:`~repro.rpc.futures.CallFuture` immediately, so one thread
+  can keep hundreds of calls in flight per connection.
+
+The handshake negotiates the protocol version down to
+``min(ours, peer's)`` (floor :data:`~repro.wire.protocol.MIN_PROTOCOL_VERSION`),
+so a v3 runtime interoperates with a v2 peer by never sending the v3
+frames (``CLEAN_BATCH``).  The agreed version is ``self.version``.
 """
 
 from __future__ import annotations
@@ -16,10 +30,12 @@ import itertools
 import threading
 from typing import Callable, Optional
 
-from repro.errors import CallTimeout, CommFailure, ProtocolError
+from repro.errors import CommFailure, ProtocolError
 from repro.rpc import messages
 from repro.rpc.dispatcher import Dispatcher
+from repro.rpc.futures import CallFuture
 from repro.transport.base import Channel
+from repro.wire import protocol
 from repro.wire.framing import BufferPool, finish_frame
 from repro.wire.ids import SpaceID
 
@@ -27,30 +43,11 @@ from repro.wire.ids import SpaceID
 DEFAULT_CALL_TIMEOUT = 30.0
 
 
-#: Recycled pending-call slots kept per connection.  Bounds the free
-#: list so a burst of concurrent callers doesn't pin Events forever.
+#: Recycled pending-call future slots kept per connection.  Bounds the
+#: free list so a burst of concurrent callers doesn't pin Events
+#: forever.  Only the blocking path recycles: a future handed out by
+#: ``call_buffer_async`` belongs to its caller.
 _MAX_FREE_PENDING = 8
-
-
-class _PendingCall:
-    """One awaited reply slot.  Instances are recycled: an Event (and
-    its internal Condition/lock) is three allocations per call we can
-    avoid on the null-call hot path.  Recycling is only safe because
-    completion happens *under* the connection's pending lock — once a
-    caller holding that lock finds the slot absent from the table, the
-    completer is guaranteed to be entirely done with it."""
-
-    __slots__ = ("event", "reply", "failure")
-
-    def __init__(self) -> None:
-        self.event = threading.Event()
-        self.reply: Optional[messages.Message] = None
-        self.failure: Optional[Exception] = None
-
-    def reset(self) -> None:
-        self.event.clear()
-        self.reply = None
-        self.failure = None
 
 
 class Connection:
@@ -65,18 +62,22 @@ class Connection:
         on_close: Optional[Callable[["Connection"], None]] = None,
         outbound: bool = True,
         handshake_timeout: float = 10.0,
+        max_version: int = protocol.PROTOCOL_VERSION,
     ):
         self._channel = channel
         self._local_id = local_id
         self._dispatcher = dispatcher
         self._handle_request = handle_request
         self._on_close = on_close
-        self._pending: dict[int, _PendingCall] = {}
+        self._max_version = max_version
+        self._pending: dict[int, CallFuture] = {}
         self._pending_lock = threading.Lock()
-        self._pending_free: list[_PendingCall] = []
+        self._pending_free: list[CallFuture] = []
         self._call_ids = itertools.count(1)
         self._closed = threading.Event()
         self._send_buffers = BufferPool()
+        #: Protocol version agreed at HELLO (set by ``_handshake``).
+        self.version: int = max_version
         self.peer_id: Optional[SpaceID] = None
         #: Slot for the owning space's per-connection codec context
         #: (set lazily by Space; the connection itself never reads it).
@@ -93,24 +94,39 @@ class Connection:
     # -- handshake ------------------------------------------------------------
 
     def _handshake(self, outbound: bool, timeout: float) -> None:
-        hello = messages.Hello(self._local_id, self._local_id.nickname)
-        ack = messages.HelloAck(self._local_id, self._local_id.nickname)
+        """HELLO/HELLO_ACK exchange with downward version negotiation.
+
+        The dialer announces the highest version it speaks; the
+        acceptor replies with ``min(peer's, ours)``.  Either side
+        rejects the connection when the common version falls below
+        :data:`~repro.wire.protocol.MIN_PROTOCOL_VERSION` (so a v1
+        peer is still refused at handshake, as before).
+        """
+        mine = self._max_version
         try:
             if outbound:
-                self.send(hello)
+                self.send(messages.Hello(
+                    self._local_id, self._local_id.nickname, mine
+                ))
                 reply = self._expect_handshake(messages.HelloAck, timeout)
+                agreed = min(reply.version, mine)
             else:
                 reply = self._expect_handshake(messages.Hello, timeout)
-                self.send(ack)
+                agreed = min(reply.version, mine)
+                if agreed >= protocol.MIN_PROTOCOL_VERSION:
+                    self.send(messages.HelloAck(
+                        self._local_id, self._local_id.nickname, agreed
+                    ))
         except CommFailure:
             self._channel.close()
             raise
-        if reply.version != hello.version:
+        if agreed < protocol.MIN_PROTOCOL_VERSION:
             self._channel.close()
             raise ProtocolError(
-                f"protocol version mismatch: ours {hello.version}, "
-                f"peer {reply.version}"
+                f"no common protocol version: ours {mine}, "
+                f"peer announced {reply.version}"
             )
+        self.version = agreed
         self.peer_id = reply.space_id
 
     def _expect_handshake(self, expected_type, timeout: float):
@@ -180,6 +196,39 @@ class Connection:
             raise
         return self.call_buffer(message.call_id, buffer, timeout)
 
+    def call_async(self, message: messages.Message) -> CallFuture:
+        """Send a request carrying ``message.call_id``; return a
+        :class:`CallFuture` for its reply without blocking."""
+        buffer = self.new_send_buffer()
+        try:
+            message.encode_into(buffer)
+        except BaseException:
+            self.discard_send_buffer(buffer)
+            raise
+        return self.call_buffer_async(message.call_id, buffer)
+
+    def call_buffer_async(self, call_id: int, buffer: bytearray) -> CallFuture:
+        """Send a pre-built request frame; return its reply future.
+
+        Takes ownership of ``buffer`` (see :meth:`send_buffer`).  The
+        future completes on the reader thread when the reply frame
+        arrives, or with CommFailure if the connection dies first.
+        Raises CommFailure synchronously if the send itself fails.
+        """
+        future = CallFuture(self, call_id)
+        with self._pending_lock:
+            if self._closed.is_set():
+                self._send_buffers.release(buffer)
+                raise CommFailure("connection closed")
+            self._pending[call_id] = future
+        try:
+            self.send_buffer(buffer)
+        except CommFailure:
+            with self._pending_lock:
+                self._pending.pop(call_id, None)
+            raise
+        return future
+
     def call_buffer(
         self,
         call_id: int,
@@ -188,6 +237,14 @@ class Connection:
     ) -> messages.Message:
         """Send a pre-built request frame; await the matching reply.
 
+        The blocking path: ``call_buffer_async(...).result(timeout)``
+        on a recycled future slot — an Event (with its internal
+        Condition and lock) is three allocations per call we avoid on
+        the null-call hot path.  Recycling is safe because every way a
+        future completes (reply, teardown, timed-out wait) does so
+        under ``_pending_lock`` with the slot already out of the
+        pending table, making this thread the slot's sole owner again.
+
         Takes ownership of ``buffer`` (see :meth:`send_buffer`).
         """
         with self._pending_lock:
@@ -195,39 +252,31 @@ class Connection:
                 self._send_buffers.release(buffer)
                 raise CommFailure("connection closed")
             free = self._pending_free
-            pending = free.pop() if free else _PendingCall()
-            self._pending[call_id] = pending
+            if free:
+                future = free.pop()
+                future.call_id = call_id
+            else:
+                future = CallFuture(self, call_id)
+            self._pending[call_id] = future
         try:
             self.send_buffer(buffer)
         except CommFailure:
             with self._pending_lock:
                 self._pending.pop(call_id, None)
-                self._recycle(pending)
+                self._recycle(future)
             raise
-        if not pending.event.wait(timeout):
+        try:
+            return future.result(timeout)
+        finally:
             with self._pending_lock:
-                # Either we pop the slot here, or the completer already
-                # did — and completion runs under this lock, so once we
-                # hold it the slot is exclusively ours to recycle.
-                self._pending.pop(call_id, None)
-                self._recycle(pending)
-            raise CallTimeout(
-                f"no reply to call {call_id} within {timeout:.1f}s"
-            )
-        reply, failure = pending.reply, pending.failure
-        with self._pending_lock:
-            self._recycle(pending)
-        if failure is not None:
-            raise failure
-        assert reply is not None
-        return reply
+                self._recycle(future)
 
-    def _recycle(self, pending: _PendingCall) -> None:
-        """Return a pending slot to the free list.  Caller must hold
-        ``_pending_lock`` and must be the slot's sole owner."""
-        pending.reset()
+    def _recycle(self, future: CallFuture) -> None:
+        """Return a blocking-path future to the free list.  Caller must
+        hold ``_pending_lock`` and must be the slot's sole owner."""
+        future._reset()
         if len(self._pending_free) < _MAX_FREE_PENDING:
-            self._pending_free.append(pending)
+            self._pending_free.append(future)
 
     # -- incoming traffic -------------------------------------------------------
 
@@ -261,13 +310,14 @@ class Connection:
     def _complete(self, reply: messages.Message) -> None:
         # Fields are set and the event raised *under* the lock: slot
         # recycling in ``call_buffer`` depends on completion being
-        # atomic with respect to the pending table.
+        # atomic with respect to the pending table.  Done callbacks run
+        # after the lock is released (they may issue new calls).
         with self._pending_lock:
-            pending = self._pending.pop(reply.call_id, None)
-            if pending is not None:
-                pending.reply = reply
-                pending.event.set()
-        # Replies to calls we gave up on (timeout) are dropped silently.
+            future = self._pending.pop(reply.call_id, None)
+            if future is None:
+                return  # reply to an abandoned call; dropped silently
+            callbacks = future._complete(reply, None)
+        future._run_callbacks(callbacks)
 
     # -- teardown -------------------------------------------------------------
 
@@ -291,9 +341,12 @@ class Connection:
             pending = list(self._pending.values())
             self._pending.clear()
             self._pending_free.clear()
-            for entry in pending:
-                entry.failure = failure
-                entry.event.set()
+            completed = [
+                (future, future._complete(None, failure))
+                for future in pending
+            ]
+        for future, callbacks in completed:
+            future._run_callbacks(callbacks)
         if self._on_close is not None:
             self._on_close(self)
 

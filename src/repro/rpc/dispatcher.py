@@ -10,10 +10,12 @@ Workers idle out after a few seconds to keep quiet processes small.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
-import traceback
 from typing import Callable
+
+logger = logging.getLogger("repro.rpc.dispatcher")
 
 Task = Callable[[], None]
 
@@ -32,25 +34,37 @@ class Dispatcher:
         self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
         self._lock = threading.Lock()
         self._workers = 0
+        #: Idle workers not yet claimed by a submitted task.  The
+        #: *submitter* decrements this when it hands a task to the pool
+        #: (claiming one parked worker), so a burst of submits from one
+        #: reader thread spawns one worker per task instead of seeing a
+        #: stale idle count while the first worker is still waking up.
         self._idle = 0
         self._shutdown = False
+        #: Tasks that raised instead of completing.  Read by Space
+        #: stats; incremented without a lock (int += is a single
+        #: best-effort counter, exactness doesn't matter here).
+        self.tasks_failed = 0
 
     def submit(self, task: Task) -> None:
         """Run ``task`` promptly on some worker thread."""
         if self._shutdown:
             return
-        # Enqueue first, then decide whether to spawn — in that order
-        # the spawn check cannot be raced by an idle worker timing out
-        # past the task: a worker that times out while the queue is
-        # non-empty stays alive (see ``_worker``), and a worker that
-        # retired before the put is no longer counted idle here.
-        self._tasks.put(task)
+        # The put happens under the lock so a worker whose idle wait
+        # timed out cannot observe an empty queue after a claim was
+        # spent on it and retire past the task.
         with self._lock:
             if self._shutdown:
                 return
-            spawn = self._idle == 0 and self._workers < self.max_workers
-            if spawn:
+            self._tasks.put(task)
+            if self._idle:
+                self._idle -= 1
+                spawn = False
+            elif self._workers < self.max_workers:
                 self._workers += 1
+                spawn = True
+            else:
+                spawn = False
         if spawn:
             threading.Thread(
                 target=self._worker, name=f"{self.name}-worker", daemon=True
@@ -67,28 +81,44 @@ class Dispatcher:
             self._tasks.put(_STOP)
 
     def _worker(self) -> None:
+        # ``counted``: whether this worker currently contributes +1 to
+        # ``_idle``.  A fresh spawn does not — the task that triggered
+        # the spawn is destined for it.  Workers are interchangeable,
+        # so a claim spent by a submitter may be "attributed" to a
+        # different idle worker than the one that dequeues the task;
+        # the aggregate count stays exact either way.
+        counted = False
         while True:
-            with self._lock:
-                self._idle += 1
             try:
                 task = self._tasks.get(timeout=self.idle_timeout)
             except queue.Empty:
                 with self._lock:
-                    self._idle -= 1
-                    # A submitter that saw us idle may have enqueued a
-                    # task between our timeout and this lock; retiring
-                    # now would strand it.  Stay alive instead.
+                    # A submitter may have spent a claim and enqueued
+                    # between our timeout and this lock; retiring now
+                    # would strand the task.  Stay alive instead.
                     if not self._tasks.empty():
                         continue
+                    if counted:
+                        self._idle -= 1
                     self._workers -= 1
                 return
-            with self._lock:
-                self._idle -= 1
             if task is _STOP:
                 with self._lock:
+                    if counted:
+                        self._idle -= 1
                     self._workers -= 1
                 return
+            # A submitter's claim paid for this dequeue (or the spawn
+            # did); either way we are no longer in the idle count.
+            counted = False
             try:
                 task()
             except Exception:  # noqa: BLE001 - a task must never kill its worker
-                traceback.print_exc()
+                self.tasks_failed += 1
+                logger.exception("%s: dropped task that raised", self.name)
+            with self._lock:
+                if self._shutdown:
+                    self._workers -= 1
+                    return
+                self._idle += 1
+            counted = True

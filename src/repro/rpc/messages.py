@@ -344,6 +344,67 @@ class CleanAck(_Encodable):
 
 
 @dataclass(frozen=True)
+class CleanBatch(_Encodable):
+    """Several clean calls to one owner in one frame (protocol v3).
+
+    ``entries`` is a tuple of ``(target, seqno, strong)`` triples, each
+    with exactly the semantics of a standalone :class:`Clean`.  The
+    owner applies the entries independently (the per-entry seqno guard
+    still holds), so a retried batch — same seqnos — is idempotent.
+    Only sent on connections that negotiated version ≥ 3.
+    """
+
+    call_id: int
+    entries: "tuple[tuple[WireRep, int, bool], ...]"
+    tag = protocol.CLEAN_BATCH
+
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
+        write_uvarint(out, self.call_id)
+        write_uvarint(out, len(self.entries))
+        for target, seqno, strong in self.entries:
+            target.to_wire(out)
+            write_uvarint(out, seqno)
+            out.append(1 if strong else 0)
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "CleanBatch":
+        call_id, offset = read_uvarint(data, offset)
+        count, offset = read_uvarint(data, offset)
+        entries = []
+        for _ in range(count):
+            target, offset = WireRep.from_wire(data, offset)
+            seqno, offset = read_uvarint(data, offset)
+            if offset >= len(data):
+                raise UnmarshalError("truncated CleanBatch entry")
+            entries.append((target, seqno, bool(data[offset])))
+            offset += 1
+        return cls(call_id, tuple(entries))
+
+
+@dataclass(frozen=True)
+class CleanBatchAck(_Encodable):
+    """Owner's reply to a :class:`CleanBatch`; ``applied`` counts the
+    entries processed (always the full batch — cleans of unknown
+    objects are no-ops, exactly as for unit cleans)."""
+
+    call_id: int
+    applied: int
+    tag = protocol.CLEAN_BATCH_ACK
+
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
+        write_uvarint(out, self.call_id)
+        write_uvarint(out, self.applied)
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "CleanBatchAck":
+        call_id, offset = read_uvarint(data, offset)
+        applied, offset = read_uvarint(data, offset)
+        return cls(call_id, applied)
+
+
+@dataclass(frozen=True)
 class CopyAck(_Encodable):
     """Receiver acknowledges a reference copy (one-way, no reply).
 
@@ -402,7 +463,8 @@ class PingAck(_Encodable):
 
 Message = Union[
     Hello, HelloAck, Bye, Call, Result, Fault,
-    Dirty, DirtyAck, Clean, CleanAck, CopyAck, Ping, PingAck,
+    Dirty, DirtyAck, Clean, CleanAck, CleanBatch, CleanBatchAck,
+    CopyAck, Ping, PingAck,
 ]
 
 _DECODERS = {
@@ -416,6 +478,8 @@ _DECODERS = {
     protocol.DIRTY_ACK: DirtyAck.decode,
     protocol.CLEAN: Clean.decode,
     protocol.CLEAN_ACK: CleanAck.decode,
+    protocol.CLEAN_BATCH: CleanBatch.decode,
+    protocol.CLEAN_BATCH_ACK: CleanBatchAck.decode,
     protocol.COPY_ACK: CopyAck.decode,
     protocol.PING: Ping.decode,
     protocol.PING_ACK: PingAck.decode,
@@ -424,7 +488,7 @@ _DECODERS = {
 #: Replies carry a ``call_id`` matched against the issuer's pending table.
 REPLY_TAGS = frozenset(
     {protocol.RESULT, protocol.FAULT, protocol.DIRTY_ACK,
-     protocol.CLEAN_ACK, protocol.PING_ACK}
+     protocol.CLEAN_ACK, protocol.CLEAN_BATCH_ACK, protocol.PING_ACK}
 )
 
 

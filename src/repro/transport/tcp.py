@@ -25,12 +25,19 @@ class SocketChannel(Channel):
     """A connected TCP socket carrying length-prefixed frames."""
     def __init__(self, sock: socket.socket):
         self._sock = sock
-        self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         self._closed = threading.Event()
+        # Send coalescing ("cork") state; see ``_sendall``.
+        self._cork_lock = threading.Lock()
+        self._cork = bytearray()
+        self._sender_active = False
         # Reused for every frame header; only touched under _recv_lock.
         self._header = bytearray(_LEN_STRUCT.size)
         self._header_view = memoryview(self._header)
+        # Statistics (benchmarks): frames that rode another thread's
+        # sendall, and the flushes that carried them.
+        self.frames_coalesced = 0
+        self.coalesced_flushes = 0
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     def send(self, payload) -> None:
@@ -42,10 +49,46 @@ class SocketChannel(Channel):
         self._sendall(frame)
 
     def _sendall(self, frame) -> None:
+        """Write one frame, coalescing under contention.
+
+        Opportunistic corking: while some thread is inside ``sendall``
+        (the *active sender*), other senders append their frames to the
+        cork buffer and return immediately — the active sender flushes
+        the accumulated cork in one ``sendall`` per pass before giving
+        the role up.  Pipelined bursts thus collapse many small frames
+        into few syscalls, while an uncontended send stays the plain
+        zero-copy ``sendall`` it always was, with errors raised in the
+        sending thread.  Invariant: ``_sender_active`` is only cleared
+        when the cork is empty (both under ``_cork_lock``), so corked
+        frames can never be stranded and per-thread frame order is
+        preserved.  A corked frame whose carrying ``sendall`` fails is
+        reported to *its* sender only through the channel closing —
+        the connection teardown fails every pending call anyway.
+        """
+        cork_lock = self._cork_lock
+        with cork_lock:
+            if self._sender_active:
+                # Copy, not alias: callers recycle their frame buffers
+                # the moment this returns.
+                self._cork += frame
+                self.frames_coalesced += 1
+                return
+            self._sender_active = True
         try:
-            with self._send_lock:
-                self._sock.sendall(frame)
+            self._sock.sendall(frame)
+            while True:
+                with cork_lock:
+                    if not self._cork:
+                        self._sender_active = False
+                        return
+                    flush = self._cork
+                    self._cork = bytearray()
+                self.coalesced_flushes += 1
+                self._sock.sendall(flush)
         except OSError as exc:
+            with cork_lock:
+                self._sender_active = False
+                self._cork.clear()
             self.close()
             raise CommFailure(f"send failed: {exc}") from exc
 

@@ -9,9 +9,15 @@ ordinary messages on the same channels as method invocations.
 
 from __future__ import annotations
 
-#: Version 2: CALL/RESULT carry their pickle as the frame's trailing
-#: bytes (no varint length prefix), enabling single-buffer encode.
-PROTOCOL_VERSION = 2
+#: Version 3: adds CLEAN_BATCH/CLEAN_BATCH_ACK (batched collector
+#: traffic).  Version 2 introduced trailing pickles on CALL/RESULT
+#: (no varint length prefix), enabling single-buffer encode.
+PROTOCOL_VERSION = 3
+
+#: Oldest version we still speak.  HELLO negotiates down to
+#: ``min(ours, peer's)``; below this floor the handshake is rejected.
+#: A v2 peer simply never sees a CLEAN_BATCH frame.
+MIN_PROTOCOL_VERSION = 2
 
 # --- connection management -------------------------------------------------
 HELLO = 0x01          # handshake: protocol version + SpaceID + nickname
@@ -31,6 +37,8 @@ CLEAN_ACK = 0x23      # owner acknowledges the clean call
 COPY_ACK = 0x24       # receiver acknowledges receipt of a reference copy
 PING = 0x25           # owner probes a client believed to hold surrogates
 PING_ACK = 0x26       # client liveness reply
+CLEAN_BATCH = 0x27    # several clean calls for one owner in one frame (v3)
+CLEAN_BATCH_ACK = 0x28  # owner acknowledges a whole clean batch (v3)
 
 _NAMES = {
     HELLO: "HELLO",
@@ -46,10 +54,13 @@ _NAMES = {
     COPY_ACK: "COPY_ACK",
     PING: "PING",
     PING_ACK: "PING_ACK",
+    CLEAN_BATCH: "CLEAN_BATCH",
+    CLEAN_BATCH_ACK: "CLEAN_BATCH_ACK",
 }
 
 #: Tags that belong to the distributed collector rather than the mutator.
-GC_TAGS = frozenset({DIRTY, DIRTY_ACK, CLEAN, CLEAN_ACK, COPY_ACK, PING, PING_ACK})
+GC_TAGS = frozenset({DIRTY, DIRTY_ACK, CLEAN, CLEAN_ACK, COPY_ACK, PING,
+                     PING_ACK, CLEAN_BATCH, CLEAN_BATCH_ACK})
 
 
 def tag_name(tag: int) -> str:

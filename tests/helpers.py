@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import gc
 import time
-from typing import List, Optional
+from typing import List
 
 from repro import NetObj
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.model import Machine, explore, initial_configuration
+from repro.model import explore, initial_configuration
 from repro.model.variants import (
     FifoMachine,
     NaiveMachine,

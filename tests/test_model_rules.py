@@ -5,7 +5,6 @@ import pytest
 from repro.dgc.states import RefState
 from repro.model import (
     Machine,
-    initial_configuration,
     termination_measure,
 )
 from repro.model.invariants import check_all

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Agent, NameServiceError, NetObj, Space
+from repro import Agent, NameServiceError, Space
 from repro.wire.wirerep import SPECIAL_OBJECT_INDEX
 from tests.helpers import Counter
 

@@ -16,7 +16,7 @@ import math
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.marshal import StructRegistry, dumps, loads
+from repro.marshal import dumps, loads
 from repro.model import Machine, initial_configuration, termination_measure
 from repro.model.invariants import all_violations
 from repro.model.scenario import run_events

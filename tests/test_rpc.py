@@ -36,6 +36,9 @@ class TestMessageCodecs:
             messages.CopyAck(rep, 55),
             messages.Ping(77),
             messages.PingAck(77),
+            messages.CleanBatch(12, ((rep, 15, False), (rep, 16, True))),
+            messages.CleanBatch(13, ()),
+            messages.CleanBatchAck(12, 2),
         ]
 
     def test_round_trip_all(self):
@@ -136,19 +139,8 @@ class _ScriptedQueue:
         self._parked = parked
         self._fire_timeout = fire_timeout
         self._calls = 0
-        self.delay_put_until_retired = None  # set to a Dispatcher to enable
 
     def put(self, item):
-        dispatcher = self.delay_put_until_retired
-        if dispatcher is not None:
-            self.delay_put_until_retired = None
-            # Simulate the worker's idle timeout winning the race: let
-            # it retire completely before the task lands on the queue.
-            self._fire_timeout.set()
-            deadline = time.time() + 5
-            while dispatcher._workers > 0 and time.time() < deadline:
-                time.sleep(0.001)
-            assert dispatcher._workers == 0, "worker failed to retire"
         self._real.put(item)
 
     def empty(self):
@@ -193,16 +185,48 @@ class TestDispatcherSpawnRace:
         assert ran.wait(5), "task stranded: idle worker retired past it"
         dispatcher.shutdown()
 
-    def test_task_enqueued_after_worker_retires_still_runs(self):
-        # Window 2: the worker retires completely between submit's
-        # idle-count check and the put, so submit must re-check and
-        # spawn a replacement.
-        dispatcher = Dispatcher(idle_timeout=5.0)
-        scripted, _fire_timeout = self._park_lone_worker(dispatcher)
-        scripted.delay_put_until_retired = dispatcher
+    def test_task_after_all_workers_retired_spawns_fresh(self):
+        # Window 2 of the old design (worker retires between submit's
+        # idle check and its put) is gone: the claim and the put are
+        # one atomic step under the pool lock.  What remains is the
+        # plain sequential case — a fully retired pool must spawn.
+        dispatcher = Dispatcher(idle_timeout=0.05)
+        primed = threading.Event()
+        dispatcher.submit(primed.set)
+        assert primed.wait(5)
+        deadline = time.time() + 5
+        while time.time() < deadline and dispatcher._workers > 0:
+            time.sleep(0.01)
+        assert dispatcher._workers == 0, "worker failed to idle out"
         ran = threading.Event()
         dispatcher.submit(ran.set)
         assert ran.wait(5), "task stranded: no worker and none spawned"
+        dispatcher.shutdown()
+
+    def test_burst_submit_spawns_one_worker_per_task(self):
+        # A burst of submits must not queue behind the one parked idle
+        # worker: the submitter claims it once, then spawns for every
+        # further task while the first is still waking up.
+        dispatcher = Dispatcher()
+        primed = threading.Event()
+        dispatcher.submit(primed.set)  # leaves exactly one idle worker
+        assert primed.wait(5)
+        release = threading.Event()
+        started = []
+        lock = threading.Lock()
+
+        def blocker():
+            with lock:
+                started.append(1)
+            release.wait(10)
+
+        for _ in range(8):
+            dispatcher.submit(blocker)
+        deadline = time.time() + 5
+        while time.time() < deadline and len(started) < 8:
+            time.sleep(0.01)
+        assert len(started) == 8, f"only {len(started)}/8 tasks running"
+        release.set()
         dispatcher.shutdown()
 
 
@@ -333,7 +357,7 @@ class TestConnection:
 
         thread = threading.Thread(target=make_b, daemon=True)
         thread.start()
-        conn_a = Connection(
+        _conn_a = Connection(  # held so the reader side stays alive
             chan_a, fresh_space_id("a"), dispatcher,
             lambda c, m: None, outbound=True,
         )
@@ -494,6 +518,35 @@ class TestConnectionCache:
         cache.close_all()
         assert len(cache._locks) == 0
 
+    def test_connection_closed_during_dial_not_cached(self):
+        """A connection that dies between handshake and cache insert
+        has already run its on_close hook — eviction can never fire
+        for it, so caching it would wedge the endpoint behind a dead
+        entry that only a second dial-and-race could clear."""
+
+        class FakeConn:
+            def __init__(self):
+                self.closed = True  # died before the cache saw it
+
+            def close(self):
+                self.closed = True
+
+        cache = ConnectionCache(lambda endpoint: FakeConn())
+        with pytest.raises(CommFailure):
+            cache.get("tcp://x:1")
+        assert cache.peek("tcp://x:1") is None
+        assert len(cache._locks) == 0  # endpoint not wedged
+        # The endpoint stays dialable: a later successful dial caches.
+
+        class LiveConn:
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        cache._connect = lambda endpoint: LiveConn()
+        assert cache.get("tcp://x:1") is cache.get("tcp://x:1")
+
     def test_concurrent_get_single_dial(self):
         dialing = threading.Event()
         proceed = threading.Event()
@@ -529,15 +582,15 @@ class TestConnectionCache:
 
 
 class TestHandshakeEdges:
-    def test_version_mismatch_rejected(self):
+    def test_version_below_floor_rejected(self):
         from repro.wire.varint import write_uvarint
 
         chan_a, chan_b = channel_pair()
         dispatcher = Dispatcher()
-        # Hand-craft a HELLO with a bogus protocol version.
+        # Hand-craft a HELLO announcing an ancient protocol version.
         sid = fresh_space_id("old-peer")
         frame = bytearray([0x01])
-        write_uvarint(frame, 999)
+        write_uvarint(frame, 1)
         frame += sid.to_bytes()
         write_uvarint(frame, 0)  # empty nickname
         chan_a.send(bytes(frame))
@@ -546,6 +599,29 @@ class TestHandshakeEdges:
                 chan_b, fresh_space_id("b"), dispatcher,
                 lambda c, m: None, outbound=False,
             )
+
+    def test_newer_peer_negotiates_down(self):
+        from repro.wire import protocol
+        from repro.wire.varint import write_uvarint
+
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        # A hypothetical future peer announces a higher version; the
+        # acceptor should agree on its own maximum, not reject.
+        sid = fresh_space_id("future-peer")
+        frame = bytearray([0x01])
+        write_uvarint(frame, protocol.PROTOCOL_VERSION + 7)
+        frame += sid.to_bytes()
+        write_uvarint(frame, 0)  # empty nickname
+        chan_a.send(bytes(frame))
+        conn = Connection(
+            chan_b, fresh_space_id("b"), dispatcher,
+            lambda c, m: None, outbound=False,
+        )
+        try:
+            assert conn.version == protocol.PROTOCOL_VERSION
+        finally:
+            conn.close()
 
     def test_garbage_during_handshake_rejected(self):
         chan_a, chan_b = channel_pair()

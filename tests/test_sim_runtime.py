@@ -9,7 +9,6 @@ delivery, and deterministic loss.
 
 import gc as pygc
 import threading
-import time
 import weakref
 
 import pytest

@@ -1,18 +1,15 @@
 """Integration tests: the full object system over real transports."""
 
-import gc
-
 import pytest
 
 from repro import (
     NameServiceError,
-    NetObj,
     NoSuchMethodError,
     RemoteError,
     Space,
     Surrogate,
 )
-from tests.helpers import Bank, BankImpl, Counter, Echo, Registry, wait_until
+from tests.helpers import Bank, BankImpl, Counter, Echo, Registry
 
 
 @pytest.fixture(params=["inproc", "tcp"])

@@ -17,7 +17,6 @@ from repro import (
     UnmarshalError,
 )
 from repro.core.marshalctx import MarshalContext, decode_ref, encode_ref
-from repro.rpc import messages
 from repro.wire.ids import fresh_space_id
 from repro.wire.wirerep import WireRep
 from tests.helpers import Counter
@@ -27,6 +26,41 @@ class Sleeper(NetObj):
     def nap(self, seconds: float) -> float:
         time.sleep(seconds)
         return seconds
+
+
+class TestTrackShutdownRace:
+    def test_track_after_shutdown_closes_connection(self):
+        """A dial (or accept) that completes its handshake after
+        shutdown snapshotted ``_connections`` must not leave a live
+        untracked connection behind — ``_track`` closes it itself."""
+        from repro.rpc.connection import Connection
+        from repro.rpc.dispatcher import Dispatcher
+        from repro.transport.inprocess import channel_pair
+
+        space = Space("track-race")
+        space.shutdown()
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        holder = {}
+
+        def accept():
+            holder["peer"] = Connection(
+                chan_b, fresh_space_id("peer"), dispatcher,
+                lambda c, m: None, outbound=False,
+            )
+
+        thread = threading.Thread(target=accept, daemon=True)
+        thread.start()
+        connection = Connection(
+            chan_a, space.space_id, space.dispatcher,
+            space._handle_request, on_close=space._on_conn_close,
+            outbound=True,
+        )
+        thread.join(timeout=5)
+        space._track(connection)
+        assert connection.closed
+        assert connection not in space._connections
+        assert space.connection_to(holder["peer"].peer_id) is None
 
 
 class TestRefPayloadCodec:

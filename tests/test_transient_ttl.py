@@ -10,8 +10,6 @@ import gc as pygc
 import time
 import weakref
 
-import pytest
-
 from repro import GcConfig, NetObj, Space
 from repro.sim.network import NetworkModel
 from repro.transport.simulated import SimTransport
