@@ -20,8 +20,13 @@ Calls come in two shapes over the same call-id multiplexing:
 
 The handshake negotiates the protocol version down to
 ``min(ours, peer's)`` (floor :data:`~repro.wire.protocol.MIN_PROTOCOL_VERSION`),
-so a v3 runtime interoperates with a v2 peer by never sending the v3
-frames (``CLEAN_BATCH``).  The agreed version is ``self.version``.
+so a v3 runtime interoperates with a v2 peer — in either dial
+direction — by never sending the v3 frames (``CLEAN_BATCH``).  The
+HELLO's legacy version field announces our floor, which a genuine
+pre-negotiation v2 peer accepts under its strict equality check; the
+real maximum rides in a trailing extension field old decoders ignore
+(see :class:`~repro.rpc.messages.Hello`).  The agreed version is
+``self.version``.
 """
 
 from __future__ import annotations
@@ -96,27 +101,35 @@ class Connection:
     def _handshake(self, outbound: bool, timeout: float) -> None:
         """HELLO/HELLO_ACK exchange with downward version negotiation.
 
-        The dialer announces the highest version it speaks; the
-        acceptor replies with ``min(peer's, ours)``.  Either side
-        rejects the connection when the common version falls below
-        :data:`~repro.wire.protocol.MIN_PROTOCOL_VERSION` (so a v1
-        peer is still refused at handshake, as before).
+        Both frames carry two versions: the legacy ``version`` field,
+        which pre-negotiation (v2) peers check with strict equality,
+        and the trailing ``max_version`` extension those peers ignore.
+        We announce our floor in the legacy field — so a genuine v2
+        acceptor sees exactly the HELLO it expects and interops at v2
+        in *either* dial direction — and negotiate the real version as
+        ``min(peer max, our max)`` from the extension (absent trailing
+        bytes mean a v2 peer, whose max is its legacy field).
+
+        The acceptor replies even when it is about to reject a
+        below-floor peer, so that peer fails fast with a version error
+        instead of timing out on a silently closed channel.
         """
         mine = self._max_version
+        base = min(mine, protocol.MIN_PROTOCOL_VERSION)
         try:
             if outbound:
                 self.send(messages.Hello(
-                    self._local_id, self._local_id.nickname, mine
+                    self._local_id, self._local_id.nickname, base, mine
                 ))
                 reply = self._expect_handshake(messages.HelloAck, timeout)
-                agreed = min(reply.version, mine)
+                agreed = min(reply.max_version, mine)
             else:
                 reply = self._expect_handshake(messages.Hello, timeout)
-                agreed = min(reply.version, mine)
-                if agreed >= protocol.MIN_PROTOCOL_VERSION:
-                    self.send(messages.HelloAck(
-                        self._local_id, self._local_id.nickname, agreed
-                    ))
+                agreed = min(reply.max_version, mine)
+                self.send(messages.HelloAck(
+                    self._local_id, self._local_id.nickname,
+                    min(agreed, base), agreed
+                ))
         except CommFailure:
             self._channel.close()
             raise
@@ -124,7 +137,7 @@ class Connection:
             self._channel.close()
             raise ProtocolError(
                 f"no common protocol version: ours {mine}, "
-                f"peer announced {reply.version}"
+                f"peer announced {reply.max_version}"
             )
         self.version = agreed
         self.peer_id = reply.space_id

@@ -2,7 +2,7 @@
 
 The original runtime forked a thread per incoming call.  We reproduce
 those semantics with a cached pool: tasks never queue behind a busy
-worker (a new thread is spawned whenever none is idle, up to a high
+worker (a new thread is spawned whenever none is parked, up to a high
 cap), so a handler that blocks on a nested call — e.g. a dirty call
 issued while unpickling arguments — cannot deadlock the space.
 Workers idle out after a few seconds to keep quiet processes small.
@@ -23,7 +23,23 @@ _STOP = object()
 
 
 class Dispatcher:
-    """Cached-thread task pool (see module docstring)."""
+    """Cached-thread task pool (see module docstring).
+
+    Accounting happens entirely in aggregate, under ``_lock``:
+
+    * ``_queued`` — tasks put on the queue and not yet dequeued
+      (``submit`` increments, the dequeuing worker decrements).
+    * ``_parked`` — workers currently blocked in ``get``
+      (the worker increments before waiting, decrements after).
+
+    ``submit`` spawns whenever the put would leave more queued tasks
+    than parked workers, so a burst of submits from one reader thread
+    spawns one worker per task instead of piling onto a single parked
+    worker.  A timed-out worker may only retire when ``_queued`` is
+    zero, so a task enqueued against its park can never be stranded.
+    Both counters are aggregate — no per-thread "am I counted" state
+    exists to drift out of sync with them.
+    """
     def __init__(self, name: str = "dispatcher", max_workers: int = 256,
                  idle_timeout: float = 5.0):
         self.name = name
@@ -34,12 +50,8 @@ class Dispatcher:
         self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
         self._lock = threading.Lock()
         self._workers = 0
-        #: Idle workers not yet claimed by a submitted task.  The
-        #: *submitter* decrements this when it hands a task to the pool
-        #: (claiming one parked worker), so a burst of submits from one
-        #: reader thread spawns one worker per task instead of seeing a
-        #: stale idle count while the first worker is still waking up.
-        self._idle = 0
+        self._parked = 0
+        self._queued = 0
         self._shutdown = False
         #: Tasks that raised instead of completing.  Read by Space
         #: stats; incremented without a lock (int += is a single
@@ -51,16 +63,14 @@ class Dispatcher:
         if self._shutdown:
             return
         # The put happens under the lock so a worker whose idle wait
-        # timed out cannot observe an empty queue after a claim was
-        # spent on it and retire past the task.
+        # timed out cannot observe ``_queued == 0`` after this task
+        # was counted against its park and retire past it.
         with self._lock:
             if self._shutdown:
                 return
             self._tasks.put(task)
-            if self._idle:
-                self._idle -= 1
-                spawn = False
-            elif self._workers < self.max_workers:
+            self._queued += 1
+            if self._queued > self._parked and self._workers < self.max_workers:
                 self._workers += 1
                 spawn = True
             else:
@@ -77,48 +87,48 @@ class Dispatcher:
                 return
             self._shutdown = True
             workers = self._workers
+        # Sentinels bypass the ``_queued`` count: they are addressed to
+        # the workers themselves, not claimable work.
         for _ in range(workers):
             self._tasks.put(_STOP)
 
     def _worker(self) -> None:
-        # ``counted``: whether this worker currently contributes +1 to
-        # ``_idle``.  A fresh spawn does not — the task that triggered
-        # the spawn is destined for it.  Workers are interchangeable,
-        # so a claim spent by a submitter may be "attributed" to a
-        # different idle worker than the one that dequeues the task;
-        # the aggregate count stays exact either way.
-        counted = False
         while True:
+            # ``parked`` is iteration-local bookkeeping for which
+            # dequeue path ran, consumed a few lines down in the same
+            # iteration — not cross-iteration state that could drift
+            # from the aggregate counters.
+            parked = False
             try:
-                task = self._tasks.get(timeout=self.idle_timeout)
+                # Fast path: work is already queued — skip the
+                # park/unpark accounting and its lock round-trip.
+                task = self._tasks.get_nowait()
             except queue.Empty:
                 with self._lock:
-                    # A submitter may have spent a claim and enqueued
-                    # between our timeout and this lock; retiring now
-                    # would strand the task.  Stay alive instead.
-                    if not self._tasks.empty():
-                        continue
-                    if counted:
-                        self._idle -= 1
+                    self._parked += 1
+                parked = True
+                try:
+                    task = self._tasks.get(timeout=self.idle_timeout)
+                except queue.Empty:
+                    with self._lock:
+                        self._parked -= 1
+                        # A submitter may have counted this park and
+                        # enqueued between our timeout and this lock;
+                        # retiring now would strand the task.  Stay
+                        # alive instead.
+                        if self._queued:
+                            continue
+                        self._workers -= 1
+                    return
+            with self._lock:
+                if parked:
+                    self._parked -= 1
+                if task is _STOP:
                     self._workers -= 1
-                return
-            if task is _STOP:
-                with self._lock:
-                    if counted:
-                        self._idle -= 1
-                    self._workers -= 1
-                return
-            # A submitter's claim paid for this dequeue (or the spawn
-            # did); either way we are no longer in the idle count.
-            counted = False
+                    return
+                self._queued -= 1
             try:
                 task()
             except Exception:  # noqa: BLE001 - a task must never kill its worker
                 self.tasks_failed += 1
                 logger.exception("%s: dropped task that raised", self.name)
-            with self._lock:
-                if self._shutdown:
-                    self._workers -= 1
-                    return
-                self._idle += 1
-            counted = True

@@ -92,18 +92,33 @@ def encode_result_prefix(out: bytearray, call_id: int) -> None:
 
 @dataclass(frozen=True)
 class Hello(_Encodable):
-    """Handshake: announces protocol version and the sender's identity."""
+    """Handshake: announces protocol versions and the sender's identity.
+
+    ``version`` is the legacy field every peer understands — the
+    *base* version the sender is willing to speak, which pre-v3
+    implementations compared against their own version with strict
+    equality.  ``max_version`` rides as a trailing uvarint those old
+    decoders ignore (they stop after the nickname), announcing the
+    highest version the sender speaks.  A frame with no trailing bytes
+    came from a pre-v3 peer, so its max *is* its ``version``.
+    """
 
     space_id: SpaceID
     nickname: str
     version: int = protocol.PROTOCOL_VERSION
+    max_version: int = 0
     tag = protocol.HELLO
+
+    def __post_init__(self) -> None:
+        if self.max_version < self.version:
+            object.__setattr__(self, "max_version", self.version)
 
     def encode_into(self, out: bytearray) -> None:
         out.append(self.tag)
         write_uvarint(out, self.version)
         out += self.space_id.to_bytes()
         _write_str(out, self.nickname)
+        write_uvarint(out, self.max_version)
 
     @classmethod
     def decode(cls, data, offset: int) -> "Hello":
@@ -112,7 +127,11 @@ class Hello(_Encodable):
         space_id = SpaceID.from_bytes(data[offset:end])
         nickname, offset = _read_str(data, end)
         space_id = SpaceID(space_id.hi, space_id.lo, nickname)
-        return cls(space_id, nickname, version)
+        if offset < len(data):
+            max_version, offset = read_uvarint(data, offset)
+        else:
+            max_version = version
+        return cls(space_id, nickname, version, max_version)
 
 
 @dataclass(frozen=True)

@@ -12,9 +12,16 @@ from repro.wire.framing import FRAME_HEADER_SIZE
 class Channel(ABC):
     """A bidirectional, frame-oriented connection between two spaces.
 
-    ``send`` either queues the whole frame or raises
+    ``send`` either accepts the whole frame for transmission or raises
     :class:`~repro.errors.CommFailure`; frames are never split or
-    merged.  ``recv`` blocks for the next frame and returns ``None``
+    merged.  Success means *accepted*, not delivered: an
+    implementation may coalesce frames queued by concurrent senders
+    into one write (see the TCP channel's cork), in which case a
+    transmission failure after ``send`` returned surfaces only through
+    the channel closing — and, one level up, through connection
+    teardown failing every pending call.  Callers of one-way messages
+    with no reply must not treat a returned ``send`` as proof of
+    delivery.  ``recv`` blocks for the next frame and returns ``None``
     on orderly end-of-stream.  Both directions may be used from
     multiple threads; implementations serialise sends internally.
 

@@ -146,6 +146,11 @@ class _ScriptedQueue:
     def empty(self):
         return self._real.empty()
 
+    def get_nowait(self):
+        # Deny the fast path so every dequeue goes through the scripted
+        # ``get`` below and the call numbering stays deterministic.
+        raise queue.Empty
+
     def get(self, timeout=None):
         self._calls += 1
         if self._calls == self._park_on_call:
@@ -153,6 +158,43 @@ class _ScriptedQueue:
             self._fire_timeout.wait(5)
             raise queue.Empty
         return self._real.get(timeout=timeout)
+
+
+class _StealScript:
+    """Task-queue wrapper that routes every dequeue to the first worker
+    thread it sees (so that worker "steals" tasks whose submit spawned
+    someone else), while the second worker parks on ``b_release`` and
+    then simulates an idle timeout without ever touching the queue."""
+
+    def __init__(self, real):
+        self._real = real
+        self._first = None
+        self._first_lock = threading.Lock()
+        self.b_parked = threading.Event()
+        self.b_release = threading.Event()
+
+    def put(self, item):
+        self._real.put(item)
+
+    def empty(self):
+        return self._real.empty()
+
+    def get_nowait(self):
+        # Deny the fast path so the thread routing in ``get`` sees
+        # every dequeue.
+        raise queue.Empty
+
+    def get(self, timeout=None):
+        me = threading.current_thread()
+        with self._first_lock:
+            if self._first is None:
+                self._first = me
+            first = self._first is me
+        if first:
+            return self._real.get(timeout=timeout)
+        self.b_parked.set()
+        self.b_release.wait(10)
+        raise queue.Empty
 
 
 class TestDispatcherSpawnRace:
@@ -201,6 +243,36 @@ class TestDispatcherSpawnRace:
         ran = threading.Event()
         dispatcher.submit(ran.set)
         assert ran.wait(5), "task stranded: no worker and none spawned"
+        dispatcher.shutdown()
+
+    def test_stolen_spawn_task_does_not_leak_idle_count(self):
+        # Regression: a task that triggered a spawn is dequeued ("stolen")
+        # by a pre-existing worker that had just gone idle, while the
+        # freshly spawned worker parks without ever running anything and
+        # then idles out.  The old per-thread ``counted`` flag leaked a
+        # phantom idle worker here: with all workers retired, a later
+        # submit "claimed" the phantom instead of spawning, stranding
+        # its task forever.
+        dispatcher = Dispatcher(idle_timeout=0.05)
+        real = dispatcher._tasks
+        script = _StealScript(real)
+        dispatcher._tasks = script
+        release = threading.Event()
+        stolen_ran = threading.Event()
+        dispatcher.submit(lambda: release.wait(10))  # spawns worker A
+        dispatcher.submit(stolen_ran.set)  # spawn-destined: spawns worker B
+        release.set()  # A finishes, steals the spawn-destined task
+        assert stolen_ran.wait(5)
+        assert script.b_parked.wait(5)  # B is parked, never ran a task
+        script.b_release.set()  # B "times out" and retires
+        deadline = time.time() + 5
+        while time.time() < deadline and dispatcher._workers > 0:
+            time.sleep(0.01)
+        assert dispatcher._workers == 0, "workers failed to idle out"
+        dispatcher._tasks = real
+        ran = threading.Event()
+        dispatcher.submit(ran.set)
+        assert ran.wait(5), "task stranded: submit claimed a phantom idle worker"
         dispatcher.shutdown()
 
     def test_burst_submit_spawns_one_worker_per_task(self):
@@ -622,6 +694,105 @@ class TestHandshakeEdges:
             assert conn.version == protocol.PROTOCOL_VERSION
         finally:
             conn.close()
+
+    @staticmethod
+    def _old_peer_frame(tag, sid, version):
+        """A HELLO/HELLO_ACK exactly as a pre-negotiation peer sends it:
+        legacy version field only, no trailing max_version extension."""
+        from repro.wire.varint import write_uvarint
+
+        frame = bytearray([tag])
+        write_uvarint(frame, version)
+        frame += sid.to_bytes()
+        write_uvarint(frame, 0)  # empty nickname
+        return bytes(frame)
+
+    def test_dial_to_genuine_v2_peer_negotiates_down(self):
+        # A *pre-negotiation* v2 acceptor acks with its own version (no
+        # trailing extension) and then closes unless the dialer's legacy
+        # version field equals its own exactly.  Our HELLO must pass
+        # that equality gate, and we must settle on version 2.
+        from repro.wire import protocol
+
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        sid = fresh_space_id("old-acceptor")
+        outcome = {}
+
+        def old_acceptor():
+            frame = chan_a.recv(timeout=5)
+            hello = messages.decode(memoryview(frame))
+            chan_a.send(self._old_peer_frame(0x02, sid, 2))
+            # The legacy strict-equality check reads the legacy field
+            # and never sees the trailing extension.
+            outcome["accepted"] = hello.version == 2
+
+        thread = threading.Thread(target=old_acceptor, daemon=True)
+        thread.start()
+        conn = Connection(
+            chan_b, fresh_space_id("b"), dispatcher,
+            lambda c, m: None, outbound=True,
+        )
+        thread.join(timeout=5)
+        try:
+            assert conn.version == 2
+            assert outcome.get("accepted"), \
+                "legacy acceptor would reject our HELLO and close"
+            assert protocol.PROTOCOL_VERSION > 2  # the test is meaningful
+        finally:
+            conn.close()
+
+    def test_accept_from_genuine_v2_peer_acks_legacy_version(self):
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        sid = fresh_space_id("old-dialer")
+        chan_a.send(self._old_peer_frame(0x01, sid, 2))
+        conn = Connection(
+            chan_b, fresh_space_id("b"), dispatcher,
+            lambda c, m: None, outbound=False,
+        )
+        try:
+            assert conn.version == 2
+            ack = messages.decode(memoryview(chan_a.recv(timeout=5)))
+            assert isinstance(ack, messages.HelloAck)
+            # What the old dialer's strict equality check reads.
+            assert ack.version == 2
+        finally:
+            conn.close()
+
+    def test_below_floor_rejection_still_acks(self):
+        # The rejected dialer must get a reply before the close, so it
+        # can fail fast with a version error instead of a recv timeout.
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        sid = fresh_space_id("ancient")
+        chan_a.send(self._old_peer_frame(0x01, sid, 1))
+        with pytest.raises(ProtocolError):
+            Connection(
+                chan_b, fresh_space_id("b"), dispatcher,
+                lambda c, m: None, outbound=False,
+            )
+        frame = chan_a.recv(timeout=5)
+        assert frame is not None, "acceptor closed without replying"
+        ack = messages.decode(memoryview(frame))
+        assert isinstance(ack, messages.HelloAck)
+        assert ack.max_version == 1
+
+    def test_dial_rejected_by_below_floor_peer_fails_fast(self):
+        chan_a, chan_b = channel_pair()
+        dispatcher = Dispatcher()
+        sid = fresh_space_id("ancient")
+
+        def old_acceptor():
+            chan_a.recv(timeout=5)
+            chan_a.send(self._old_peer_frame(0x02, sid, 1))
+
+        threading.Thread(target=old_acceptor, daemon=True).start()
+        with pytest.raises(ProtocolError):
+            Connection(
+                chan_b, fresh_space_id("b"), dispatcher,
+                lambda c, m: None, outbound=True,
+            )
 
     def test_garbage_during_handshake_rejected(self):
         chan_a, chan_b = channel_pair()
