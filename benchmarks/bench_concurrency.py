@@ -233,3 +233,111 @@ class TestConnectionCaching:
         assert cached == 1
         report("E8 concurrency",
                "100 calls used exactly 1 cached connection")
+
+
+def handshake_idle_socket(endpoint: str):
+    """Open a raw TCP socket to ``endpoint`` and complete the HELLO
+    exchange by hand, yielding a server-side Connection that then sits
+    idle — the cheapest way to stand up hundreds of inbound
+    connections without hundreds of client Spaces."""
+    import socket as socketlib
+    import struct
+
+    from repro.rpc import messages
+    from repro.wire import protocol as wire_protocol
+    from repro.wire.framing import pack_frame
+    from repro.wire.ids import fresh_space_id
+
+    host, port = endpoint[len("tcp://"):].rsplit(":", 1)
+    sock = socketlib.create_connection((host, int(port)), timeout=10)
+    base = min(wire_protocol.PROTOCOL_VERSION,
+               wire_protocol.MIN_PROTOCOL_VERSION)
+    hello = messages.Hello(
+        fresh_space_id("idle"), "idle", base, wire_protocol.PROTOCOL_VERSION
+    )
+    sock.sendall(pack_frame(hello.encode()))
+
+    def read_exact(need: int) -> bytes:
+        data = b""
+        while len(data) < need:
+            chunk = sock.recv(need - len(data))
+            assert chunk, "peer closed during handshake"
+            data += chunk
+        return data
+
+    (length,) = struct.unpack("!I", read_exact(4))
+    read_exact(length)  # the HELLO_ACK body, discarded
+    return sock
+
+
+def io_thread_count() -> int:
+    """Resident I/O threads in this process: per-connection readers
+    (pre-reactor), reactor/pump threads, and accept loops."""
+    patterns = ("conn-reader", "reactor", "-pump", "tcp-accept")
+    return sum(
+        1 for t in threading.enumerate()
+        if any(p in t.name for p in patterns)
+    )
+
+
+class TestFanIn:
+    @pytest.mark.benchmark(group="E8-fan-in")
+    def test_fan_in_idle_and_active(self, report):
+        """E8 fan-in: a server holding 128 mostly-idle inbound
+        connections while 16 active callers drive traffic.  The
+        numbers that matter: resident I/O thread count (O(connections)
+        with reader-per-connection, O(1) with the reactor) and whether
+        the idle mass degrades active-caller throughput."""
+        idle_count = 128
+        active_count = 16
+        calls_per_caller = 100
+        baseline_threads = threading.active_count()
+
+        with Space("fan-in-srv", listen=["tcp://127.0.0.1:0"]) as server:
+            server.serve("adder", Adder())
+            endpoint = server.endpoints[0]
+
+            idle_socks = [
+                handshake_idle_socket(endpoint) for _ in range(idle_count)
+            ]
+            clients = [Space(f"fan-in-cli-{i}") for i in range(active_count)]
+            try:
+                adders = [
+                    client.import_object(endpoint, "adder")
+                    for client in clients
+                ]
+                for adder in adders:
+                    assert adder.add(1, 1) == 2  # warm every connection
+
+                io_threads = io_thread_count()
+                total_threads = threading.active_count()
+
+                def caller(adder):
+                    for i in range(calls_per_caller):
+                        assert adder.add(i, 1) == i + 1
+
+                threads = [
+                    threading.Thread(target=caller, args=(adder,))
+                    for adder in adders
+                ]
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - start
+                rate = active_count * calls_per_caller / elapsed
+            finally:
+                for client in clients:
+                    client.shutdown()
+                for sock in idle_socks:
+                    sock.close()
+
+        report("E8 concurrency",
+               f"fan-in {idle_count} idle + {active_count} active: "
+               f"{rate:9.0f} calls/s, {io_threads} I/O threads "
+               f"({total_threads} total, {baseline_threads} baseline)",
+               fan_in_idle128_active16_calls_per_s=round(rate),
+               fan_in_io_threads=io_threads,
+               fan_in_total_threads=total_threads)
+

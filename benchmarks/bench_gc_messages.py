@@ -152,17 +152,17 @@ class TestBatchedCleans:
                 maker = agent.get("maker")
                 tokens = maker.make(100)
                 assert all(t.poke() for t in tokens[:3])
-                exported = server.gc_stats()["exported"]
+                exported = server.stats()["gc"]["exported"]
                 transport.network.reset_stats()
                 del tokens
                 pygc.collect()
                 assert client.cleanup_daemon.wait_idle(30)
                 deadline = time.time() + 10
                 while time.time() < deadline:
-                    if server.gc_stats()["exported"] == exported - 100:
+                    if server.stats()["gc"]["exported"] == exported - 100:
                         break
                     time.sleep(0.01)
-                assert server.gc_stats()["exported"] == exported - 100
+                assert server.stats()["gc"]["exported"] == exported - 100
                 assert agent is not None and maker is not None
                 tags = transport.stats.by_tag
                 return sum(

@@ -15,7 +15,9 @@ import time
 
 import pytest
 
+from repro import Space
 from repro.marshal import dumps, loads
+from benchmarks.bench_concurrency import handshake_idle_socket, io_thread_count
 
 #: Deliberately tiny: the whole module must finish in a few seconds.
 SMOKE_CALLS = 50
@@ -70,6 +72,32 @@ class TestSmokeThroughput:
         report("smoke", f"throughput 64KiB : {rate:9.1f} MB/s",
                smoke_throughput_64KiB_mbps=rate)
         assert elapsed < THROUGHPUT_BUDGET
+
+
+class TestSmokeFanIn:
+    def test_many_idle_connections_few_io_threads(self, report):
+        """Reactor gate: 32 idle inbound connections must not spawn 32
+        reader threads.  A tiny replica of E8's fan-in row — breaking
+        the shared-selector path fails here in under a second."""
+        idle = 32
+        with Space("smoke-fan-in", listen=["tcp://127.0.0.1:0"]) as server:
+            socks = [
+                handshake_idle_socket(server.endpoints[0])
+                for _ in range(idle)
+            ]
+            try:
+                deadline = time.monotonic() + 5.0
+                while (server.reactor.active_connections < idle
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+                assert server.reactor.active_connections >= idle
+                threads = io_thread_count()
+            finally:
+                for sock in socks:
+                    sock.close()
+        report("smoke", f"fan-in {idle} idle conns: {threads} I/O threads",
+               smoke_fan_in_io_threads=threads)
+        assert threads <= 4
 
 
 class TestSmokeMarshal:

@@ -19,6 +19,7 @@ everything a peer asks of us funnels through :meth:`_handle_request`.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from typing import Dict, List, Optional, Sequence
 
@@ -34,6 +35,7 @@ from repro.dgc.owner import DgcOwner
 from repro.dgc.pinger import Pinger
 from repro.errors import (
     CommFailure,
+    ConnectionClosed,
     NameServiceError,
     NarrowingError,
     NetObjError,
@@ -58,6 +60,7 @@ from repro.rpc.dispatcher import Dispatcher
 from repro.rpc.futures import RemoteFuture
 from repro.transport.base import Transport, TransportRegistry
 from repro.transport.inprocess import InProcessTransport
+from repro.transport.reactor import Reactor
 from repro.transport.tcp import TcpTransport
 from repro.wire import protocol as wire_protocol
 from repro.wire.ids import SpaceID, fresh_space_id, intern_existing
@@ -96,6 +99,7 @@ class Space:
         gc: Optional[GcConfig] = None,
         call_timeout: float = 30.0,
         protocol_version: Optional[int] = None,
+        conn_idle_ttl: Optional[float] = None,
     ):
         self.space_id = fresh_space_id(nickname)
         # Wire decodes of our own identity (the owner field of every
@@ -145,7 +149,22 @@ class Space:
         self._conn_lock = threading.Lock()
         self._closed = threading.Event()
 
-        self.cache = ConnectionCache(self._dial)
+        # One I/O thread for every connection in this space; started
+        # before any listener can accept.  Connections register their
+        # channels with it (selector-owned or pump-bridged) and the
+        # cache's idle sweep rides its timer tick.
+        self.reactor = Reactor(name=nickname or self.space_id.short())
+        self.reactor.start()
+
+        self.cache = ConnectionCache(self._dial, idle_ttl=conn_idle_ttl)
+        if conn_idle_ttl is not None:
+            # The tick only schedules; the sweep itself runs on a
+            # dispatcher worker because its orderly goodbyes wait for
+            # output to flush, which must never stall the I/O loop.
+            self.reactor.add_timer(
+                max(conn_idle_ttl / 4.0, 0.05),
+                lambda: self.dispatcher.submit(self.cache.sweep_idle),
+            )
 
         # The agent is the special object: pinned at index 0 so any
         # peer can bootstrap from just our endpoint.
@@ -180,7 +199,16 @@ class Space:
         self.shutdown()
 
     def shutdown(self) -> None:
-        """Stop serving, close connections, stop the GC daemons."""
+        """Stop serving, close connections orderly, stop the daemons.
+
+        Connections get a negotiated goodbye first: Bye, flush of any
+        corked output, half-close — so peers observe our Bye and a
+        clean end-of-stream rather than a reset that can destroy
+        frames (including the Bye itself) still in kernel buffers.
+        The wait for the peers' answering closes is bounded; whatever
+        has not torn down by then is force-closed.  The reactor stops
+        last, after every channel it owns is gone.
+        """
         if self._closed.is_set():
             return
         self._closed.set()
@@ -189,12 +217,18 @@ class Space:
         self.cleanup_daemon.stop()
         for listener in self._listeners:
             listener.close()
-        self.cache.close_all()
         with self._conn_lock:
             connections = list(self._connections)
         for connection in connections:
-            connection.close()
+            connection.begin_close()
+        deadline = time.monotonic() + 1.0
+        for connection in connections:
+            connection.await_closed(max(0.0, deadline - time.monotonic()))
+        self.cache.close_all()
+        for connection in connections:
+            connection.close(notify_peer=False)
         self.dispatcher.shutdown()
+        self.reactor.stop()
 
     @property
     def closed(self) -> bool:
@@ -225,6 +259,7 @@ class Space:
                 channel, self.space_id, self.dispatcher,
                 self._handle_request, on_close=self._on_conn_close,
                 outbound=False, max_version=self._protocol_version,
+                reactor=self.reactor,
             )
         except (CommFailure, ProtocolError):
             return
@@ -238,6 +273,7 @@ class Space:
             channel, self.space_id, self.dispatcher,
             self._handle_request, on_close=self._on_conn_close,
             outbound=True, max_version=self._protocol_version,
+            reactor=self.reactor,
         )
         self._track(connection)
         return connection
@@ -307,12 +343,23 @@ class Space:
         """
         if self._closed.is_set():
             raise SpaceShutdownError("space is shut down")
-        connection = self._conn_for_endpoints(endpoints)
-        call_id = connection.next_call_id()
-        buffer = self._encode_call(connection, call_id, wirerep, method,
-                                   args, kwargs)
-        reply = connection.call_buffer(call_id, buffer, timeout=self.call_timeout)
-        return self._decode_reply(connection, reply)
+        for retry in (False, True):
+            connection = self._conn_for_endpoints(endpoints)
+            call_id = connection.next_call_id()
+            buffer = self._encode_call(connection, call_id, wirerep, method,
+                                       args, kwargs)
+            try:
+                reply = connection.call_buffer(call_id, buffer,
+                                               timeout=self.call_timeout)
+            except ConnectionClosed:
+                # The idle sweep (or a peer goodbye) closed this
+                # connection between the cache lookup and the send —
+                # e.g. while a large argument was marshalling.  The
+                # peer never saw the call, so one fresh dial is safe.
+                if retry:
+                    raise
+                continue
+            return self._decode_reply(connection, reply)
 
     def invoke_async(self, surrogate, method: str, *args, **kwargs
                      ) -> RemoteFuture:
@@ -332,14 +379,21 @@ class Space:
             )
         if self._closed.is_set():
             raise SpaceShutdownError("space is shut down")
-        connection = self._conn_for_endpoints(surrogate._endpoints)
-        call_id = connection.next_call_id()
-        buffer = self._encode_call(connection, call_id, surrogate._wirerep,
-                                   method, args, kwargs)
-        future = connection.call_buffer_async(call_id, buffer)
-        return RemoteFuture(
-            future, lambda reply: self._decode_reply(connection, reply)
-        )
+        for retry in (False, True):
+            connection = self._conn_for_endpoints(surrogate._endpoints)
+            call_id = connection.next_call_id()
+            buffer = self._encode_call(connection, call_id, surrogate._wirerep,
+                                       method, args, kwargs)
+            try:
+                future = connection.call_buffer_async(call_id, buffer)
+            except ConnectionClosed:
+                # See _invoke_remote: pre-send close, safe to redial.
+                if retry:
+                    raise
+                continue
+            return RemoteFuture(
+                future, lambda reply, c=connection: self._decode_reply(c, reply)
+            )
 
     def _encode_call(self, connection: Connection, call_id: int,
                      wirerep: WireRep, method: str, args: tuple,
@@ -683,6 +737,22 @@ class Space:
         return agent_surrogate.get(name)
 
     # -- diagnostics ----------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One snapshot of every subsystem's counters.
+
+        The diagnostics front door: ``stats()["gc"]`` replaces direct
+        ``gc_stats()`` access in tests and benchmarks, and the other
+        sections expose the dispatcher pool, the connection cache, and
+        the reactor (``frames_in``/``frames_out``/``wakeups``/
+        ``active_connections``).
+        """
+        return {
+            "gc": self.gc_stats(),
+            "dispatcher": self.dispatcher.stats(),
+            "cache": self.cache.stats(),
+            "reactor": self.reactor.stats(),
+        }
 
     def gc_stats(self) -> dict:
         """A snapshot of collector counters (tests and benchmarks)."""

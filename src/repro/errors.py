@@ -36,6 +36,14 @@ class CallTimeout(CommFailure):
     """A remote invocation did not complete within its deadline."""
 
 
+class ConnectionClosed(CommFailure):
+    """The connection was closed (or orderly closing) before any byte
+    of the request went on the wire — e.g. the idle sweep reaped it
+    between the cache lookup and the send.  Unlike a generic
+    :class:`CommFailure`, retrying on a fresh connection is safe:
+    the peer never saw the call."""
+
+
 class NoSuchObjectError(NetObjError):
     """A wireRep did not resolve to an object at its owner.
 

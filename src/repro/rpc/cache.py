@@ -5,11 +5,26 @@ calls over it; establishing a connection (TCP handshake + HELLO
 exchange) is far more expensive than a call, which experiment E8
 quantifies.  The cache is keyed by endpoint; a broken connection is
 evicted by its ``on_close`` callback and the next call reconnects.
+
+With an ``idle_ttl`` the cache also *reaps*: a periodic sweep (armed
+by the owning space on its reactor's timer) orderly-closes any cached
+connection unused for longer than the TTL.  The eviction-vs-in-flight
+race is resolved at two levels: ``get`` refreshes the last-use stamp
+under the cache lock, so only endpoints quiet for a full TTL are
+candidates, and the final close goes through
+``Connection.try_close_idle``, whose pending-table check is atomic —
+a connection with calls in flight is put back instead of closed.  The
+one window left open is a caller that obtained the connection from
+``get`` and then stalls for longer than the TTL before sending (e.g.
+marshalling a huge argument); such a call fails pre-send with
+:class:`~repro.errors.ConnectionClosed` — nothing went on the wire —
+and the space's invoke path retries it once on a fresh dial.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, Optional
 
 from repro.errors import CommFailure, SpaceShutdownError
@@ -18,13 +33,24 @@ from repro.rpc.connection import Connection
 
 class ConnectionCache:
     """One cached connection per endpoint (see module docstring)."""
-    def __init__(self, connect: Callable[[str], Connection]):
-        """``connect(endpoint)`` must build a handshaken Connection."""
+    def __init__(self, connect: Callable[[str], Connection],
+                 idle_ttl: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        """``connect(endpoint)`` must build a handshaken Connection.
+        ``idle_ttl`` of None disables reaping; ``clock`` is injectable
+        so tests can age connections without sleeping."""
         self._connect = connect
         self._connections: Dict[str, Connection] = {}
         self._locks: Dict[str, threading.Lock] = {}
+        self._last_used: Dict[str, float] = {}
         self._lock = threading.Lock()
         self._shutdown = False
+        self.idle_ttl = idle_ttl
+        self._clock = clock
+        #: Connections orderly-closed by the idle sweep.
+        self.idle_reaped = 0
+        #: Successful dials (cache misses that built a connection).
+        self.dials = 0
 
     def get(self, endpoint: str) -> Connection:
         """Return a live cached connection, creating one if needed."""
@@ -32,14 +58,18 @@ class ConnectionCache:
             if self._shutdown:
                 raise SpaceShutdownError("space is shut down")
             existing = self._connections.get(endpoint)
-            if existing is not None and not existing.closed:
+            if (existing is not None and not existing.closed
+                    and not existing.closing):
+                self._last_used[endpoint] = self._clock()
                 return existing
             per_endpoint = self._locks.setdefault(endpoint, threading.Lock())
         # Serialise dials per endpoint but not across endpoints.
         with per_endpoint:
             with self._lock:
                 existing = self._connections.get(endpoint)
-                if existing is not None and not existing.closed:
+                if (existing is not None and not existing.closed
+                        and not existing.closing):
+                    self._last_used[endpoint] = self._clock()
                     return existing
             try:
                 connection = self._connect(endpoint)
@@ -52,6 +82,7 @@ class ConnectionCache:
                     if endpoint not in self._connections:
                         self._locks.pop(endpoint, None)
                 raise
+            self.dials += 1
             with self._lock:
                 if not self._shutdown:
                     racer = self._connections.get(endpoint)
@@ -62,15 +93,17 @@ class ConnectionCache:
                         # it would wedge the endpoint behind a dead
                         # entry; hand out a live racer if one slipped
                         # in, else surface the failure.
-                        if racer is not None and not racer.closed:
+                        if (racer is not None and not racer.closed
+                                and not racer.closing):
                             return racer
                         if racer is None:
                             self._locks.pop(endpoint, None)
                         raise CommFailure(
                             f"connection to {endpoint!r} closed during dial"
                         )
-                    if racer is None or racer.closed:
+                    if racer is None or racer.closed or racer.closing:
                         self._connections[endpoint] = connection
+                        self._last_used[endpoint] = self._clock()
                         return connection
                     # An evict dropped our dial lock mid-flight and a
                     # fresh dial won the endpoint; keep theirs.
@@ -94,6 +127,54 @@ class ConnectionCache:
                     # must track *live* endpoints, not every endpoint
                     # ever contacted.
                     self._locks.pop(endpoint, None)
+                    self._last_used.pop(endpoint, None)
+
+    def sweep_idle(self) -> int:
+        """Orderly-close connections unused for ``idle_ttl`` seconds.
+
+        Returns how many closes were initiated.  Runs on a worker
+        thread (the reactor's timer tick only schedules it): the
+        orderly goodbye waits briefly for corked output to flush,
+        which must not stall the I/O loop.  A candidate is removed
+        from the cache *before* ``try_close_idle`` so no new ``get``
+        can hand it out mid-close; if calls turn out to be in flight
+        it is re-inserted untouched (unless a fresh dial already took
+        the endpoint — then the in-flight caller keeps its direct
+        reference and the connection retires when those calls drain).
+        """
+        ttl = self.idle_ttl
+        if ttl is None:
+            return 0
+        now = self._clock()
+        stale = []
+        with self._lock:
+            if self._shutdown:
+                return 0
+            for endpoint, connection in list(self._connections.items()):
+                last = self._last_used.get(endpoint, now)
+                if now - last >= ttl:
+                    del self._connections[endpoint]
+                    stale.append((endpoint, connection))
+        reaped = 0
+        for endpoint, connection in stale:
+            if connection.try_close_idle():
+                reaped += 1
+                with self._lock:
+                    if endpoint not in self._connections:
+                        # No racer redialled; retire the endpoint's
+                        # bookkeeping along with its connection.
+                        self._locks.pop(endpoint, None)
+                        self._last_used.pop(endpoint, None)
+            else:
+                with self._lock:
+                    racer = self._connections.get(endpoint)
+                    if (not self._shutdown and racer is None
+                            and not connection.closed
+                            and not connection.closing):
+                        self._connections[endpoint] = connection
+                        self._last_used[endpoint] = now
+        self.idle_reaped += reaped
+        return reaped
 
     def peek(self, endpoint: str) -> Optional[Connection]:
         with self._lock:
@@ -105,11 +186,21 @@ class ConnectionCache:
             connections = list(self._connections.values())
             self._connections.clear()
             self._locks.clear()
+            self._last_used.clear()
         for connection in connections:
             try:
                 connection.close()
             except CommFailure:
                 pass
+
+    def stats(self) -> dict:
+        """Snapshot of cache gauges (surfaced via ``Space.stats()``)."""
+        with self._lock:
+            return {
+                "connections": len(self._connections),
+                "dials": self.dials,
+                "idle_reaped": self.idle_reaped,
+            }
 
     def __len__(self) -> int:
         with self._lock:

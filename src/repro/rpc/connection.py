@@ -2,12 +2,16 @@
 
 After the HELLO/HELLO_ACK handshake the connection is symmetric: each
 side allocates its own call ids, keeps its own pending-call table, and
-serves whatever requests the peer sends.  One daemon reader thread per
-connection decodes envelopes only: replies complete a pending call on
-the issuer's thread, requests go to the space's dispatcher.  Argument
-and result pickles are *not* decoded on the reader thread — blocking
-work (including nested dirty calls triggered by unpickling) happens in
-the thread that owns the call.
+serves whatever requests the peer sends.  Incoming frames arrive via
+the :class:`~repro.transport.reactor.FrameSink` callbacks
+(:meth:`Connection.on_frame` / :meth:`Connection.on_closed`) — from
+the space's shared reactor thread for selectable channels, from a
+per-connection :class:`~repro.transport.reactor.ChannelPump` bridge
+otherwise.  Either way the delivering thread decodes envelopes only:
+replies complete a pending call on the issuer's thread, requests go to
+the space's dispatcher.  Argument and result pickles are *not* decoded
+on the delivering thread — blocking work (including nested dirty calls
+triggered by unpickling) happens in the thread that owns the call.
 
 Calls come in two shapes over the same call-id multiplexing:
 
@@ -35,17 +39,22 @@ import itertools
 import threading
 from typing import Callable, Optional
 
-from repro.errors import CommFailure, ProtocolError
+from repro.errors import CommFailure, ConnectionClosed, ProtocolError
 from repro.rpc import messages
 from repro.rpc.dispatcher import Dispatcher
 from repro.rpc.futures import CallFuture
 from repro.transport.base import Channel
+from repro.transport.reactor import ChannelPump, Reactor
 from repro.wire import protocol
 from repro.wire.framing import BufferPool, finish_frame
 from repro.wire.ids import SpaceID
 
 #: Default per-call deadline, generous enough for loaded CI machines.
 DEFAULT_CALL_TIMEOUT = 30.0
+
+#: How long an orderly close waits for corked output to hit the wire
+#: before half-closing.  Short: the backlog is at most a few frames.
+DEFAULT_FLUSH_TIMEOUT = 1.0
 
 
 #: Recycled pending-call future slots kept per connection.  Bounds the
@@ -56,7 +65,17 @@ _MAX_FREE_PENDING = 8
 
 
 class Connection:
-    """One handshaken channel plus its reader thread."""
+    """One handshaken channel, fed frames by the space's reactor.
+
+    The handshake itself is synchronous on the constructing thread
+    (dialer thread outbound, the listener's on-connect thread inbound);
+    only after version negotiation does the channel join the event
+    machinery.  With a ``reactor``, a selectable channel goes
+    nonblocking under the shared selector thread and anything else gets
+    a :class:`ChannelPump` bridge; without one (standalone use, as in
+    the protocol-level tests) a private pump reproduces the classic
+    reader-thread arrangement.
+    """
 
     def __init__(
         self,
@@ -68,6 +87,7 @@ class Connection:
         outbound: bool = True,
         handshake_timeout: float = 10.0,
         max_version: int = protocol.PROTOCOL_VERSION,
+        reactor: Optional[Reactor] = None,
     ):
         self._channel = channel
         self._local_id = local_id
@@ -80,7 +100,12 @@ class Connection:
         self._pending_free: list[CallFuture] = []
         self._call_ids = itertools.count(1)
         self._closed = threading.Event()
+        self._closing = False  # set under _pending_lock; rejects new calls
         self._send_buffers = BufferPool()
+        self._reactor = reactor
+        #: True when the close was a negotiated goodbye (Bye/EOF seen or
+        #: sent) rather than a failure — CommFailure diagnostics only.
+        self.orderly = False
         #: Protocol version agreed at HELLO (set by ``_handshake``).
         self.version: int = max_version
         self.peer_id: Optional[SpaceID] = None
@@ -89,12 +114,15 @@ class Connection:
         self.marshal_ctx: Optional[object] = None
 
         self._handshake(outbound, handshake_timeout)
-        self._reader = threading.Thread(
-            target=self._read_loop,
-            name=f"conn-reader-{self.peer_id}",
-            daemon=True,
-        )
-        self._reader.start()
+        if reactor is not None and reactor.alive:
+            reactor.register(channel, self, name=f"conn-{self.peer_id}")
+        else:
+            # Standalone (no space/reactor): a private pump keeps the
+            # old one-reader-per-connection behaviour for direct users.
+            self._reactor = None
+            ChannelPump(
+                channel, self, name=f"conn-reader-{self.peer_id}"
+            ).start()
 
     # -- handshake ------------------------------------------------------------
 
@@ -180,8 +208,10 @@ class Connection:
         """
         try:
             if self._closed.is_set():
-                raise CommFailure("connection closed")
+                raise ConnectionClosed("connection closed")
             self._channel.send_framed(finish_frame(buffer))
+            if self._reactor is not None:
+                self._reactor.frames_out += 1
         finally:
             self._send_buffers.release(buffer)
 
@@ -230,13 +260,16 @@ class Connection:
         """
         future = CallFuture(self, call_id)
         with self._pending_lock:
-            if self._closed.is_set():
+            if self._closed.is_set() or self._closing:
                 self._send_buffers.release(buffer)
-                raise CommFailure("connection closed")
+                raise ConnectionClosed("connection closed")
             self._pending[call_id] = future
         try:
             self.send_buffer(buffer)
-        except CommFailure:
+        except BaseException:
+            # Not just CommFailure: a ProtocolError (oversize frame)
+            # must also unregister, or the dead slot pins the
+            # connection against idle reaping forever.
             with self._pending_lock:
                 self._pending.pop(call_id, None)
             raise
@@ -261,9 +294,9 @@ class Connection:
         Takes ownership of ``buffer`` (see :meth:`send_buffer`).
         """
         with self._pending_lock:
-            if self._closed.is_set():
+            if self._closed.is_set() or self._closing:
                 self._send_buffers.release(buffer)
-                raise CommFailure("connection closed")
+                raise ConnectionClosed("connection closed")
             free = self._pending_free
             if free:
                 future = free.pop()
@@ -273,7 +306,8 @@ class Connection:
             self._pending[call_id] = future
         try:
             self.send_buffer(buffer)
-        except CommFailure:
+        except BaseException:
+            # See call_buffer_async: any send failure unregisters.
             with self._pending_lock:
                 self._pending.pop(call_id, None)
                 self._recycle(future)
@@ -291,34 +325,38 @@ class Connection:
         if len(self._pending_free) < _MAX_FREE_PENDING:
             self._pending_free.append(future)
 
-    # -- incoming traffic -------------------------------------------------------
+    # -- incoming traffic (FrameSink protocol) ----------------------------------
+    #
+    # Called on the reactor thread (selectable channels) or a pump
+    # thread (everything else).  Neither callback may block: envelope
+    # decode, pending-table completion, and dispatcher hand-off only.
 
-    def _read_loop(self) -> None:
-        failure: Exception = CommFailure("connection closed by peer")
+    def on_frame(self, frame) -> None:
         try:
-            while not self._closed.is_set():
-                frame = self._channel.recv()
-                if frame is None:
-                    break
-                try:
-                    # memoryview: a decoded Call/Result's pickle is a
-                    # zero-copy slice of the frame buffer.
-                    message = messages.decode(memoryview(frame))
-                except Exception as exc:  # corrupt frame: drop connection
-                    failure = ProtocolError(f"undecodable frame: {exc}")
-                    break
-                if isinstance(message, messages.Bye):
-                    break
-                if message.tag in messages.REPLY_TAGS:
-                    self._complete(message)
-                else:
-                    self._dispatcher.submit(
-                        lambda m=message: self._handle_request(self, m)
-                    )
-        except CommFailure as exc:
-            failure = exc
-        finally:
-            self._teardown(failure)
+            # memoryview: a decoded Call/Result's pickle is a
+            # zero-copy slice of the frame buffer.
+            message = messages.decode(memoryview(frame))
+        except Exception as exc:  # corrupt frame: drop connection
+            self._channel.close()
+            self._teardown(ProtocolError(f"undecodable frame: {exc}"))
+            return
+        if isinstance(message, messages.Bye):
+            self.orderly = True
+            self._channel.close()
+            self._teardown(CommFailure("connection closed by peer"))
+            return
+        if message.tag in messages.REPLY_TAGS:
+            self._complete(message)
+        else:
+            self._dispatcher.submit(
+                lambda m=message: self._handle_request(self, m)
+            )
+
+    def on_closed(self, failure: Optional[Exception]) -> None:
+        if failure is None:
+            self.orderly = True
+            failure = CommFailure("connection closed by peer")
+        self._teardown(failure)
 
     def _complete(self, reply: messages.Message) -> None:
         # Fields are set and the event raised *under* the lock: slot
@@ -340,10 +378,66 @@ class Connection:
         if notify_peer:
             try:
                 self.send(messages.Bye())
+                # The Bye may still sit in a nonblocking transport's
+                # cork; give it a moment to reach the wire before the
+                # close below discards the backlog.
+                self._channel.flush(DEFAULT_FLUSH_TIMEOUT)
             except CommFailure:
                 pass
         self._channel.close()
         self._teardown(CommFailure("connection closed locally"))
+
+    def begin_close(
+        self, flush_timeout: float = DEFAULT_FLUSH_TIMEOUT
+    ) -> None:
+        """Start an orderly goodbye: refuse new calls, send Bye, flush
+        buffered output, then half-close so the peer reads our Bye and
+        a clean end-of-stream instead of a reset that may destroy
+        frames in flight.  Full teardown completes when the peer's
+        answering close arrives (``await_closed``); callers that cannot
+        wait may follow up with :meth:`close`.
+        """
+        with self._pending_lock:
+            if self._closed.is_set() or self._closing:
+                return
+            self._closing = True
+        self._send_goodbye(flush_timeout)
+
+    def await_closed(self, timeout: Optional[float] = None) -> bool:
+        """Wait for teardown to finish; True once closed."""
+        return self._closed.wait(timeout)
+
+    def try_close_idle(
+        self, flush_timeout: float = DEFAULT_FLUSH_TIMEOUT
+    ) -> bool:
+        """Orderly-close the connection iff no calls are in flight.
+
+        The idle-reaper's entry point: the pending-table check and the
+        switch to the call-refusing ``_closing`` state are atomic under
+        ``_pending_lock``, so a call racing this either lands in the
+        table first (we return False, connection stays) or arrives
+        after and gets the same CommFailure any closed connection
+        gives.  Returns True when a close was initiated (or the
+        connection was already closed/closing).
+        """
+        with self._pending_lock:
+            if self._closed.is_set() or self._closing:
+                return True
+            if self._pending:
+                return False
+            self._closing = True
+        self._send_goodbye(flush_timeout)
+        return True
+
+    def _send_goodbye(self, flush_timeout: float) -> None:
+        self.orderly = True
+        try:
+            self.send(messages.Bye())
+        except CommFailure:
+            self.close(notify_peer=False)
+            return
+        self._channel.flush(flush_timeout)
+        self._channel.half_close()
 
     def _teardown(self, failure: Exception) -> None:
         if self._closed.is_set():
@@ -366,6 +460,12 @@ class Connection:
     @property
     def closed(self) -> bool:
         return self._closed.is_set()
+
+    @property
+    def closing(self) -> bool:
+        """True once an orderly goodbye started; new calls are refused
+        (with :class:`ConnectionClosed`) while in-flight ones drain."""
+        return self._closing
 
     def __repr__(self) -> str:
         state = "closed" if self.closed else "open"

@@ -80,6 +80,16 @@ class Dispatcher:
                 target=self._worker, name=f"{self.name}-worker", daemon=True
             ).start()
 
+    def stats(self) -> dict:
+        """Snapshot of pool gauges (surfaced via ``Space.stats()``)."""
+        with self._lock:
+            return {
+                "workers": self._workers,
+                "parked": self._parked,
+                "queued": self._queued,
+                "tasks_failed": self.tasks_failed,
+            }
+
     def shutdown(self) -> None:
         """Stop accepting tasks and release idle workers."""
         with self._lock:

@@ -53,9 +53,68 @@ class Channel(ABC):
     @abstractmethod
     def close(self) -> None: ...
 
+    # -- orderly shutdown ----------------------------------------------------
+    #
+    # ``flush`` + ``half_close`` let a connection end a conversation
+    # without destroying frames still in transit: flush waits for
+    # locally buffered output (a nonblocking transport's write backlog)
+    # to reach the wire, half_close then signals end-of-stream to the
+    # peer while leaving the receive direction open so the peer's final
+    # frames — and its answering end-of-stream — still arrive.  The
+    # defaults fit unbuffered transports, where ``send`` returning
+    # already implies delivery to the peer's inbox and no separate
+    # write direction exists to close by itself.
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Wait until locally buffered output has been handed to the
+        wire; True on success, False on timeout."""
+        return True
+
+    def half_close(self) -> None:
+        """Stop sending; keep receiving until the peer closes too."""
+        self.close()
+
     @property
     @abstractmethod
     def closed(self) -> bool: ...
+
+
+class SelectableChannel(Channel):
+    """A channel a :class:`~repro.transport.reactor.Reactor` can own
+    directly: it exposes a kernel-pollable file descriptor plus
+    nonblocking event hooks, so one selector thread can serve every
+    such channel in a space.
+
+    Lifecycle: the reactor calls :meth:`attach_reactor` once (switching
+    the descriptor to nonblocking mode), registers :meth:`fileno` for
+    readable events, and from then on invokes :meth:`handle_readable` /
+    :meth:`handle_writable` **only on the reactor thread**.  The
+    channel asks for writable events via ``reactor.request_write`` when
+    a nonblocking send leaves a backlog, and reports ``wants_write``
+    when polled so the reactor can drop write interest once drained.
+    Channels without a real descriptor (queues, the simulated network)
+    are instead bridged by :class:`~repro.transport.reactor.ChannelPump`.
+    """
+
+    @abstractmethod
+    def fileno(self) -> int: ...
+
+    @abstractmethod
+    def attach_reactor(self, reactor, sink) -> None:
+        """Go nonblocking; deliver decoded frames to ``sink``."""
+
+    @abstractmethod
+    def handle_readable(self) -> None:
+        """Drain readable bytes, feeding complete frames to the sink;
+        reports end-of-stream/errors via ``sink.on_closed``."""
+
+    @abstractmethod
+    def handle_writable(self) -> bool:
+        """Flush backlog; return True while write interest is still
+        needed."""
+
+    @abstractmethod
+    def wants_write(self) -> bool: ...
 
 
 class Listener(ABC):

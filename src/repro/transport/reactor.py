@@ -1,0 +1,430 @@
+"""The reactor: one selector thread for every connection in a space.
+
+The paper's 1993 runtime parked one reader thread per connection —
+fine on a DECstation serving a handful of peers, fatal for a space
+holding hundreds of mostly-idle inbound connections.  This module
+replaces that with the classic reactor pattern: a single I/O thread
+per :class:`~repro.core.space.Space` owns every selectable channel
+through :mod:`selectors`, performs incremental frame reassembly
+(:class:`~repro.wire.framing.FrameAssembler` keeps PR 1's
+recv_into/one-allocation discipline), and hands each completed frame
+to its connection's :class:`FrameSink` callbacks.  Thread count goes
+from O(connections) to O(1) + dispatcher workers.
+
+**The reactor thread never unpickles and never runs user code.**  A
+sink's ``on_frame`` decodes the message *envelope* only and routes it:
+replies complete a pending call future, requests go to the space's
+dispatcher pool.  Anything that can block — unpickling (which may
+issue nested dirty calls), method execution, GC acks — happens on a
+worker or caller thread, exactly as it did under reader-per-connection,
+so the formal-model GC obligations and protocol interop are untouched.
+
+Transports with no kernel-pollable descriptor (in-process queues, the
+simulated network) are bridged by :class:`ChannelPump`: one daemon
+thread per connection blocking in ``channel.recv`` and invoking the
+same sink callbacks, byte-for-byte the old reader-thread behaviour.
+Connections therefore stay transport-blind — they implement FrameSink
+and never ask which side of the bridge they live on.
+
+The reactor also owns a timer wheel (:meth:`Reactor.add_timer`) used
+for housekeeping ticks such as the connection cache's idle-TTL sweep,
+and exports counters (``frames_in``, ``frames_out``, ``wakeups``,
+``active_connections``) surfaced through ``Space.stats()``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import logging
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import CommFailure
+from repro.transport.base import Channel, SelectableChannel
+
+logger = logging.getLogger("repro.transport.reactor")
+
+
+class FrameSink:
+    """What the reactor delivers to (duck-typed; Connection implements
+    this).  ``on_frame(payload)`` receives one complete frame —
+    called on the reactor thread for selectable channels, on the pump
+    thread otherwise, and must not block.  ``on_closed(failure)``
+    fires exactly once when the stream ends: ``failure`` is ``None``
+    for a clean end-of-stream and an exception for an abortive one.
+    """
+
+    def on_frame(self, payload) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def on_closed(self, failure: Optional[Exception]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Timer:
+    """A repeating reactor timer; ``cancel()`` is thread-safe and
+    idempotent.  Callbacks run on the reactor thread and must not
+    block — they are housekeeping ticks, not work."""
+
+    __slots__ = ("interval", "callback", "_cancelled")
+
+    def __init__(self, interval: float, callback: Callable[[], None]):
+        self.interval = interval
+        self.callback = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class ChannelPump:
+    """Bridges a blocking :class:`Channel` into FrameSink callbacks.
+
+    One daemon thread per connection calling ``channel.recv()`` — the
+    adapter that keeps datagram-style transports (inproc queues, the
+    simulated network) working under the reactor regime with frame
+    delivery order and teardown semantics identical to the old
+    per-connection reader thread.  ``recv() is None`` means clean
+    end-of-stream (``on_closed(None)``); a :class:`CommFailure` from
+    the channel is an abortive close.
+    """
+
+    def __init__(self, channel: Channel, sink, name: str = "pump",
+                 reactor: Optional["Reactor"] = None):
+        self._channel = channel
+        self._sink = sink
+        self._reactor = reactor
+        self._thread = threading.Thread(
+            target=self._run, name=f"{name}-pump", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        failure: Optional[Exception] = None
+        reactor = self._reactor
+        try:
+            while True:
+                frame = self._channel.recv()
+                if frame is None:
+                    break
+                if reactor is not None:
+                    reactor.frames_in += 1
+                self._sink.on_frame(frame)
+        except CommFailure as exc:
+            failure = exc
+        finally:
+            if reactor is not None:
+                reactor._pump_finished(self)
+            self._sink.on_closed(failure)
+
+
+class Reactor:
+    """One selector thread owning every selectable channel of a space.
+
+    Thread-safety contract: ``start``/``stop``/``register``/
+    ``call_soon``/``add_timer``/``request_write`` may be called from
+    any thread; everything prefixed ``_on_thread`` (selector mutation,
+    channel event dispatch, timer firing) happens only on the reactor
+    thread.  Counter increments ride the GIL like the dispatcher's —
+    best-effort exactness, same as every other stats field.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name or "reactor"
+        self._selector = selectors.DefaultSelector()
+        # Self-pipe (socketpair for portability): call_soon from other
+        # threads writes one byte to pop the selector out of its wait.
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, None)
+        self._lock = threading.Lock()
+        self._pending: deque = deque()
+        self._wake_armed = False
+        self._timers: List = []  # heap of (deadline, seq, Timer)
+        self._timer_seq = itertools.count()
+        self._interest: Dict[SelectableChannel, int] = {}
+        self._pumps: set = set()
+        self._stopped = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"reactor-{self.name}", daemon=True
+        )
+        #: Stats counters (see Space.stats()).
+        self.frames_in = 0
+        self.frames_out = 0
+        self.wakeups = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the I/O thread; closes any channel still registered."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._wake()
+        if self._thread.is_alive() and \
+                threading.current_thread() is not self._thread:
+            self._thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return not self._stopped.is_set()
+
+    # -- registration (any thread) --------------------------------------------
+
+    def register(self, channel: Channel, sink, name: str = "conn") -> None:
+        """Own ``channel``: selector-driven if it is selectable, pumped
+        by a bridge thread otherwise.  Frames flow to ``sink`` either
+        way."""
+        if isinstance(channel, SelectableChannel):
+            channel.attach_reactor(self, sink)
+            self.call_soon(lambda: self._register_on_thread(channel))
+        else:
+            pump = ChannelPump(channel, sink, name=name, reactor=self)
+            with self._lock:
+                self._pumps.add(pump)
+            pump.start()
+
+    def call_soon(self, fn: Callable[[], None]) -> bool:
+        """Run ``fn`` on the reactor thread at the next loop turn;
+        False (and not queued) once the reactor has stopped."""
+        with self._lock:
+            if self._stopped.is_set():
+                return False
+            self._pending.append(fn)
+            if self._wake_armed or \
+                    threading.current_thread() is self._thread:
+                return True
+            self._wake_armed = True
+        self._wake()
+        return True
+
+    def add_timer(self, interval: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` every ``interval`` seconds (reactor
+        thread; keep it quick).  Returns a cancellable Timer."""
+        timer = Timer(interval, callback)
+        monotonic = _now()
+
+        def arm():
+            heapq.heappush(
+                self._timers,
+                (monotonic + interval, next(self._timer_seq), timer),
+            )
+
+        self.call_soon(arm)
+        return timer
+
+    def request_write(self, channel: SelectableChannel) -> None:
+        """A nonblocking send left a backlog: poll ``channel`` for
+        writability until it drains (cleared by the event handler once
+        ``wants_write`` goes False)."""
+        self.call_soon(lambda: self._update_interest(channel))
+
+    def forget(self, channel: SelectableChannel,
+               and_then: Optional[Callable[[], None]] = None) -> bool:
+        """Unregister ``channel`` on the reactor thread, then run
+        ``and_then`` (typically: release the file descriptor).  False
+        if the reactor is stopped — the caller must clean up itself."""
+        def drop():
+            self._unregister_on_thread(channel)
+            if and_then is not None:
+                and_then()
+
+        return self.call_soon(drop)
+
+    # -- stats ----------------------------------------------------------------
+
+    @property
+    def active_connections(self) -> int:
+        with self._lock:
+            return len(self._interest) + len(self._pumps)
+
+    def stats(self) -> dict:
+        return {
+            "frames_in": self.frames_in,
+            "frames_out": self.frames_out,
+            "wakeups": self.wakeups,
+            "active_connections": self.active_connections,
+        }
+
+    # -- reactor thread -------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            while not self._stopped.is_set():
+                timeout = self._next_timeout()
+                events = self._selector.select(timeout)
+                self.wakeups += 1
+                for key, mask in events:
+                    if key.data is None:
+                        self._drain_wake()
+                    else:
+                        self._channel_event(key.data, mask)
+                self._run_pending()
+                self._fire_timers()
+        except Exception:  # pragma: no cover - must never die silently
+            logger.exception("reactor %s: I/O loop crashed", self.name)
+        finally:
+            self._shutdown_on_thread()
+
+    def _next_timeout(self) -> Optional[float]:
+        while self._timers and self._timers[0][2].cancelled:
+            heapq.heappop(self._timers)
+        if not self._timers:
+            return None
+        return max(0.0, self._timers[0][0] - _now())
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:  # pragma: no cover - wake pipe died with us
+            pass
+        with self._lock:
+            self._wake_armed = False
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"\x00")
+        except (BlockingIOError, InterruptedError):
+            pass  # pipe already full: the loop is waking anyway
+        except OSError:  # pragma: no cover - raced by close
+            pass
+
+    def _channel_event(self, channel: SelectableChannel, mask: int) -> None:
+        if mask & selectors.EVENT_WRITE:
+            try:
+                more = channel.handle_writable()
+            except Exception:  # noqa: BLE001 - one channel must not kill the loop
+                logger.exception("reactor %s: writable handler failed",
+                                 self.name)
+                more = False
+            if not more:
+                self._update_interest(channel)
+        if mask & selectors.EVENT_READ:
+            try:
+                channel.handle_readable()
+            except Exception:  # noqa: BLE001
+                logger.exception("reactor %s: readable handler failed",
+                                 self.name)
+
+    def _register_on_thread(self, channel: SelectableChannel) -> None:
+        with self._lock:
+            if channel in self._interest:
+                return
+            events = selectors.EVENT_READ
+            if channel.wants_write():
+                events |= selectors.EVENT_WRITE
+            self._interest[channel] = events
+        try:
+            self._selector.register(channel, events, channel)
+        except (ValueError, OSError) as exc:
+            with self._lock:
+                self._interest.pop(channel, None)
+            logger.debug("reactor %s: register failed: %s", self.name, exc)
+
+    def _unregister_on_thread(self, channel: SelectableChannel) -> None:
+        with self._lock:
+            present = self._interest.pop(channel, None) is not None
+        if not present:
+            return
+        try:
+            self._selector.unregister(channel)
+        except (KeyError, ValueError, OSError):  # pragma: no cover - raced
+            pass
+
+    def _update_interest(self, channel: SelectableChannel) -> None:
+        wanted = selectors.EVENT_READ
+        if channel.wants_write():
+            wanted |= selectors.EVENT_WRITE
+        with self._lock:
+            current = self._interest.get(channel)
+            if current is None or current == wanted:
+                return
+            self._interest[channel] = wanted
+        try:
+            self._selector.modify(channel, wanted, channel)
+        except (KeyError, ValueError, OSError):  # pragma: no cover - raced
+            pass
+
+    def _run_pending(self) -> None:
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return
+                fn = self._pending.popleft()
+            try:
+                fn()
+            except Exception:  # noqa: BLE001 - scheduled work must not kill the loop
+                logger.exception("reactor %s: scheduled call failed", self.name)
+
+    def _fire_timers(self) -> None:
+        now = _now()
+        while self._timers and self._timers[0][0] <= now:
+            _deadline, _seq, timer = heapq.heappop(self._timers)
+            if timer.cancelled:
+                continue
+            try:
+                timer.callback()
+            except Exception:  # noqa: BLE001
+                logger.exception("reactor %s: timer callback failed", self.name)
+            heapq.heappush(
+                self._timers,
+                (now + timer.interval, next(self._timer_seq), timer),
+            )
+
+    def _pump_finished(self, pump: ChannelPump) -> None:
+        with self._lock:
+            self._pumps.discard(pump)
+
+    def _shutdown_on_thread(self) -> None:
+        # Channels still registered at stop (stragglers the owning
+        # space failed to close) are closed here so their descriptors
+        # and flush waiters are released.
+        with self._lock:
+            leftovers = list(self._interest)
+            self._interest.clear()
+            pending = list(self._pending)
+            self._pending.clear()
+        for channel in leftovers:
+            try:
+                self._selector.unregister(channel)
+            except (KeyError, ValueError, OSError):
+                pass
+            try:
+                channel.close()
+            except CommFailure:
+                pass
+        for fn in pending:
+            try:
+                fn()
+            except Exception:  # noqa: BLE001
+                logger.exception("reactor %s: late scheduled call failed",
+                                 self.name)
+        try:
+            self._selector.unregister(self._wake_recv)
+        except (KeyError, ValueError, OSError):
+            pass
+        self._selector.close()
+        self._wake_recv.close()
+        self._wake_send.close()
+
+
+def _now() -> float:
+    return time.monotonic()

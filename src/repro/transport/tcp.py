@@ -2,9 +2,18 @@
 
 This is the paper's deployment transport.  Listeners run an accept
 loop on a daemon thread and hand each connection to the space's
-``on_connect`` callback; channels serialise sends under a lock and
-read frames with a tiny ``recv``-exact loop.  ``tcp://host:0`` binds
-an ephemeral port and reports the concrete endpoint.
+``on_connect`` callback.  ``tcp://host:0`` binds an ephemeral port and
+reports the concrete endpoint.
+
+A :class:`SocketChannel` lives in one of two modes.  It starts
+*blocking* — sends are serialising ``sendall`` calls, ``recv`` reads
+frames with a tiny recv-exact loop — which is what the synchronous
+HELLO handshake and the raw-channel tests use.  Once a space's reactor
+adopts it (``attach_reactor``), the socket goes *nonblocking*: reads
+become selector-driven incremental reassembly on the reactor thread,
+and sends try the wire directly from the calling thread, parking any
+unsent remainder in the cork for the reactor to flush on writable
+events (backpressure never blocks a caller).
 """
 
 from __future__ import annotations
@@ -15,22 +24,37 @@ import threading
 from typing import Optional
 
 from repro.errors import CommFailure
-from repro.transport.base import Channel, Listener, OnConnect, Transport, split_endpoint
-from repro.wire.framing import MAX_FRAME_SIZE, pack_frame
+from repro.transport.base import (
+    Listener,
+    OnConnect,
+    SelectableChannel,
+    Transport,
+    split_endpoint,
+)
+from repro.wire.framing import FrameAssembler, MAX_FRAME_SIZE, pack_frame
 
 _LEN_STRUCT = struct.Struct("!I")
 
 
-class SocketChannel(Channel):
+class SocketChannel(SelectableChannel):
     """A connected TCP socket carrying length-prefixed frames."""
     def __init__(self, sock: socket.socket):
         self._sock = sock
         self._recv_lock = threading.Lock()
         self._closed = threading.Event()
-        # Send coalescing ("cork") state; see ``_sendall``.
+        # Send coalescing ("cork") state; see ``_sendall``.  In reactor
+        # mode the cork doubles as the nonblocking write backlog and
+        # ``_drained`` gates ``flush``.
         self._cork_lock = threading.Lock()
         self._cork = bytearray()
         self._sender_active = False
+        self._drained = threading.Event()
+        self._drained.set()
+        # Reactor adoption state (``attach_reactor``).
+        self._reactor = None
+        self._sink = None
+        self._assembler: Optional[FrameAssembler] = None
+        self._eof_delivered = False
         # Reused for every frame header; only touched under _recv_lock.
         self._header = bytearray(_LEN_STRUCT.size)
         self._header_view = memoryview(self._header)
@@ -64,7 +88,14 @@ class SocketChannel(Channel):
         preserved.  A corked frame whose carrying ``sendall`` fails is
         reported to *its* sender only through the channel closing —
         the connection teardown fails every pending call anyway.
+
+        In reactor mode the same cork is the nonblocking write
+        backlog: the caller tries one direct ``send`` when the cork is
+        empty, and whatever the kernel refuses is appended for the
+        reactor to flush on writable events (``handle_writable``).
         """
+        if self._reactor is not None:
+            return self._send_nonblocking(frame)
         cork_lock = self._cork_lock
         with cork_lock:
             if self._sender_active:
@@ -91,6 +122,131 @@ class SocketChannel(Channel):
                 self._cork.clear()
             self.close()
             raise CommFailure(f"send failed: {exc}") from exc
+
+    def _send_nonblocking(self, frame) -> None:
+        """Reactor-mode send: never blocks the calling thread."""
+        with self._cork_lock:
+            if self._closed.is_set():
+                raise CommFailure("channel is closed")
+            if self._cork:
+                # Order: everything already corked goes first.
+                self._cork += frame
+                self.frames_coalesced += 1
+                return
+            try:
+                sent = self._sock.send(frame)
+            except (BlockingIOError, InterruptedError):
+                sent = 0
+            except OSError as exc:
+                self._abort_cork_locked()
+                raise CommFailure(f"send failed: {exc}") from exc
+            if sent == len(frame):
+                return
+            # Copy the unsent tail: the caller recycles its buffer.
+            self._cork += memoryview(frame)[sent:]
+            self._drained.clear()
+        self._reactor.request_write(self)
+
+    def _abort_cork_locked(self) -> None:
+        """Send-path failure cleanup (cork lock held): drop the
+        backlog and release flush waiters before closing."""
+        self._cork.clear()
+        self._drained.set()
+
+    # -- reactor protocol (see transport.base.SelectableChannel) -------------
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def attach_reactor(self, reactor, sink) -> None:
+        self._reactor = reactor
+        self._sink = sink
+        self._assembler = FrameAssembler()
+        self._sock.setblocking(False)
+
+    def wants_write(self) -> bool:
+        with self._cork_lock:
+            return bool(self._cork)
+
+    def handle_writable(self) -> bool:
+        """Reactor thread: push corked bytes; True while more remain."""
+        with self._cork_lock:
+            if not self._cork:
+                self._drained.set()
+                return False
+            try:
+                sent = self._sock.send(self._cork)
+            except (BlockingIOError, InterruptedError):
+                return True
+            except OSError:
+                # The read side will observe the failure and tear the
+                # connection down; just stop asking for write events.
+                self._abort_cork_locked()
+                return False
+            del self._cork[:sent]
+            if self._cork:
+                return True
+            self.coalesced_flushes += 1
+            self._drained.set()
+            return False
+
+    def handle_readable(self) -> None:
+        """Reactor thread: drain the socket through the resumable
+        framing state machine, delivering each complete frame."""
+        sink = self._sink
+        assembler = self._assembler
+        while True:
+            try:
+                count = self._sock.recv_into(assembler.next_buffer())
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError as exc:
+                if self._closed.is_set():
+                    self._deliver_eof(None)
+                else:
+                    self._deliver_eof(CommFailure(f"recv failed: {exc}"))
+                return
+            if count == 0:
+                if assembler.mid_frame and not self._closed.is_set():
+                    self._deliver_eof(
+                        CommFailure("connection closed mid-frame")
+                    )
+                else:
+                    self._deliver_eof(None)
+                return
+            try:
+                payload = assembler.advance(count)
+            except Exception as exc:  # oversized frame: drop connection
+                self._deliver_eof(
+                    CommFailure(f"invalid frame from peer: {exc}")
+                )
+                return
+            if payload is not None:
+                self._reactor.frames_in += 1
+                sink.on_frame(payload)
+
+    def _deliver_eof(self, failure: Optional[Exception]) -> None:
+        if self._eof_delivered:
+            return
+        self._eof_delivered = True
+        self._sink.on_closed(failure)
+
+    # -- orderly shutdown ------------------------------------------------------
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the cork/backlog to reach the kernel."""
+        if self._reactor is None:
+            # Blocking mode: _sendall returns only once bytes are
+            # written, so there is never a backlog to wait on.
+            return True
+        return self._drained.wait(timeout)
+
+    def half_close(self) -> None:
+        """Signal end-of-stream; keep receiving the peer's last words."""
+        try:
+            self._sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
 
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
         with self._recv_lock:
@@ -133,10 +289,20 @@ class SocketChannel(Channel):
         if self._closed.is_set():
             return
         self._closed.set()
+        with self._cork_lock:
+            self._abort_cork_locked()
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
+        reactor = self._reactor
+        if reactor is not None:
+            # Defer the descriptor's release until the reactor has
+            # dropped its registration: closing first would let the
+            # kernel recycle the fd under the selector's feet.  The
+            # shutdown above already woke the reactor with EOF.
+            if reactor.forget(self, and_then=self._sock.close):
+                return
         self._sock.close()
 
     @property
@@ -175,9 +341,18 @@ class _TcpListener(Listener):
             return
         self._closed.set()
         try:
+            # close() alone does not wake a thread blocked in accept();
+            # shutdown does, so the accept loop exits promptly instead
+            # of lingering until process death.
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
             self._sock.close()
         except OSError:
             pass
+        if threading.current_thread() is not self._thread:
+            self._thread.join(timeout=5.0)
 
 
 class TcpTransport(Transport):

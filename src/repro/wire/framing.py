@@ -115,6 +115,75 @@ def read_frame(recv_exact: Callable[[int], Optional[bytes]]) -> Optional[bytes]:
     return payload
 
 
+class FrameAssembler:
+    """Resumable frame reassembly for nonblocking stream sockets.
+
+    The selector-driven read path cannot loop a blocking ``recv_exact``
+    over the stream, so the framing state machine is turned inside out:
+    the reactor asks :meth:`next_buffer` where the next bytes belong,
+    fills it with ``recv_into``, and reports how many landed via
+    :meth:`advance`, which hands back a completed payload once the
+    frame closes.  PR 1's copy discipline is preserved exactly — the
+    header accumulates in a reused 4-byte scratch buffer and each
+    payload is the read path's *single payload-sized allocation*,
+    filled in place across however many readable events it takes.
+
+    A reader that sees end-of-stream should consult :attr:`mid_frame`
+    to distinguish a clean close (between frames) from truncation.
+    """
+
+    __slots__ = ("_header", "_header_view", "_filled", "_payload",
+                 "_payload_view")
+
+    def __init__(self) -> None:
+        self._header = bytearray(FRAME_HEADER_SIZE)
+        self._header_view = memoryview(self._header)
+        self._filled = 0
+        self._payload: Optional[bytearray] = None
+        self._payload_view: Optional[memoryview] = None
+
+    @property
+    def mid_frame(self) -> bool:
+        """True when some bytes of an unfinished frame have arrived."""
+        return self._filled > 0 or self._payload is not None
+
+    def next_buffer(self) -> memoryview:
+        """The view the next ``recv_into`` must fill (never empty)."""
+        if self._payload is None:
+            return self._header_view[self._filled:]
+        return self._payload_view[self._filled:]
+
+    def advance(self, count: int) -> Optional[bytearray]:
+        """Record ``count`` bytes landing in :meth:`next_buffer`'s view.
+
+        Returns the completed frame payload, or ``None`` while the
+        frame is still partial.  Raises :class:`ProtocolError` on an
+        oversized length prefix (the connection must drop).
+        """
+        self._filled += count
+        if self._payload is None:
+            if self._filled < FRAME_HEADER_SIZE:
+                return None
+            (length,) = _LEN_STRUCT.unpack(self._header)
+            self._filled = 0
+            if length > MAX_FRAME_SIZE:
+                raise ProtocolError(
+                    f"peer announced oversized frame ({length} bytes)"
+                )
+            if length == 0:
+                return bytearray()
+            self._payload = bytearray(length)
+            self._payload_view = memoryview(self._payload)
+            return None
+        if self._filled < len(self._payload):
+            return None
+        payload = self._payload
+        self._payload_view = None  # exported buffers must not hold views
+        self._payload = None
+        self._filled = 0
+        return payload
+
+
 class FrameReader:
     """Incremental frame decoder for socket readers.
 

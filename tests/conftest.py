@@ -1,0 +1,48 @@
+"""Shared test configuration.
+
+The autouse guard below is the reactor refactor's safety net: no test
+may leak resident I/O threads.  Under reader-per-connection a test
+that forgot to close a connection parked a daemon thread forever and
+nobody noticed; under the reactor the same mistake would pin a
+selector registration or a pump.  Each test therefore asserts that
+every reactor/pump/reader/accept thread it started is gone again —
+transient helpers (per-accept callbacks, dispatcher workers that idle
+out on their own clock) are deliberately not counted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+#: Name fragments of threads that must not outlive the Space (or
+#: standalone Connection) that started them.
+IO_THREAD_PATTERNS = ("reactor-", "-pump", "conn-reader", "tcp-accept")
+
+#: How long a test's I/O threads get to wind down before the guard
+#: calls them leaked.  Orderly teardown is asynchronous (peer EOFs,
+#: selector unregistration) but takes milliseconds, not seconds.
+_GRACE = 5.0
+
+
+def io_threads() -> "set[threading.Thread]":
+    return {
+        thread for thread in threading.enumerate()
+        if any(pattern in thread.name for pattern in IO_THREAD_PATTERNS)
+    }
+
+
+@pytest.fixture(autouse=True)
+def no_io_thread_leaks():
+    before = io_threads()
+    yield
+    deadline = time.monotonic() + _GRACE
+    while time.monotonic() < deadline:
+        leaked = {t for t in io_threads() - before if t.is_alive()}
+        if not leaked:
+            return
+        time.sleep(0.05)
+    leaked = sorted(t.name for t in io_threads() - before if t.is_alive())
+    assert not leaked, f"I/O threads leaked by test: {leaked}"

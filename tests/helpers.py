@@ -98,3 +98,39 @@ def wait_until(predicate, timeout: float = 5.0, pause: float = 0.01) -> bool:
         gc.collect()
         time.sleep(pause)
     return predicate()
+
+
+def handshake_idle_socket(endpoint: str):
+    """Open a raw TCP socket to ``endpoint`` and complete the HELLO
+    exchange by hand, leaving the server holding an idle inbound
+    connection — the cheap way to stand up hundreds of connections
+    without hundreds of client Spaces.  Returns the socket (caller
+    closes it)."""
+    import socket
+    import struct
+
+    from repro.rpc import messages
+    from repro.wire import protocol as wire_protocol
+    from repro.wire.framing import pack_frame
+    from repro.wire.ids import fresh_space_id
+
+    host, port = endpoint[len("tcp://"):].rsplit(":", 1)
+    sock = socket.create_connection((host, int(port)), timeout=10)
+    base = min(wire_protocol.PROTOCOL_VERSION,
+               wire_protocol.MIN_PROTOCOL_VERSION)
+    hello = messages.Hello(
+        fresh_space_id("idle"), "idle", base, wire_protocol.PROTOCOL_VERSION
+    )
+    sock.sendall(pack_frame(hello.encode()))
+
+    def read_exact(need: int) -> bytes:
+        data = b""
+        while len(data) < need:
+            chunk = sock.recv(need - len(data))
+            assert chunk, "peer closed during handshake"
+            data += chunk
+        return data
+
+    (length,) = struct.unpack("!I", read_exact(4))
+    read_exact(length)  # the HELLO_ACK body, discarded
+    return sock

@@ -151,7 +151,7 @@ class TestChurnStress:
             thread.join(timeout=120)
         assert not errors
         assert wait_until(lambda: vault_impl.live() == 0, timeout=20)
-        stats = client.gc_stats()
+        stats = client.stats()["gc"]
         assert stats["transient_pins"] == 0
 
     def test_handoff_storm(self, trio):

@@ -117,8 +117,8 @@ class TestLifecycle:
         factory = client.import_object(owner.endpoints[0], "factory")
         refs = [factory.make(i) for i in range(10)]
         settle(owner, client)
-        assert owner.gc_stats()["transient_pins"] == 0
-        assert client.gc_stats()["transient_pins"] == 0
+        assert owner.stats()["gc"]["transient_pins"] == 0
+        assert client.stats()["gc"]["transient_pins"] == 0
         assert refs[3].value() == 3
 
 

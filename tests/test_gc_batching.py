@@ -40,16 +40,16 @@ class TestCleanBatching:
             factory = client.import_object(endpoint, "factory")
             tokens = factory.make(40)
             assert [t.ping() for t in tokens] == ["pong"] * 40
-            exported = server.gc_stats()["exported"]
+            exported = server.stats()["gc"]["exported"]
             assert exported >= 41  # 40 tokens + the factory
             del tokens
             gc.collect()
             assert client.cleanup_daemon.wait_idle(10)
             settle(server, client)
-            stats = client.gc_stats()
+            stats = client.stats()["gc"]
             assert stats["clean_batches_sent"] >= 1
             assert wait_until(
-                lambda: server.gc_stats()["exported"] == exported - 40
+                lambda: server.stats()["gc"]["exported"] == exported - 40
             )
 
     def test_v2_peer_interop_without_batches(self, request):
@@ -62,15 +62,15 @@ class TestCleanBatching:
             assert connection.version == 2
             tokens = factory.make(20)
             assert [t.ping() for t in tokens] == ["pong"] * 20
-            exported = server.gc_stats()["exported"]
+            exported = server.stats()["gc"]["exported"]
             del tokens
             gc.collect()
             assert client.cleanup_daemon.wait_idle(10)
             settle(server, client)
             # Everything reclaimed, but strictly over unit CLEAN frames.
-            assert client.gc_stats()["clean_batches_sent"] == 0
+            assert client.stats()["gc"]["clean_batches_sent"] == 0
             assert wait_until(
-                lambda: server.gc_stats()["exported"] == exported - 20
+                lambda: server.stats()["gc"]["exported"] == exported - 20
             )
 
     def test_live_entries_cancel_out_of_batches(self, request):
@@ -82,7 +82,7 @@ class TestCleanBatching:
             factory = client.import_object(endpoint, "factory")
             tokens = factory.make(10)
             keep = tokens[:3]
-            exported = server.gc_stats()["exported"]
+            exported = server.stats()["gc"]["exported"]
             del tokens
             gc.collect()
             # Poison the queue with the still-live references; the
@@ -93,7 +93,7 @@ class TestCleanBatching:
             settle(server, client)
             assert [t.ping() for t in keep] == ["pong"] * 3
             assert wait_until(
-                lambda: server.gc_stats()["exported"] == exported - 7
+                lambda: server.stats()["gc"]["exported"] == exported - 7
             )
 
 
@@ -169,11 +169,11 @@ class TestDirtyPrefetch:
         server, client, endpoint = _pair(request.node.name)
         with server, client:
             factory = client.import_object(endpoint, "factory")
-            before = client.gc_stats()["dirty_calls_sent"]
+            before = client.stats()["gc"]["dirty_calls_sent"]
             tokens = factory.make(25)
-            after = client.gc_stats()["dirty_calls_sent"]
+            after = client.stats()["gc"]["dirty_calls_sent"]
             # One dirty call per new reference — the prefetch must not
             # duplicate the sequential decode's registration.
             assert after - before == 25
             assert [t.ping() for t in tokens] == ["pong"] * 25
-            assert client.gc_stats()["ref_entries"] >= 25
+            assert client.stats()["gc"]["ref_entries"] >= 25

@@ -145,7 +145,7 @@ class TestMeshSoak:
                 lambda n=name: services[n].live() == 0, timeout=30
             ), f"{name} leaked items"
         for name in NAMES:
-            stats = spaces[name].gc_stats()
+            stats = spaces[name].stats()["gc"]
             assert stats["transient_pins"] == 0, (name, stats)
             # Only the pinned agent and the served Service may remain.
             assert stats["exported"] <= 2, (name, stats)

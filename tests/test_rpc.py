@@ -460,6 +460,12 @@ class _CountingChannel:
     def recv(self, timeout=None):
         return self._inner.recv(timeout=timeout)
 
+    def flush(self, timeout=None):
+        return self._inner.flush(timeout)
+
+    def half_close(self):
+        self._inner.half_close()
+
     def close(self):
         self._inner.close()
 
@@ -507,6 +513,8 @@ class TestConnectionCache:
         created = []
 
         class FakeConn:
+            closing = False
+
             def __init__(self):
                 self.closed = False
 
@@ -597,6 +605,8 @@ class TestConnectionCache:
         entry that only a second dial-and-race could clear."""
 
         class FakeConn:
+            closing = False
+
             def __init__(self):
                 self.closed = True  # died before the cache saw it
 
@@ -612,6 +622,7 @@ class TestConnectionCache:
 
         class LiveConn:
             closed = False
+            closing = False
 
             def close(self):
                 self.closed = True
@@ -626,6 +637,7 @@ class TestConnectionCache:
 
         class FakeConn:
             closed = False
+            closing = False
 
             def close(self):
                 self.closed = True

@@ -96,7 +96,7 @@ class TestGcUnderJitter:
                 del token
                 pygc.collect()
             assert wait_until(lambda: vault_impl.live() == 0, timeout=15)
-            stats = server.gc_stats()
+            stats = server.stats()["gc"]
             assert stats["objects_dropped"] >= 10
         finally:
             client.shutdown()

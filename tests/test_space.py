@@ -196,8 +196,8 @@ class TestSurrogateHygiene:
         server.serve("counter", Counter())
         counter = client.import_object(server.endpoints[0], "counter")
         assert counter is not None
-        stats = client.gc_stats()
+        stats = client.stats()["gc"]
         assert stats["surrogates"] >= 1
         assert stats["dirty_calls_sent"] >= 1
-        server_stats = server.gc_stats()
+        server_stats = server.stats()["gc"]
         assert server_stats["dirty_calls_seen"] >= 1

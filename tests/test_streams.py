@@ -148,12 +148,12 @@ class TestRemoteStreams:
         writer.close()
 
         reader = remote.open_read("temp")
-        exported_before = server.gc_stats()["exported"]
+        exported_before = server.stats()["gc"]["exported"]
         del reader
         gc.collect()
         client.cleanup_daemon.wait_idle()
         deadline = time.time() + 5
         while (time.time() < deadline
-               and server.gc_stats()["exported"] >= exported_before):
+               and server.stats()["gc"]["exported"] >= exported_before):
             time.sleep(0.02)
-        assert server.gc_stats()["exported"] < exported_before
+        assert server.stats()["gc"]["exported"] < exported_before

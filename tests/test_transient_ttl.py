@@ -67,7 +67,7 @@ class TestTransientLeak:
             # The client cleaned up properly, but the owner's pin for
             # the unacknowledged result copy keeps the token alive.
             assert vault_impl.live() == 1
-            assert server.gc_stats()["transient_pins"] >= 1
+            assert server.stats()["gc"]["transient_pins"] >= 1
         finally:
             client.shutdown()
             server.shutdown()
@@ -87,7 +87,7 @@ class TestTransientLeak:
             pygc.collect()
             client.cleanup_daemon.wait_idle()
             assert wait_until(lambda: vault_impl.live() == 0, timeout=10)
-            assert server.gc_stats()["transient_pins"] == 0
+            assert server.stats()["gc"]["transient_pins"] == 0
             assert server.transient.expired_total >= 1
         finally:
             client.shutdown()
@@ -108,7 +108,7 @@ class TestTransientLeak:
             token = vault.issue()
             assert token.poke()
             assert wait_until(
-                lambda: server.gc_stats()["transient_pins"] == 0
+                lambda: server.stats()["gc"]["transient_pins"] == 0
             )
             assert server.transient.expired_total == 0
             assert vault_impl.live() == 1  # still pinned by the client
