@@ -273,7 +273,8 @@ def handshake_idle_socket(endpoint: str):
 def io_thread_count() -> int:
     """Resident I/O threads in this process: per-connection readers
     (pre-reactor), reactor/pump threads, and accept loops."""
-    patterns = ("conn-reader", "reactor", "-pump", "tcp-accept")
+    patterns = ("conn-reader", "reactor", "-pump", "tcp-accept",
+                "shm-accept")
     return sum(
         1 for t in threading.enumerate()
         if any(p in t.name for p in patterns)
@@ -293,14 +294,19 @@ class TestFanIn:
         calls_per_caller = 100
         baseline_threads = threading.active_count()
 
-        with Space("fan-in-srv", listen=["tcp://127.0.0.1:0"]) as server:
+        # shm="off": E8's fan-in row measures the TCP reactor path.
+        with Space("fan-in-srv", listen=["tcp://127.0.0.1:0"],
+                   shm="off") as server:
             server.serve("adder", Adder())
             endpoint = server.endpoints[0]
 
             idle_socks = [
                 handshake_idle_socket(endpoint) for _ in range(idle_count)
             ]
-            clients = [Space(f"fan-in-cli-{i}") for i in range(active_count)]
+            clients = [
+                Space(f"fan-in-cli-{i}", shm="off")
+                for i in range(active_count)
+            ]
             try:
                 adders = [
                     client.import_object(endpoint, "adder")

@@ -67,6 +67,118 @@ class TestSameMachine:
         echo = client.import_object(server.endpoints[0], "echo")
         benchmark(echo.nothing)
 
+    @pytest.mark.benchmark(group="E1-null-call")
+    def test_raw_shm(self, benchmark, tmp_path):
+        """Raw framed echo over the shared-memory ring (blocking
+        mode): the same-machine floor once the kernel socket path is
+        out of the picture."""
+        from repro.transport.shm import ShmTransport
+
+        transport = ShmTransport()
+        listener = transport.listen(
+            f"shm://{tmp_path}/e1-raw-shm.sock",
+            lambda chan: raw_echo_server(chan),
+        )
+        client = transport.connect(listener.endpoint)
+
+        def call():
+            client.send(b"\x00")
+            return client.recv(timeout=5)
+
+        benchmark(call)
+        client.close()
+        listener.close()
+
+    @pytest.mark.benchmark(group="E1-null-call")
+    def test_netobj_shm(self, benchmark, shm_pair, report):
+        """The full object layer over the shm ring: a loopback-TCP
+        endpoint whose dial upgraded to shared memory (the fixture
+        asserts the upgrade happened)."""
+        server, client = shm_pair
+        echo = client.import_object(server.endpoints[0], "echo")
+        benchmark(echo.nothing)
+        report("E1 null call",
+               "same-machine netobj-over-shm: see E1-null-call benchmark "
+               "group (test_netobj_shm vs test_raw_shm / test_raw_tcp)")
+
+    @pytest.mark.benchmark(group="E1-shape")
+    def test_shm_overhead_shape(self, benchmark, report, tmp_path):
+        """Acceptance gate for the shm path: a same-machine netobj
+        null call through the ring must land within 3x the raw framed
+        loopback baseline.  Both ratios (vs raw-shm and vs raw-tcp)
+        are reported.  The strict x3 gate only binds with >= 4 cores:
+        on fewer, the four thread handoffs per call (caller ->
+        server reactor -> dispatcher worker -> client reactor) are
+        serialised through one CPU and scheduler latency — not the
+        object layer — dominates, so single-core CI gets the same
+        loose sanity ceiling the inproc/tcp shapes above use."""
+        import os
+        import time
+
+        from repro.transport.shm import ShmTransport
+
+        def time_it(fn, n=300):
+            fn()  # warm
+            start = time.perf_counter()
+            for _ in range(n):
+                fn()
+            return (time.perf_counter() - start) / n * 1e6  # µs
+
+        def run():
+            transport = ShmTransport()
+            listener = transport.listen(
+                f"shm://{tmp_path}/e1-shape-shm.sock",
+                lambda chan: raw_echo_server(chan),
+            )
+            raw_chan = transport.connect(listener.endpoint)
+
+            def raw_shm_call():
+                raw_chan.send(b"\x00")
+                raw_chan.recv(timeout=5)
+
+            raw_shm_us = time_it(raw_shm_call)
+            raw_chan.close()
+            listener.close()
+
+            tcp = TcpTransport()
+            tcp_listener = tcp.listen(
+                "tcp://127.0.0.1:0", lambda chan: raw_echo_server(chan)
+            )
+            raw_tcp_chan = tcp.connect(tcp_listener.endpoint)
+
+            def raw_tcp_call():
+                raw_tcp_chan.send(b"\x00")
+                raw_tcp_chan.recv(timeout=5)
+
+            raw_tcp_us = time_it(raw_tcp_call)
+            raw_tcp_chan.close()
+            tcp_listener.close()
+
+            with Space("shm-shape-srv",
+                       listen=["tcp://127.0.0.1:0"]) as server, \
+                    Space("shm-shape-cli") as client:
+                server.serve("echo", Echo())
+                echo = client.import_object(server.endpoints[0], "echo")
+                netobj_us = time_it(echo.nothing)
+                assert client.cache.stats()["upgraded_dials"] >= 1
+            return raw_shm_us, raw_tcp_us, netobj_us
+
+        raw_shm_us, raw_tcp_us, netobj_us = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+        report("E1 null call",
+               f"same-machine raw shm    : {raw_shm_us:9.1f} us",
+               null_call_raw_shm_ns=raw_shm_us * 1e3)
+        report("E1 null call",
+               f"same-machine netobj shm : {netobj_us:9.1f} us "
+               f"(x{netobj_us / raw_shm_us:.1f} raw shm, "
+               f"x{netobj_us / raw_tcp_us:.1f} raw tcp)",
+               null_call_shm_ns=netobj_us * 1e3,
+               shm_overhead_vs_raw_tcp_x=round(netobj_us / raw_tcp_us, 2))
+        assert netobj_us < 20 * raw_shm_us
+        if (os.cpu_count() or 1) >= 4:
+            assert netobj_us <= 3.0 * raw_tcp_us
+
 
 class TestNetwork:
     @pytest.mark.benchmark(group="E1-null-call")
@@ -146,14 +258,17 @@ class TestShape:
             return (time.perf_counter() - start) / n * 1e6  # µs
 
         def run():
+            # shm="off": the "network" rows must measure sockets, not
+            # the same-machine shm upgrade.
             with Space("shape-srv", listen=["inproc://shape-e1",
-                                            "tcp://127.0.0.1:0"]) as server:
+                                            "tcp://127.0.0.1:0"],
+                       shm="off") as server:
                 echo_impl = Echo()
                 server.serve("echo", echo_impl)
                 local = server.import_object("inproc://shape-e1", "echo")
                 same_space = time_it(local.nothing)
 
-                with Space("shape-cli") as client:
+                with Space("shape-cli", shm="off") as client:
                     via_inproc = client.import_object(
                         "inproc://shape-e1", "echo"
                     )

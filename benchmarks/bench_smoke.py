@@ -11,13 +11,16 @@ The real numbers come from the full E1..E8 suite and from
 ``measure_hotpath.py``.
 """
 
+import threading
 import time
 
 import pytest
 
 from repro import Space
 from repro.marshal import dumps, loads
+from repro.transport.reactor import default_reactor_shards
 from benchmarks.bench_concurrency import handshake_idle_socket, io_thread_count
+from benchmarks.conftest import Echo
 
 #: Deliberately tiny: the whole module must finish in a few seconds.
 SMOKE_CALLS = 50
@@ -97,7 +100,75 @@ class TestSmokeFanIn:
                     sock.close()
         report("smoke", f"fan-in {idle} idle conns: {threads} I/O threads",
                smoke_fan_in_io_threads=threads)
-        assert threads <= 4
+        # O(shards), never O(connections): one reactor and one accept
+        # thread per shard, plus the shm side door and slack.
+        assert threads <= 2 * default_reactor_shards() + 2
+
+
+class TestSmokeMulticore:
+    def test_four_shard_fan_in_no_deadlock(self, report):
+        """Multicore gate: a 4-shard server under concurrent fan-in
+        must (a) finish every call — no cross-shard deadlock between
+        reactor threads, shard deques and stealing workers — and (b)
+        keep resident thread counts O(shards + clients), not
+        O(calls)."""
+        shards, nclients, calls = 4, 8, 25
+        with Space("smoke-mc", listen=["tcp://127.0.0.1:0"],
+                   reactor_shards=shards, shm="off") as server:
+            server.serve("echo", Echo())
+            clients = [
+                Space(f"smoke-mc-c{i}", reactor_shards=1, shm="off")
+                for i in range(nclients)
+            ]
+            try:
+                echoes = [
+                    client.import_object(server.endpoints[0], "echo")
+                    for client in clients
+                ]
+                failures = []
+
+                def caller(echo, seed):
+                    try:
+                        for i in range(calls):
+                            assert echo.echo(seed * calls + i) \
+                                == seed * calls + i
+                    except Exception as exc:  # noqa: BLE001 - gate
+                        failures.append(exc)
+
+                threads = [
+                    threading.Thread(target=caller, args=(echo, seed))
+                    for seed, echo in enumerate(echoes)
+                ]
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30)
+                elapsed = time.perf_counter() - start
+                hung = [t for t in threads if t.is_alive()]
+                assert not hung, "cross-shard deadlock: callers hung"
+                assert not failures, failures[:3]
+                io_threads = io_thread_count()
+                stats = server.stats()
+                spread = [
+                    s["active_connections"]
+                    for s in stats["reactor"]["per_shard"]
+                ]
+            finally:
+                for client in clients:
+                    client.shutdown()
+        # Thread bound: server = shards reactors + shards accept
+        # threads; each client = one reactor; plus slack for threads
+        # mid-teardown.
+        assert io_threads <= 2 * shards + nclients + 2
+        assert sum(spread) == nclients
+        assert stats["dispatcher"]["workers"] <= server.dispatcher.max_workers
+        rate = nclients * calls / elapsed
+        report("smoke",
+               f"multicore {shards}-shard fan-in: {rate:9.0f} calls/s, "
+               f"conns/shard {spread}, {io_threads} I/O threads",
+               smoke_multicore_calls_per_s=round(rate),
+               smoke_multicore_io_threads=io_threads)
 
 
 class TestSmokeMarshal:

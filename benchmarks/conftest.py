@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
 import sys
 import time
 from collections import defaultdict
@@ -73,6 +75,7 @@ def _dump_json_report() -> Path:
     payload = {
         "runid": runid,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine": _machine_stamp(),
         "experiments": {
             experiment: {
                 "rows": _REPORT_ROWS[experiment],
@@ -84,6 +87,26 @@ def _dump_json_report() -> Path:
     path = directory / f"BENCH_{runid}.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
+
+
+def _machine_stamp() -> dict:
+    """Where these numbers came from: without the core count, the
+    interpreter and the commit, cross-run trajectories (BENCH_pr5 vs
+    BENCH_pr6) compare apples to unknown fruit."""
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent.parent, capture_output=True,
+            text=True, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        git_sha = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git_sha": git_sha,
+    }
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -107,10 +130,27 @@ def pytest_sessionfinish(session, exitstatus):
 
 @pytest.fixture()
 def tcp_pair():
+    # ``shm="off"`` on both sides: rows labelled "tcp" must measure
+    # sockets, not the same-machine shm upgrade that would otherwise
+    # kick in silently.
+    server = Space("bench-server", listen=["tcp://127.0.0.1:0"], shm="off")
+    client = Space("bench-client", shm="off")
+    server.serve("echo", Echo())
+    yield server, client
+    client.shutdown()
+    server.shutdown()
+
+
+@pytest.fixture()
+def shm_pair():
+    """Same-machine pair whose loopback dial upgrades to the shm ring
+    transport (asserted, so a silently broken upgrade can't relabel
+    TCP numbers as shm)."""
     server = Space("bench-server", listen=["tcp://127.0.0.1:0"])
     client = Space("bench-client")
     server.serve("echo", Echo())
     yield server, client
+    assert client.cache.stats()["upgraded_dials"] >= 1
     client.shutdown()
     server.shutdown()
 

@@ -67,8 +67,10 @@ def measure_null_call(transport: str, iterations: int,
             listen = ["tcp://127.0.0.1:0"]
         else:
             listen = [f"inproc://measure-{trial}-{time.monotonic_ns()}"]
-        with Space("m-server", listen=listen) as server, \
-                Space("m-client") as client:
+        # shm="off": hot-path trajectories are labelled by transport;
+        # the tcp rows must not silently ride the shm upgrade.
+        with Space("m-server", listen=listen, shm="off") as server, \
+                Space("m-client", shm="off") as client:
             server.serve("echo", Echo())
             echo = client.import_object(server.endpoints[0], "echo")
             results.append(_best_of(echo.nothing, iterations))
@@ -77,8 +79,9 @@ def measure_null_call(transport: str, iterations: int,
 
 def measure_throughput(size: int, repeats: int) -> float:
     """Round-trip MB/s over TCP for one payload size."""
-    with Space("m-server", listen=["tcp://127.0.0.1:0"]) as server, \
-            Space("m-client") as client:
+    with Space("m-server", listen=["tcp://127.0.0.1:0"],
+               shm="off") as server, \
+            Space("m-client", shm="off") as client:
         server.serve("echo", Echo())
         echo = client.import_object(server.endpoints[0], "echo")
         payload = b"\xab" * size

@@ -18,6 +18,7 @@ everything a peer asks of us funnels through :meth:`_handle_request`.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import traceback
@@ -58,9 +59,10 @@ from repro.rpc.cache import ConnectionCache
 from repro.rpc.connection import Connection
 from repro.rpc.dispatcher import Dispatcher
 from repro.rpc.futures import RemoteFuture
-from repro.transport.base import Transport, TransportRegistry
+from repro.transport.base import Transport, TransportRegistry, split_endpoint
 from repro.transport.inprocess import InProcessTransport
-from repro.transport.reactor import Reactor
+from repro.transport.reactor import ReactorPool, default_reactor_shards
+from repro.transport.shm import ShmTransport, rendezvous_path
 from repro.transport.tcp import TcpTransport
 from repro.wire import protocol as wire_protocol
 from repro.wire.ids import SpaceID, fresh_space_id, intern_existing
@@ -100,7 +102,18 @@ class Space:
         call_timeout: float = 30.0,
         protocol_version: Optional[int] = None,
         conn_idle_ttl: Optional[float] = None,
+        reactor_shards: Optional[int] = None,
+        dispatcher_max_workers: int = 256,
+        dispatcher_idle_timeout: float = 5.0,
+        shm: str = "auto",
+        marshal_max_per_thread: int = 4,
     ):
+        """``reactor_shards`` picks the I/O shard count (default
+        ``min(4, cpu_count)``); ``dispatcher_max_workers`` and
+        ``dispatcher_idle_timeout`` size the task pool; ``shm`` is
+        ``"auto"`` (same-machine peers upgrade to the shared-memory
+        transport when both sides run one) or ``"off"``;
+        ``marshal_max_per_thread`` caps the per-thread codec stacks."""
         self.space_id = fresh_space_id(nickname)
         # Wire decodes of our own identity (the owner field of every
         # incoming call target) then return this very instance, making
@@ -119,14 +132,31 @@ class Space:
         self.types = types if types is not None else global_types
         self.structs = structs if structs is not None else global_registry
 
+        shards = (max(1, reactor_shards) if reactor_shards is not None
+                  else default_reactor_shards())
+        self.reactor_shards = shards
+        self._shm_mode = shm
+
         self.transports = TransportRegistry()
         if transports is None:
-            transports = [InProcessTransport.default(), TcpTransport()]
+            transports = [
+                InProcessTransport.default(),
+                TcpTransport(listener_shards=shards),
+            ]
+            if shm != "off":
+                transports = [*transports, ShmTransport()]
         for transport in transports:
             self.transports.add(transport)
 
-        self.dispatcher = Dispatcher(name=nickname or str(self.space_id))
-        self._marshal = MarshalPool(self.structs)
+        self.dispatcher = Dispatcher(
+            name=nickname or str(self.space_id),
+            max_workers=dispatcher_max_workers,
+            idle_timeout=dispatcher_idle_timeout,
+            shards=shards if shards > 1 else 0,
+        )
+        self._marshal = MarshalPool(
+            self.structs, max_per_thread=marshal_max_per_thread
+        )
         self.object_table = ObjectTable(self.space_id)
         self.transient = TransientTable()
         self.dgc_owner = DgcOwner(self.object_table)
@@ -144,19 +174,30 @@ class Space:
         self.clean_batch_frames = 0
 
         self._listeners: List = []
+        #: Same-machine side doors (shm rendezvous sockets), one per
+        #: TCP listener.  Deliberately *not* in ``endpoints``: a
+        #: marshaled reference must carry addresses any machine can
+        #: dial, and shm discovery happens by convention
+        #: (``rendezvous_path(port)``) instead.
+        self._shm_listeners: List = []
         self._connections: set = set()
         self._conns_by_peer: Dict[SpaceID, List[Connection]] = {}
         self._conn_lock = threading.Lock()
         self._closed = threading.Event()
 
-        # One I/O thread for every connection in this space; started
-        # before any listener can accept.  Connections register their
-        # channels with it (selector-owned or pump-bridged) and the
-        # cache's idle sweep rides its timer tick.
-        self.reactor = Reactor(name=nickname or self.space_id.short())
+        # The space's I/O plane: ``reactor_shards`` selector threads,
+        # started before any listener can accept.  Connections register
+        # their channels with the pool, which pins each to the least
+        # loaded shard; the cache's idle sweep rides shard 0's timer.
+        self.reactor = ReactorPool(
+            shards=shards, name=nickname or self.space_id.short()
+        )
         self.reactor.start()
 
-        self.cache = ConnectionCache(self._dial, idle_ttl=conn_idle_ttl)
+        self.cache = ConnectionCache(
+            self._dial, idle_ttl=conn_idle_ttl,
+            upgrade=self._shm_upgrade if shm != "off" else None,
+        )
         if conn_idle_ttl is not None:
             # The tick only schedules; the sweep itself runs on a
             # dispatcher worker because its orderly goodbyes wait for
@@ -215,7 +256,7 @@ class Space:
         if self.pinger is not None:
             self.pinger.stop()
         self.cleanup_daemon.stop()
-        for listener in self._listeners:
+        for listener in (*self._listeners, *self._shm_listeners):
             listener.close()
         with self._conn_lock:
             connections = list(self._connections)
@@ -237,9 +278,25 @@ class Space:
     # -- listening ---------------------------------------------------------------
 
     def add_listener(self, endpoint: str) -> str:
-        """Start listening on ``endpoint``; returns the concrete address."""
+        """Start listening on ``endpoint``; returns the concrete address.
+
+        A TCP listener also opens the same-machine shm side door (a
+        rendezvous socket derived from its port) when shm is enabled;
+        failure to open it is non-fatal — the space simply stays
+        TCP-only for local peers.
+        """
         listener = self.transports.listen(endpoint, self._on_accept)
         self._listeners.append(listener)
+        if self._shm_mode != "off" and "shm" in self.transports:
+            try:
+                scheme, rest = split_endpoint(listener.endpoint)
+                if scheme == "tcp":
+                    port = int(rest.rpartition(":")[2])
+                    self._shm_listeners.append(self.transports.listen(
+                        f"shm://{rendezvous_path(port)}", self._on_accept
+                    ))
+            except (CommFailure, ValueError):
+                pass
         return listener.endpoint
 
     @property
@@ -264,6 +321,31 @@ class Space:
         except (CommFailure, ProtocolError):
             return
         self._track(connection)
+
+    def _shm_upgrade(self, endpoint: str) -> Optional[str]:
+        """Map a loopback TCP endpoint to the peer's shm rendezvous
+        socket, if one is parked at the conventional path.  Returns
+        None when the endpoint isn't same-machine (or the side door
+        isn't there) — the cache then dials the endpoint as given."""
+        if "shm" not in self.transports:
+            return None
+        try:
+            scheme, rest = split_endpoint(endpoint)
+        except CommFailure:
+            return None
+        if scheme != "tcp":
+            return None
+        host, _, port_text = rest.rpartition(":")
+        if host not in ("localhost", "::1") and not host.startswith("127."):
+            return None
+        try:
+            int(port_text)
+        except ValueError:
+            return None
+        path = rendezvous_path(int(port_text))
+        if not os.path.exists(path):
+            return None
+        return f"shm://{path}"
 
     def _dial(self, endpoint: str) -> Connection:
         if self._closed.is_set():
@@ -752,6 +834,7 @@ class Space:
             "dispatcher": self.dispatcher.stats(),
             "cache": self.cache.stats(),
             "reactor": self.reactor.stats(),
+            "marshal": self._marshal.stats(),
         }
 
     def gc_stats(self) -> dict:
@@ -768,6 +851,7 @@ class Space:
             "objects_dropped": self.dgc_owner.objects_dropped,
             "resurrections": self.dgc_client.resurrections,
             "dropped_tasks": self.dispatcher.tasks_failed,
+            "saturated_submits": self.dispatcher.saturated_submits,
             "failed_cleans": self.cleanup_daemon.cleans_failed,
             "clean_batches_sent": self.clean_batch_frames,
         }

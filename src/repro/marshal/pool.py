@@ -10,6 +10,13 @@ The stacks are per-thread, so acquire/release pairs need no locking
 and reentrancy is safe: if marshaling recurses into another marshal on
 the same thread (e.g. a nested call issued while unpickling), the inner
 acquire simply pops the next instance — or builds a fresh one.
+
+Each stack is capped (``max_per_thread``): a burst of concurrent calls
+that fanned the dispatcher out to dozens of workers must not leave a
+codec instance pinned on every one of those threads forever.  Releases
+beyond the cap drop the instance for the garbage collector.  The
+counters below are deliberately lock-free ``int +=`` — each is a
+best-effort gauge for ``Space.stats()``, not an invariant.
 """
 
 from __future__ import annotations
@@ -21,43 +28,99 @@ from repro.marshal.pickler import NetObjHandler, Pickler
 from repro.marshal.registry import StructRegistry
 from repro.marshal.unpickler import Unpickler
 
-#: Instances retained per thread; beyond this, released instances are
-#: dropped for the garbage collector (deep recursion is rare).
+#: Default instances retained per thread; beyond this, released
+#: instances are dropped for the garbage collector (deep recursion is
+#: rare).
 _MAX_PER_THREAD = 4
+
+
+class _KindStats:
+    """Best-effort gauges for one codec kind (picklers/unpicklers)."""
+
+    __slots__ = ("created", "out", "out_high", "dropped")
+
+    def __init__(self) -> None:
+        self.created = 0    # instances ever built
+        self.out = 0        # acquired and not yet released
+        self.out_high = 0   # high-water mark of ``out``
+        self.dropped = 0    # releases past the per-thread cap
+
+    def acquired(self, built: bool) -> None:
+        if built:
+            self.created += 1
+        self.out += 1
+        if self.out > self.out_high:
+            self.out_high = self.out
+
+    def snapshot(self) -> dict:
+        return {
+            "created": self.created,
+            "out": self.out,
+            "out_high": self.out_high,
+            "dropped": self.dropped,
+        }
 
 
 class MarshalPool:
     """Reusable codec instances for one registry (typically one Space)."""
 
-    def __init__(self, registry: Optional[StructRegistry] = None):
+    def __init__(self, registry: Optional[StructRegistry] = None,
+                 max_per_thread: int = _MAX_PER_THREAD):
         self._registry = registry
         self._local = threading.local()
+        self.max_per_thread = max(1, max_per_thread)
+        self._picklers = _KindStats()
+        self._unpicklers = _KindStats()
 
     def acquire_pickler(
         self, handler: Optional[NetObjHandler] = None
     ) -> Pickler:
         stack = self._stack("picklers")
-        pickler = stack.pop() if stack else Pickler(self._registry)
+        if stack:
+            pickler = stack.pop()
+            self._picklers.acquired(built=False)
+        else:
+            pickler = Pickler(self._registry)
+            self._picklers.acquired(built=True)
         return pickler.bind(handler)
 
     def release_pickler(self, pickler: Pickler) -> None:
         pickler.bind(None)
+        self._picklers.out -= 1
         stack = self._stack("picklers")
-        if len(stack) < _MAX_PER_THREAD:
+        if len(stack) < self.max_per_thread:
             stack.append(pickler)
+        else:
+            self._picklers.dropped += 1
 
     def acquire_unpickler(
         self, handler: Optional[NetObjHandler] = None
     ) -> Unpickler:
         stack = self._stack("unpicklers")
-        unpickler = stack.pop() if stack else Unpickler(self._registry)
+        if stack:
+            unpickler = stack.pop()
+            self._unpicklers.acquired(built=False)
+        else:
+            unpickler = Unpickler(self._registry)
+            self._unpicklers.acquired(built=True)
         return unpickler.bind(handler)
 
     def release_unpickler(self, unpickler: Unpickler) -> None:
         unpickler.bind(None)
+        self._unpicklers.out -= 1
         stack = self._stack("unpicklers")
-        if len(stack) < _MAX_PER_THREAD:
+        if len(stack) < self.max_per_thread:
             stack.append(unpickler)
+        else:
+            self._unpicklers.dropped += 1
+
+    def stats(self) -> dict:
+        """Snapshot of pool gauges (surfaced via ``Space.stats()``)."""
+        return {
+            "max_per_thread": self.max_per_thread,
+            "picklers": self._picklers.snapshot(),
+            "unpicklers": self._unpicklers.snapshot(),
+        }
 
     def _stack(self, name: str) -> list:
         stack = getattr(self._local, name, None)

@@ -35,11 +35,18 @@ class ConnectionCache:
     """One cached connection per endpoint (see module docstring)."""
     def __init__(self, connect: Callable[[str], Connection],
                  idle_ttl: Optional[float] = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 upgrade: Optional[Callable[[str], Optional[str]]] = None):
         """``connect(endpoint)`` must build a handshaken Connection.
         ``idle_ttl`` of None disables reaping; ``clock`` is injectable
-        so tests can age connections without sleeping."""
+        so tests can age connections without sleeping.  ``upgrade``
+        may map an endpoint to a preferred alternate (the space wires
+        in same-machine shm discovery here); a dial tries the
+        alternate first and falls back to the original on failure, and
+        the cache entry stays keyed by the *original* endpoint either
+        way."""
         self._connect = connect
+        self._upgrade = upgrade
         self._connections: Dict[str, Connection] = {}
         self._locks: Dict[str, threading.Lock] = {}
         self._last_used: Dict[str, float] = {}
@@ -51,6 +58,8 @@ class ConnectionCache:
         self.idle_reaped = 0
         #: Successful dials (cache misses that built a connection).
         self.dials = 0
+        #: Dials that landed on the upgraded (e.g. shm) endpoint.
+        self.upgraded_dials = 0
 
     def get(self, endpoint: str) -> Connection:
         """Return a live cached connection, creating one if needed."""
@@ -72,7 +81,7 @@ class ConnectionCache:
                     self._last_used[endpoint] = self._clock()
                     return existing
             try:
-                connection = self._connect(endpoint)
+                connection = self._dial(endpoint)
             except BaseException:
                 # Nothing cached for this endpoint, so its dial lock
                 # would otherwise linger forever — unreachable peers
@@ -116,6 +125,23 @@ class ConnectionCache:
             if racer is not None:
                 return racer
             raise SpaceShutdownError("space is shut down")
+
+    def _dial(self, endpoint: str) -> Connection:
+        """Build a connection for ``endpoint``, preferring its upgraded
+        alternate (same-machine shm side door) when the hook offers
+        one.  The alternate is an optimisation, never a requirement:
+        any failure dialling it falls back to the endpoint as given."""
+        if self._upgrade is not None:
+            alternate = self._upgrade(endpoint)
+            if alternate:
+                try:
+                    connection = self._connect(alternate)
+                except (CommFailure, OSError):
+                    pass
+                else:
+                    self.upgraded_dials += 1
+                    return connection
+        return self._connect(endpoint)
 
     def evict(self, connection: Connection) -> None:
         """Forget ``connection`` (typically from its on_close hook)."""
@@ -200,6 +226,7 @@ class ConnectionCache:
                 "connections": len(self._connections),
                 "dials": self.dials,
                 "idle_reaped": self.idle_reaped,
+                "upgraded_dials": self.upgraded_dials,
             }
 
     def __len__(self) -> int:

@@ -103,6 +103,10 @@ class Connection:
         self._closing = False  # set under _pending_lock; rejects new calls
         self._send_buffers = BufferPool()
         self._reactor = reactor
+        #: Reactor shard index this connection's frames arrive on; set
+        #: at registration, routes request dispatch to that shard's
+        #: local deque.  None = unsharded (standalone / pre-register).
+        self._shard: Optional[int] = None
         #: True when the close was a negotiated goodbye (Bye/EOF seen or
         #: sent) rather than a failure — CommFailure diagnostics only.
         self.orderly = False
@@ -115,7 +119,13 @@ class Connection:
 
         self._handshake(outbound, handshake_timeout)
         if reactor is not None and reactor.alive:
-            reactor.register(channel, self, name=f"conn-{self.peer_id}")
+            # ``register`` returns the concrete reactor — the chosen
+            # shard when ``reactor`` is a ReactorPool — so send-side
+            # counters and dispatch affinity follow the right shard.
+            self._reactor = reactor.register(
+                channel, self, name=f"conn-{self.peer_id}"
+            )
+            self._shard = getattr(self._reactor, "index", None)
         else:
             # Standalone (no space/reactor): a private pump keeps the
             # old one-reader-per-connection behaviour for direct users.
@@ -349,7 +359,8 @@ class Connection:
             self._complete(message)
         else:
             self._dispatcher.submit(
-                lambda m=message: self._handle_request(self, m)
+                lambda m=message: self._handle_request(self, m),
+                shard=self._shard,
             )
 
     def on_closed(self, failure: Optional[Exception]) -> None:

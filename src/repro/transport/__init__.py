@@ -10,10 +10,13 @@ implementations selected by endpoint scheme:
 * ``sim://name`` — channels over the discrete-event
   :class:`~repro.sim.network.SimNetwork`, for deterministic latency,
   loss and reordering experiments.
+* ``shm://path`` — same-machine shared-memory rings with a Unix-socket
+  doorbell; the side door spaces upgrade loopback TCP peers to.
 """
 
 from repro.transport.base import Channel, Listener, Transport, TransportRegistry
 from repro.transport.inprocess import InProcessTransport
+from repro.transport.shm import ShmTransport
 from repro.transport.tcp import TcpTransport
 from repro.transport.simulated import SimTransport
 
@@ -21,6 +24,7 @@ __all__ = [
     "Channel",
     "InProcessTransport",
     "Listener",
+    "ShmTransport",
     "SimTransport",
     "TcpTransport",
     "Transport",

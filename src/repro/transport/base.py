@@ -151,6 +151,9 @@ class TransportRegistry:
     def add(self, transport: Transport) -> None:
         self._by_scheme[transport.scheme] = transport
 
+    def __contains__(self, scheme: str) -> bool:
+        return scheme in self._by_scheme
+
     def for_endpoint(self, endpoint: str) -> Transport:
         scheme = split_endpoint(endpoint)[0]
         transport = self._by_scheme.get(scheme)

@@ -1,15 +1,20 @@
-"""The reactor: one selector thread for every connection in a space.
+"""The reactor plane: selector threads owning every connection in a space.
 
 The paper's 1993 runtime parked one reader thread per connection —
 fine on a DECstation serving a handful of peers, fatal for a space
 holding hundreds of mostly-idle inbound connections.  This module
-replaces that with the classic reactor pattern: a single I/O thread
-per :class:`~repro.core.space.Space` owns every selectable channel
-through :mod:`selectors`, performs incremental frame reassembly
-(:class:`~repro.wire.framing.FrameAssembler` keeps PR 1's
-recv_into/one-allocation discipline), and hands each completed frame
-to its connection's :class:`FrameSink` callbacks.  Thread count goes
-from O(connections) to O(1) + dispatcher workers.
+replaces that with the classic reactor pattern: a small fixed pool of
+I/O threads per :class:`~repro.core.space.Space`
+(:class:`ReactorPool`, default ``min(4, cpu_count)`` shards) owns
+every selectable channel through :mod:`selectors`, performs
+incremental frame reassembly (:class:`~repro.wire.framing.FrameAssembler`
+keeps PR 1's recv_into/one-allocation discipline), and hands each
+completed frame to its connection's :class:`FrameSink` callbacks.
+Thread count goes from O(connections) to O(shards) + dispatcher
+workers, and a busy space is no longer capped at one core's worth of
+frame processing: connections are assigned to the least-loaded shard
+at registration and stay there for life, so per-channel state
+(assembler, selector registration) remains single-threaded.
 
 **The reactor thread never unpickles and never runs user code.**  A
 sink's ``on_frame`` decodes the message *envelope* only and routes it:
@@ -140,8 +145,17 @@ class Reactor:
     best-effort exactness, same as every other stats field.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", index: int = 0):
         self.name = name or "reactor"
+        #: Shard number within a :class:`ReactorPool` (0 standalone).
+        #: Connections use it to route dispatcher work to their
+        #: shard's local deque.
+        self.index = index
+        #: Channels/pumps assigned to this reactor, counted eagerly at
+        #: registration (before the deferred selector work runs) so a
+        #: burst of registrations spreads across a pool instead of all
+        #: picking the same momentarily-empty shard.
+        self._assigned = 0
         self._selector = selectors.DefaultSelector()
         # Self-pipe (socketpair for portability): call_soon from other
         # threads writes one byte to pop the selector out of its wait.
@@ -186,18 +200,26 @@ class Reactor:
 
     # -- registration (any thread) --------------------------------------------
 
-    def register(self, channel: Channel, sink, name: str = "conn") -> None:
+    def register(self, channel: Channel, sink, name: str = "conn") -> "Reactor":
         """Own ``channel``: selector-driven if it is selectable, pumped
         by a bridge thread otherwise.  Frames flow to ``sink`` either
-        way."""
+        way.  Returns the reactor that owns the channel (itself; a
+        :class:`ReactorPool` returns the chosen shard)."""
+        with self._lock:
+            self._assigned += 1
         if isinstance(channel, SelectableChannel):
             channel.attach_reactor(self, sink)
-            self.call_soon(lambda: self._register_on_thread(channel))
+            if not self.call_soon(lambda: self._register_on_thread(channel)):
+                # Raced by stop(): the channel never joined the
+                # selector, so it never will be unassigned either.
+                with self._lock:
+                    self._assigned -= 1
         else:
             pump = ChannelPump(channel, sink, name=name, reactor=self)
             with self._lock:
                 self._pumps.add(pump)
             pump.start()
+        return self
 
     def call_soon(self, fn: Callable[[], None]) -> bool:
         """Run ``fn`` on the reactor thread at the next loop turn;
@@ -247,6 +269,13 @@ class Reactor:
         return self.call_soon(drop)
 
     # -- stats ----------------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """Channels assigned to this reactor, counted at registration
+        time (eager — see ``_assigned``).  The pool's placement key."""
+        with self._lock:
+            return self._assigned
 
     @property
     def active_connections(self) -> int:
@@ -337,11 +366,14 @@ class Reactor:
         except (ValueError, OSError) as exc:
             with self._lock:
                 self._interest.pop(channel, None)
+                self._assigned -= 1
             logger.debug("reactor %s: register failed: %s", self.name, exc)
 
     def _unregister_on_thread(self, channel: SelectableChannel) -> None:
         with self._lock:
             present = self._interest.pop(channel, None) is not None
+            if present:
+                self._assigned -= 1
         if not present:
             return
         try:
@@ -391,7 +423,9 @@ class Reactor:
 
     def _pump_finished(self, pump: ChannelPump) -> None:
         with self._lock:
-            self._pumps.discard(pump)
+            if pump in self._pumps:
+                self._pumps.discard(pump)
+                self._assigned -= 1
 
     def _shutdown_on_thread(self) -> None:
         # Channels still registered at stop (stragglers the owning
@@ -424,6 +458,116 @@ class Reactor:
         self._selector.close()
         self._wake_recv.close()
         self._wake_send.close()
+
+
+class ReactorPool:
+    """N reactors sharing a space's I/O load — one selector thread per
+    shard, connections pinned to the least-loaded shard at
+    registration.
+
+    The pool presents the same surface a single :class:`Reactor` did
+    (``register``/``add_timer``/``stop``/``stats``/``alive``/
+    ``active_connections``), so the owning
+    :class:`~repro.core.space.Space` and its
+    :class:`~repro.rpc.cache.ConnectionCache` are shard-blind.
+    ``register`` returns the chosen shard; a
+    :class:`~repro.rpc.connection.Connection` keeps that handle for
+    its per-shard counters and for routing incoming requests to the
+    dispatcher's matching local deque.
+
+    Placement is least-loaded by *assigned* channel count (eager, so a
+    registration burst interleaves across shards instead of piling
+    onto one), with the lowest shard index breaking ties.  A channel
+    never migrates: its frame-assembly state and selector registration
+    stay single-threaded for life, which is what keeps the whole plane
+    lock-free on the per-channel hot path.
+
+    Timers arm on shard 0 — housekeeping (the connection cache's idle
+    sweep) does not need spreading.  ``frames_out`` on the pool itself
+    counts frames sent before a connection is registered (handshake
+    traffic); per-shard counters take over afterwards.
+    """
+
+    def __init__(self, shards: int = 1, name: str = ""):
+        shards = max(1, int(shards))
+        base = name or "pool"
+        self._reactors: List[Reactor] = [
+            Reactor(name=f"{base}.{i}" if shards > 1 else base, index=i)
+            for i in range(shards)
+        ]
+        self._lock = threading.Lock()
+        #: Handshake-time frame sends (see class docstring).
+        self.frames_out = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        for reactor in self._reactors:
+            reactor.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        for reactor in self._reactors:
+            reactor.stop(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return all(reactor.alive for reactor in self._reactors)
+
+    @property
+    def shards(self) -> int:
+        return len(self._reactors)
+
+    @property
+    def reactors(self) -> "List[Reactor]":
+        """The shards, indexed by ``Reactor.index`` (read-only use)."""
+        return list(self._reactors)
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, channel: Channel, sink, name: str = "conn") -> Reactor:
+        """Assign ``channel`` to the least-loaded shard; returns it."""
+        with self._lock:
+            # min() on the eager load keeps a registration burst from
+            # racing every pick onto the momentarily-least shard; the
+            # pool lock serialises the reads against each other.
+            reactor = min(self._reactors, key=lambda r: (r.load, r.index))
+        return reactor.register(channel, sink, name=name)
+
+    def add_timer(self, interval: float, callback: Callable[[], None]) -> Timer:
+        return self._reactors[0].add_timer(interval, callback)
+
+    # -- stats ----------------------------------------------------------------
+
+    @property
+    def active_connections(self) -> int:
+        return sum(r.active_connections for r in self._reactors)
+
+    def stats(self) -> dict:
+        per_shard = [reactor.stats() for reactor in self._reactors]
+        return {
+            "frames_in": sum(s["frames_in"] for s in per_shard),
+            "frames_out": self.frames_out
+            + sum(s["frames_out"] for s in per_shard),
+            "wakeups": sum(s["wakeups"] for s in per_shard),
+            "active_connections": sum(
+                s["active_connections"] for s in per_shard
+            ),
+            "shards": len(per_shard),
+            "per_shard": per_shard,
+        }
+
+
+def default_reactor_shards() -> int:
+    """The default I/O shard count: ``min(4, cpu_count)``.  One shard
+    per core up to four — beyond that, selector threads contend on the
+    GIL faster than they drain sockets."""
+    try:
+        import os
+
+        cpus = os.cpu_count() or 1
+    except Exception:  # pragma: no cover - platform oddity
+        cpus = 1
+    return max(1, min(4, cpus))
 
 
 def _now() -> float:

@@ -311,21 +311,36 @@ class SocketChannel(SelectableChannel):
 
 
 class _TcpListener(Listener):
-    def __init__(self, sock: socket.socket, on_connect: OnConnect):
-        self._sock = sock
+    """One endpoint, one *or several* accept sockets.
+
+    With ``SO_REUSEPORT`` every socket binds the same port and the
+    kernel spreads incoming connections across them (hashing the
+    4-tuple), so accepts never funnel through a single accept queue —
+    the listener-side twin of the reactor-pool sharding.  Each socket
+    gets its own accept thread; ``shards`` reports how many.
+    """
+
+    def __init__(self, socks: "list[socket.socket]", on_connect: OnConnect):
+        self._socks = socks
         self._on_connect = on_connect
         self._closed = threading.Event()
-        host, port = sock.getsockname()[:2]
+        host, port = socks[0].getsockname()[:2]
         self.endpoint = f"tcp://{host}:{port}"
-        self._thread = threading.Thread(
-            target=self._accept_loop, name=f"tcp-accept-{port}", daemon=True
-        )
-        self._thread.start()
+        self.shards = len(socks)
+        self._threads = [
+            threading.Thread(
+                target=self._accept_loop, args=(sock,),
+                name=f"tcp-accept-{port}.{index}", daemon=True,
+            )
+            for index, sock in enumerate(socks)
+        ]
+        for thread in self._threads:
+            thread.start()
 
-    def _accept_loop(self) -> None:
+    def _accept_loop(self, listen_sock: socket.socket) -> None:
         while not self._closed.is_set():
             try:
-                sock, _addr = self._sock.accept()
+                sock, _addr = listen_sock.accept()
             except OSError:
                 return  # listener closed
             channel = SocketChannel(sock)
@@ -340,39 +355,87 @@ class _TcpListener(Listener):
         if self._closed.is_set():
             return
         self._closed.set()
-        try:
-            # close() alone does not wake a thread blocked in accept();
-            # shutdown does, so the accept loop exits promptly instead
-            # of lingering until process death.
-            self._sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
-        if threading.current_thread() is not self._thread:
-            self._thread.join(timeout=5.0)
+        for sock in self._socks:
+            try:
+                # close() alone does not wake a thread blocked in
+                # accept(); shutdown does, so the accept loops exit
+                # promptly instead of lingering until process death.
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        me = threading.current_thread()
+        for thread in self._threads:
+            if thread is not me:
+                thread.join(timeout=5.0)
 
 
 class TcpTransport(Transport):
-    """Listener/dialer factory for ``tcp://host:port`` endpoints."""
+    """Listener/dialer factory for ``tcp://host:port`` endpoints.
+
+    ``listener_shards > 1`` asks for that many ``SO_REUSEPORT`` accept
+    sockets per listen call.  Platforms without the option (or kernels
+    that refuse the second bind) fall back to a single shared socket;
+    everything above the accept path is identical either way.
+    """
     scheme = "tcp"
 
-    def __init__(self, connect_timeout: float = 10.0):
+    def __init__(self, connect_timeout: float = 10.0,
+                 listener_shards: int = 1):
         self.connect_timeout = connect_timeout
+        self.listener_shards = max(1, listener_shards)
 
     def listen(self, endpoint: str, on_connect: OnConnect) -> Listener:
         host, port = self._parse(endpoint)
+        first = self._bind(host, port, reuseport=self.listener_shards > 1)
+        socks = [first]
+        if self.listener_shards > 1:
+            # The first socket resolved an ephemeral port request; the
+            # siblings bind the concrete port it landed on.
+            concrete = first.getsockname()[1]
+            for _ in range(self.listener_shards - 1):
+                try:
+                    socks.append(self._bind(host, concrete, reuseport=True))
+                except CommFailure:
+                    # Kernel refused the extra bind (no effective
+                    # REUSEPORT support): run with what we have.
+                    break
+        return _TcpListener(socks, on_connect)
+
+    def _bind(self, host: str, port: int, reuseport: bool) -> socket.socket:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuseport:
+            reuseport_option = getattr(socket, "SO_REUSEPORT", None)
+            if reuseport_option is None:
+                if port == 0:
+                    # No REUSEPORT on this platform: shard 0 proceeds
+                    # alone (caller's retry loop stops at the first
+                    # sibling failure below).
+                    reuseport = False
+                else:
+                    sock.close()
+                    raise CommFailure("SO_REUSEPORT unavailable")
+            else:
+                try:
+                    sock.setsockopt(socket.SOL_SOCKET, reuseport_option, 1)
+                except OSError as exc:
+                    sock.close()
+                    if port == 0:
+                        return self._bind(host, port, reuseport=False)
+                    raise CommFailure(f"SO_REUSEPORT refused: {exc}") from exc
         try:
             sock.bind((host, port))
             sock.listen(128)
         except OSError as exc:
             sock.close()
-            raise CommFailure(f"cannot listen on {endpoint!r}: {exc}") from exc
-        return _TcpListener(sock, on_connect)
+            raise CommFailure(
+                f"cannot listen on tcp://{host}:{port}: {exc}"
+            ) from exc
+        return sock
 
     def connect(self, endpoint: str) -> Channel:
         host, port = self._parse(endpoint)

@@ -19,7 +19,9 @@ import pytest
 
 #: Name fragments of threads that must not outlive the Space (or
 #: standalone Connection) that started them.
-IO_THREAD_PATTERNS = ("reactor-", "-pump", "conn-reader", "tcp-accept")
+IO_THREAD_PATTERNS = (
+    "reactor-", "-pump", "conn-reader", "tcp-accept", "shm-accept",
+)
 
 #: How long a test's I/O threads get to wind down before the guard
 #: calls them leaked.  Orderly teardown is asynchronous (peer EOFs,

@@ -395,7 +395,9 @@ class TestSpaceStats:
             echo = client.import_object(server.endpoints[0], "echo")
             assert echo.echo("x") == "x"
             stats = client.stats()
-            assert set(stats) == {"gc", "dispatcher", "cache", "reactor"}
+            assert set(stats) == {
+                "gc", "dispatcher", "cache", "reactor", "marshal"
+            }
             assert stats["reactor"]["frames_in"] >= 1
             assert stats["reactor"]["frames_out"] >= 1
             assert stats["reactor"]["active_connections"] >= 1

@@ -1,0 +1,194 @@
+"""The sharded I/O plane: ReactorPool placement and SO_REUSEPORT
+listener sharding (with its single-socket fallback)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import Space
+from repro.core.netobj import NetObj
+from repro.transport.inprocess import channel_pair
+from repro.transport.reactor import (
+    Reactor,
+    ReactorPool,
+    default_reactor_shards,
+)
+from repro.transport.tcp import TcpTransport
+
+
+class Echo(NetObj):
+    def echo(self, value):
+        return value
+
+
+class _Sink:
+    def __init__(self):
+        self.frames = []
+        self.closed = threading.Event()
+
+    def on_frame(self, frame):
+        self.frames.append(bytes(frame))
+
+    def on_closed(self, failure):
+        self.closed.set()
+
+
+class TestReactorPool:
+    def test_register_returns_least_loaded_shard(self):
+        pool = ReactorPool(shards=3, name="pool-place")
+        pool.start()
+        channels = []
+        try:
+            picked = []
+            for _ in range(6):
+                a, b = channel_pair()
+                channels += [a, b]
+                picked.append(pool.register(a, _Sink()).index)
+            # Eager assignment: a burst interleaves 0,1,2,0,1,2 instead
+            # of piling onto whichever shard polled as empty first.
+            assert picked == [0, 1, 2, 0, 1, 2]
+            assert [r.load for r in pool.reactors] == [2, 2, 2]
+        finally:
+            for channel in channels:
+                channel.close()
+            pool.stop()
+
+    def test_load_drops_when_channel_closes(self):
+        pool = ReactorPool(shards=2, name="pool-load")
+        pool.start()
+        a, b = channel_pair()
+        try:
+            shard = pool.register(a, _Sink())
+            assert shard.load == 1
+            a.close()
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline and shard.load:
+                time.sleep(0.02)
+            assert shard.load == 0
+        finally:
+            b.close()
+            pool.stop()
+
+    def test_stats_aggregate_and_per_shard(self):
+        pool = ReactorPool(shards=2, name="pool-stats")
+        pool.start()
+        try:
+            stats = pool.stats()
+            assert stats["shards"] == 2
+            assert len(stats["per_shard"]) == 2
+            assert {"frames_in", "frames_out", "wakeups",
+                    "active_connections"} <= set(stats)
+        finally:
+            pool.stop()
+
+    def test_single_shard_keeps_plain_reactor_name(self):
+        pool = ReactorPool(shards=1, name="solo")
+        assert pool.reactors[0].name == "solo"
+        multi = ReactorPool(shards=2, name="duo")
+        assert [r.name for r in multi.reactors] == ["duo.0", "duo.1"]
+
+    def test_timers_arm_on_shard_zero(self):
+        pool = ReactorPool(shards=2, name="pool-timer")
+        pool.start()
+        fired = threading.Event()
+        try:
+            pool.add_timer(0.01, fired.set)
+            assert fired.wait(5)
+        finally:
+            pool.stop()
+
+    def test_default_shard_count_tracks_cpus(self):
+        import os
+
+        assert default_reactor_shards() == max(
+            1, min(4, os.cpu_count() or 1)
+        )
+
+    def test_space_spreads_connections_across_shards(self):
+        with Space("spread-srv", listen=["tcp://127.0.0.1:0"],
+                   reactor_shards=3, shm="off") as server:
+            server.serve("echo", Echo())
+            clients = [Space(f"spread-c{i}", shm="off") for i in range(3)]
+            try:
+                for client in clients:
+                    echo = client.import_object(server.endpoints[0], "echo")
+                    assert echo.echo("x") == "x"
+                per_shard = server.stats()["reactor"]["per_shard"]
+                assert sum(s["active_connections"] for s in per_shard) == 3
+                # Least-loaded placement: one connection per shard.
+                assert [s["active_connections"] for s in per_shard] \
+                    == [1, 1, 1]
+            finally:
+                for client in clients:
+                    client.shutdown()
+
+
+class TestReusePortSharding:
+    def test_sharded_listener_accepts_on_every_socket(self):
+        transport = TcpTransport(listener_shards=4)
+        accepted = []
+        ready = threading.Event()
+
+        def on_connect(channel):
+            accepted.append(channel)
+            ready.set()
+
+        listener = transport.listen("tcp://127.0.0.1:0", on_connect)
+        try:
+            assert listener.shards == 4
+            channel = transport.connect(listener.endpoint)
+            assert ready.wait(5)
+            channel.send(b"hi")  # the channel works end to end
+            channel.close()
+        finally:
+            for channel in accepted:
+                channel.close()
+            listener.close()
+
+    def test_fallback_without_so_reuseport(self, monkeypatch):
+        """Platforms with no SO_REUSEPORT get one shared socket and
+        identical behaviour above the accept path."""
+        monkeypatch.delattr(socket, "SO_REUSEPORT", raising=False)
+        transport = TcpTransport(listener_shards=4)
+        accepted = []
+        ready = threading.Event()
+
+        def on_connect(channel):
+            accepted.append(channel)
+            ready.set()
+
+        listener = transport.listen("tcp://127.0.0.1:0", on_connect)
+        try:
+            assert listener.shards == 1
+            channel = transport.connect(listener.endpoint)
+            assert ready.wait(5)
+            channel.close()
+        finally:
+            for channel in accepted:
+                channel.close()
+            listener.close()
+
+    def test_fallback_space_end_to_end(self, monkeypatch):
+        """A whole Space on the fallback path: every E-series behaviour
+        (serve, import, call) unchanged with a single listener."""
+        monkeypatch.delattr(socket, "SO_REUSEPORT", raising=False)
+        with Space("fb-srv", listen=["tcp://127.0.0.1:0"],
+                   reactor_shards=4, shm="off") as server, \
+                Space("fb-cli", shm="off") as client:
+            server.serve("echo", Echo())
+            assert server._listeners[0].shards == 1
+            echo = client.import_object(server.endpoints[0], "echo")
+            assert echo.echo("fallback") == "fallback"
+
+    def test_single_shard_request_skips_reuseport(self):
+        listener = TcpTransport(listener_shards=1).listen(
+            "tcp://127.0.0.1:0", lambda channel: None
+        )
+        try:
+            assert listener.shards == 1
+        finally:
+            listener.close()
