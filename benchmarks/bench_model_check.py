@@ -191,6 +191,58 @@ class TestExhaustiveSafety:
                f"{len(unordered.violations[0].trace)})")
 
     @pytest.mark.benchmark(group="E5-model-check")
+    @pytest.mark.parametrize("label,kwargs", [
+        ("2p-2g-2w", dict(nprocs=2, grants_left=2, writes_left=2)),
+        ("3p-2g-1w", dict(nprocs=3, grants_left=2, writes_left=1)),
+    ])
+    def test_leased_variant(self, benchmark, report, label, kwargs):
+        """Protocol v4 read leases over the dirty sets: across every
+        grant/invalidate/expire/CLEAN/crash interleaving, no replica
+        is ever stale once the write completes, every lease holder is
+        in pdirty, and quiescence leaves no leaked dirty-set entry."""
+        from repro.model.variants import (
+            LeasedMachine,
+            initial_leased,
+            leased_violations,
+        )
+
+        result = benchmark.pedantic(
+            explore,
+            args=(initial_leased(**kwargs),),
+            kwargs={"machine": LeasedMachine(),
+                    "checker": leased_violations, "keep_traces": False},
+            rounds=1, iterations=1,
+        )
+        assert result.ok
+        report("E5 model check", f"leased {label}: {result.summary()}")
+
+    @pytest.mark.benchmark(group="E5-model-check")
+    def test_leased_without_dead_ids(self, benchmark, report):
+        """Negative control: forget the dead-id set (invalidations
+        that overtake an in-flight grant) and the explorer finds the
+        orphaned-replica race mechanically — proof the runtime's
+        ``LeaseCache._dead_ids`` is load-bearing, not defensive."""
+        from repro.model.variants import (
+            LeasedMachine,
+            initial_leased,
+            leased_violations,
+        )
+
+        result = benchmark.pedantic(
+            explore,
+            args=(initial_leased(nprocs=2, grants_left=1, writes_left=1,
+                                 use_dead_ids=False),),
+            kwargs={"machine": LeasedMachine(),
+                    "checker": leased_violations, "keep_traces": True},
+            rounds=1, iterations=1,
+        )
+        assert not result.ok
+        report("E5 model check",
+               f"leased, no dead-id set: race found after "
+               f"{result.states} states (trace length "
+               f"{len(result.violations[0].trace)})")
+
+    @pytest.mark.benchmark(group="E5-model-check")
     def test_liveness_drain(self, benchmark, report):
         """Liveness: from 50 random mid-run states, collector-only
         transitions always drain to quiescence with empty dirty

@@ -1,0 +1,241 @@
+"""E10 — read leases: cached reads vs per-RPC reads on a read-mostly
+object.
+
+The workload the lease layer targets: 16 readers hammer a ``@reads``
+method while one writer mutates at a ~1% write ratio.  Three legs:
+
+* TCP pair and shm pair — leased vs ``leases="off"`` on the identical
+  workload; the headline claim is ≥10× aggregate read throughput.
+* Mesh scale on the simulated transport (8 reader spaces, seeded
+  0.5 ms latency) — where every RPC read costs a full model round trip,
+  the replica hit rate dominates.
+
+Correctness is asserted inside the measured run, not alongside it,
+stated exactly as strongly as the protocol's guarantee: invalidation
+completes before the mutation's result is released to the *writer*, so
+any read that starts after write ``k`` returned must observe a value
+≥ ``k`` (the counter equals the number of completed writes).  Reads
+racing an in-flight write may see either side of it — leases bound
+staleness at one RTT, they do not linearize reads against concurrent
+writes.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import GcConfig, NetObj, Space, reads
+from repro.sim.network import NetworkModel
+from repro.transport.simulated import SimTransport
+
+
+class Board(NetObj):
+    """Read-mostly scoreboard: one leased read, one write."""
+
+    def __init__(self):
+        self.value = 0
+
+    @reads
+    def read(self) -> int:
+        return self.value
+
+    def write(self) -> int:
+        self.value += 1
+        return self.value
+
+
+READERS = 16
+WRITE_EVERY = 100          # one write per 100 completed reads -> 1%
+
+
+def run_workload(reader_surrogates, writer, reads_per_reader):
+    """Drive 16 reader threads and a paced writer; return the tallies.
+
+    The writer is paced off the global completed-read count, so the
+    write ratio tracks ~1% in both the leased and the RPC leg even
+    though their read rates differ by an order of magnitude.
+    """
+    surrogates = list(reader_surrogates)
+    while len(surrogates) < READERS:
+        surrogates.append(surrogates[len(surrogates) % len(reader_surrogates)])
+    counts = [0] * READERS
+    violations = []
+    done = threading.Event()
+    writes = 0
+    write_seconds = 0.0
+    completed = [0]    # writes already *returned*; board value == this
+
+    def read_loop(idx, surrogate):
+        for n in range(1, reads_per_reader + 1):
+            epoch = completed[0]   # sampled before the read starts
+            value = surrogate.read()
+            if value < epoch:      # stale beyond the one-RTT bound
+                violations.append((idx, epoch, value))
+                break
+            counts[idx] = n
+
+    def write_loop():
+        nonlocal writes, write_seconds
+        target = WRITE_EVERY
+        while not done.is_set():
+            if sum(counts) >= target:
+                t0 = time.perf_counter()
+                writer.write()
+                write_seconds += time.perf_counter() - t0
+                writes += 1
+                completed[0] = writes
+                target += WRITE_EVERY
+            else:
+                time.sleep(0.0002)
+
+    threads = [
+        threading.Thread(target=read_loop, args=(i, s), daemon=True)
+        for i, s in enumerate(surrogates)
+    ]
+    writer_thread = threading.Thread(target=write_loop, daemon=True)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    writer_thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    done.set()
+    writer_thread.join(timeout=30)
+    elapsed = time.perf_counter() - start
+
+    # Staleness bound: the writer's call has returned, so every live
+    # lease was invalidated (or provably expired) before this line.
+    final = writer.write()
+    writes += 1
+    for surrogate in reader_surrogates:
+        assert surrogate.read() >= final, "stale read after write returned"
+
+    total_reads = sum(counts)
+    return {
+        "reads": total_reads,
+        "reads_per_s": total_reads / elapsed,
+        "writes": writes,
+        "write_ratio": writes / max(1, total_reads),
+        "avg_write_us": (write_seconds / writes * 1e6) if writes else 0.0,
+        "violations": violations,
+    }
+
+
+def _paired_run(listen, shm, leases, reads_per_reader):
+    server = Space("e10-owner", listen=[listen], shm=shm)
+    reader_space = Space("e10-readers", shm=shm, leases=leases)
+    writer_space = Space("e10-writer", shm=shm)
+    try:
+        server.serve("board", Board())
+        endpoint = server.endpoints[0]
+        board = reader_space.import_object(endpoint, "board")
+        writer = writer_space.import_object(endpoint, "board")
+        result = run_workload([board], writer, reads_per_reader)
+        result["owner_leases"] = server.lease_stats()
+        result["reader_leases"] = reader_space.lease_stats()
+        return result
+    finally:
+        writer_space.shutdown()
+        reader_space.shutdown()
+        server.shutdown()
+
+
+def _check(leased, rpc, transport, report, min_speedup):
+    assert not leased["violations"], leased["violations"]
+    assert not rpc["violations"], rpc["violations"]
+    speedup = leased["reads_per_s"] / rpc["reads_per_s"]
+    owner = leased["owner_leases"]
+    holder = leased["reader_leases"]
+    assert holder["lease_hits"] > 0
+    assert owner["leases_granted"] >= 1
+    # Writes that landed while a lease was registered invalidated it
+    # (writes in a re-acquire window legitimately find no live lease).
+    assert owner["invalidations_sent"] >= 1
+    assert rpc["reader_leases"]["lease_requests"] == 0
+    report(
+        "E10 read leases",
+        f"{transport}: leased {leased['reads_per_s']:,.0f} reads/s "
+        f"(ratio {leased['write_ratio']:.2%}, "
+        f"write {leased['avg_write_us']:.0f}us) vs rpc "
+        f"{rpc['reads_per_s']:,.0f} reads/s "
+        f"(write {rpc['avg_write_us']:.0f}us) -> {speedup:.1f}x",
+        **{
+            f"e10_read_leased_{transport}_per_s": leased["reads_per_s"],
+            f"e10_read_rpc_{transport}_per_s": rpc["reads_per_s"],
+            f"e10_speedup_{transport}_x": speedup,
+            f"e10_write_leased_{transport}_us": leased["avg_write_us"],
+            f"e10_write_rpc_{transport}_us": rpc["avg_write_us"],
+        },
+    )
+    assert speedup >= min_speedup, (
+        f"{transport}: leased reads only {speedup:.1f}x faster"
+    )
+    return speedup
+
+
+class TestReadLease:
+    @pytest.mark.benchmark(group="E10-read-lease")
+    def test_tcp(self, benchmark, report):
+        def run():
+            leased = _paired_run("tcp://127.0.0.1:0", "off", "on", 4000)
+            rpc = _paired_run("tcp://127.0.0.1:0", "off", "off", 500)
+            return leased, rpc
+
+        leased, rpc = benchmark.pedantic(run, rounds=1, iterations=1)
+        _check(leased, rpc, "tcp", report, min_speedup=10.0)
+
+    @pytest.mark.benchmark(group="E10-read-lease")
+    def test_shm(self, benchmark, report):
+        def run():
+            leased = _paired_run("tcp://127.0.0.1:0", "on", "on", 4000)
+            rpc = _paired_run("tcp://127.0.0.1:0", "on", "off", 500)
+            return leased, rpc
+
+        leased, rpc = benchmark.pedantic(run, rounds=1, iterations=1)
+        _check(leased, rpc, "shm", report, min_speedup=10.0)
+
+    @pytest.mark.benchmark(group="E10-read-lease")
+    def test_mesh_sim(self, benchmark, report):
+        """Mesh scale: 8 reader spaces (two threads each) on the
+        simulated transport, 0.5 ms seeded latency per hop — the
+        regime the lease layer is for, where an RPC read costs a
+        full round trip."""
+
+        def leg(leases, reads_per_reader):
+            transport = SimTransport(NetworkModel(latency=0.0005, seed=42))
+            gc = GcConfig(lease_ttl=5.0)
+            owner = Space("e10-sim-owner", listen=["sim://owner"],
+                          transports=[transport], gc=gc)
+            writer_space = Space("e10-sim-writer", listen=["sim://writer"],
+                                 transports=[transport], gc=gc)
+            reader_spaces = [
+                Space(f"e10-sim-r{i}", listen=[f"sim://r{i}"],
+                      transports=[transport], gc=gc, leases=leases)
+                for i in range(8)
+            ]
+            try:
+                owner.serve("board", Board())
+                boards = [s.import_object("sim://owner", "board")
+                          for s in reader_spaces]
+                writer = writer_space.import_object("sim://owner", "board")
+                result = run_workload(boards, writer, reads_per_reader)
+                result["owner_leases"] = owner.lease_stats()
+                merged = {}
+                for space in reader_spaces:
+                    for key, value in space.lease_stats().items():
+                        merged[key] = merged.get(key, 0) + value
+                result["reader_leases"] = merged
+                return result
+            finally:
+                for space in reader_spaces:
+                    space.shutdown()
+                writer_space.shutdown()
+                owner.shutdown()
+                transport.shutdown()
+
+        def run():
+            return leg("on", 2000), leg("off", 100)
+
+        leased, rpc = benchmark.pedantic(run, rounds=1, iterations=1)
+        _check(leased, rpc, "sim_mesh", report, min_speedup=10.0)

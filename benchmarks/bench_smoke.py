@@ -171,6 +171,57 @@ class TestSmokeMulticore:
                smoke_multicore_io_threads=io_threads)
 
 
+class TestSmokeLeases:
+    def test_read_lease_hit_rate_and_thread_hygiene(self, report):
+        """Lease gate (E10 in miniature): a ``@reads`` method served
+        under a read lease must actually hit the replica, survive a
+        write invalidation, and leave no timer/helper threads behind —
+        the lease layer is advertised as thread-free."""
+        from repro import NetObj, reads
+
+        class Dial(NetObj):
+            def __init__(self):
+                self.n = 0
+
+            @reads
+            def read(self):
+                return self.n
+
+            def write(self):
+                self.n += 1
+                return self.n
+
+        threads_before = threading.active_count()
+        with Space("smoke-lease-owner", listen=["tcp://127.0.0.1:0"],
+                   shm="off") as server:
+            server.serve("dial", Dial())
+            with Space("smoke-lease-client", shm="off") as client:
+                dial = client.import_object(server.endpoints[0], "dial")
+                assert dial.read() == 0
+                for _ in range(SMOKE_CALLS):
+                    assert dial.read() == 0
+                assert dial.write() == 1
+                assert dial.read() == 1    # invalidated, re-leased
+                holder = client.lease_stats()
+                owner = server.lease_stats()
+        hits = holder["lease_hits"]
+        assert hits >= SMOKE_CALLS, holder
+        assert owner["leases_granted"] >= 1
+        assert owner["invalidations_sent"] >= 1
+        # No thread growth: leases ride the existing reactor and
+        # dispatcher; expiry is lazy (checked on read), not timed.
+        deadline = time.monotonic() + 5.0
+        while (threading.active_count() > threads_before
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert threading.active_count() <= threads_before
+        report("smoke",
+               f"lease gate: {hits} replica hits, "
+               f"{owner['invalidations_sent']} invalidations, "
+               "no thread growth",
+               smoke_lease_hits=hits)
+
+
 class TestSmokeMarshal:
     @pytest.mark.parametrize("value", [
         list(range(100)),

@@ -93,19 +93,30 @@ def _machine_stamp() -> dict:
     """Where these numbers came from: without the core count, the
     interpreter and the commit, cross-run trajectories (BENCH_pr5 vs
     BENCH_pr6) compare apples to unknown fruit."""
+    repo = Path(__file__).parent.parent
     try:
         git_sha = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
-            cwd=Path(__file__).parent.parent, capture_output=True,
-            text=True, timeout=10,
+            cwd=repo, capture_output=True, text=True, timeout=10,
         ).stdout.strip() or None
     except (OSError, subprocess.SubprocessError):
         git_sha = None
+    try:
+        # A sha from a dirty worktree names code that was never
+        # committed; flag it so such numbers are never trusted as the
+        # commit's baseline.
+        dirty = bool(subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo, capture_output=True, text=True, timeout=10,
+        ).stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        dirty = None
     return {
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "git_sha": git_sha,
+        "dirty": dirty,
     }
 
 

@@ -28,7 +28,7 @@ Quickstart::
     assert counter.increment() == 1
 """
 
-from repro.core import GcConfig, NetObj, Space, Surrogate, async_call
+from repro.core import GcConfig, NetObj, Space, Surrogate, async_call, reads
 from repro.rpc.futures import CallFuture, RemoteFuture
 from repro.errors import (
     CallTimeout,
@@ -71,6 +71,7 @@ __all__ = [
     "Surrogate",
     "UnmarshalError",
     "async_call",
+    "reads",
     "register_struct",
     "__version__",
 ]

@@ -7,7 +7,7 @@ imports references from other spaces.  Everything else in this package
 machinery behind those two names.
 """
 
-from repro.core.netobj import NetObj, remote_methods_of
+from repro.core.netobj import NetObj, reads, remote_methods_of
 from repro.core.surrogate import Surrogate
 from repro.core.typecodes import TypeRegistry, global_types, typechain
 from repro.core.objtable import ObjectTable
@@ -22,6 +22,7 @@ __all__ = [
     "Surrogate",
     "TypeRegistry",
     "global_types",
+    "reads",
     "remote_methods_of",
     "typechain",
 ]

@@ -27,6 +27,47 @@ from repro.core.typecodes import global_types, typecode_of
 #: callable, matching the stub-generation model of the paper).
 _METHODS_CACHE: dict = {}
 _METHOD_SET_CACHE: dict = {}
+_READS_CACHE: dict = {}
+
+
+def reads(func):
+    """Mark a method as a pure read of the object's lease-safe state.
+
+    Surrogates may serve a ``@reads`` method from a lease-cached
+    snapshot of the object's state with zero network traffic (see
+    DESIGN.md, "Read leases").  The method must not mutate the object
+    and must depend only on state captured by the lease snapshot.
+
+    Alternatively a class can declare ``_lease_reads_ = ("get", ...)``
+    to register read methods without decorating them (useful when the
+    interface class is shared and the decorator would be intrusive).
+    """
+    func._netobj_reads_ = True
+    return func
+
+
+def reads_method_set(cls: Type) -> frozenset:
+    """Remote methods of ``cls`` that are declared lease-safe reads.
+
+    The union of ``@reads``-decorated methods and the names listed in
+    ``_lease_reads_`` anywhere in the MRO, intersected with the remote
+    surface.  Empty for classes that declare no reads — such classes
+    never participate in leasing at all.
+    """
+    cached = _READS_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    names = set()
+    for klass in cls.__mro__:
+        if klass is object:
+            continue
+        names.update(klass.__dict__.get("_lease_reads_", ()))
+        for name, member in klass.__dict__.items():
+            if getattr(member, "_netobj_reads_", False):
+                names.add(name)
+    result = frozenset(names & remote_method_set(cls))
+    _READS_CACHE[cls] = result
+    return result
 
 
 def remote_methods_of(cls: Type) -> Tuple[str, ...]:

@@ -35,9 +35,18 @@ class ExportedEntry:
     owner* (the transient dirty entries holding it alive during
     transmission).  ``pinned`` marks the special object, which is never
     dropped.
+
+    ``leases`` maps holder SpaceID → live :class:`repro.core.leases.Lease`
+    (protocol v4 read leases) and ``lease_version`` counts write-path
+    invocations, versioning the snapshots shipped with grants.  A lease
+    holder is always a member of ``pdirty`` (grants require it, CLEAN
+    and purge retire it), so leases never extend an entry's lifetime —
+    ``collectable()`` deliberately ignores them, and dropping the entry
+    discards them.
     """
 
-    __slots__ = ("obj", "index", "pdirty", "seqnos", "tdirty", "pinned")
+    __slots__ = ("obj", "index", "pdirty", "seqnos", "tdirty", "pinned",
+                 "leases", "lease_version")
 
     def __init__(self, obj, index: int, pinned: bool = False):
         self.obj = obj
@@ -46,6 +55,8 @@ class ExportedEntry:
         self.seqnos: Dict[SpaceID, int] = {}
         self.tdirty: set = set()          # copy_ids in flight from owner
         self.pinned = pinned
+        self.leases: dict = {}            # holder SpaceID -> Lease
+        self.lease_version = 0
 
     def collectable(self) -> bool:
         return not self.pinned and not self.pdirty and not self.tdirty

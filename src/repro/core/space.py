@@ -24,8 +24,9 @@ import time
 import traceback
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.leases import LeaseCache, LeaseTable
 from repro.core.marshalctx import MarshalContext, decode_ref
-from repro.core.netobj import NetObj, remote_method_set
+from repro.core.netobj import NetObj, reads_method_set, remote_method_set
 from repro.core.objtable import ObjectTable
 from repro.core.surrogate import Surrogate
 from repro.core.typecodes import TypeRegistry, global_types, typechain
@@ -50,6 +51,7 @@ from repro.errors import (
 from repro.dgc.states import RefState
 from repro.marshal import tags
 from repro.marshal.pickler import EMPTY_ARGS_PICKLE, NONE_PICKLE
+from repro.marshal.snapshot import build_replica, snapshot_state
 from repro.marshal.pool import MarshalPool
 from repro.marshal.registry import StructRegistry, global_registry
 from repro.marshal.unpickler import scan_netobj_payloads
@@ -107,13 +109,17 @@ class Space:
         dispatcher_idle_timeout: float = 5.0,
         shm: str = "auto",
         marshal_max_per_thread: int = 4,
+        leases: str = "on",
     ):
         """``reactor_shards`` picks the I/O shard count (default
         ``min(4, cpu_count)``); ``dispatcher_max_workers`` and
         ``dispatcher_idle_timeout`` size the task pool; ``shm`` is
         ``"auto"`` (same-machine peers upgrade to the shared-memory
         transport when both sides run one) or ``"off"``;
-        ``marshal_max_per_thread`` caps the per-thread codec stacks."""
+        ``marshal_max_per_thread`` caps the per-thread codec stacks;
+        ``leases`` is ``"on"`` (read leases granted and used on v4
+        connections, for types that declare ``@reads`` methods) or
+        ``"off"`` (every read is an RPC, as before v4)."""
         self.space_id = fresh_space_id(nickname)
         # Wire decodes of our own identity (the owner field of every
         # incoming call target) then return this very instance, making
@@ -160,6 +166,17 @@ class Space:
         self.object_table = ObjectTable(self.space_id)
         self.transient = TransientTable()
         self.dgc_owner = DgcOwner(self.object_table)
+        # Read leases (protocol v4): the owner half lives on exported
+        # entries via ``lease_table``; the client half caches replicas
+        # in ``lease_cache``.  The collector retires a holder's lease
+        # whenever it leaves a dirty set (CLEAN or pinger purge) — the
+        # lease ⊆ pdirty invariant.
+        self._leases_enabled = (
+            leases != "off" and self._protocol_version >= 4
+        )
+        self.lease_table = LeaseTable(self.gc_config.lease_ttl)
+        self.lease_cache = LeaseCache()
+        self.dgc_owner.lease_retire = self.lease_table.retire
         self.dgc_client = DgcClient(
             self.object_table, self.types, self._gc_request,
             self._invoke_remote, self.gc_config,
@@ -522,6 +539,121 @@ class Space:
             return known(fault.message)
         return RemoteError(fault.kind, fault.message, fault.remote_traceback)
 
+    # -- read leases: client half ------------------------------------------------------
+
+    def _invoke_read(self, surrogate: Surrogate, method: str, args: tuple,
+                     kwargs: dict):
+        """Invocation path of a ``@reads`` surrogate method.
+
+        Serve from the lease-cached replica when one is held; acquire a
+        lease on a miss; fall back to an ordinary remote invocation
+        whenever leasing is off, denied, unavailable (pre-v4 peer) or
+        the replica cannot run the method locally.
+        """
+        wirerep = surrogate._wirerep
+        cache = self.lease_cache
+        if (not self._leases_enabled
+                or not cache.leasable(surrogate._surrogate_typecode_)):
+            return self._invoke_remote(wirerep, surrogate._endpoints,
+                                       method, args, kwargs)
+        replica = cache.replica_for(wirerep)
+        if replica is None:
+            replica = self._acquire_lease(surrogate)
+            if replica is None:
+                return self._invoke_remote(wirerep, surrogate._endpoints,
+                                           method, args, kwargs)
+        try:
+            return getattr(replica, method)(*args, **kwargs)
+        except NotImplementedError:
+            # The narrowed local class is a pure interface — its method
+            # bodies are stubs.  This type cannot replicate here; stop
+            # asking for leases on it and serve reads remotely.
+            cache.mark_unleasable(surrogate._surrogate_typecode_)
+            cache.drop(wirerep)
+            return self._invoke_remote(wirerep, surrogate._endpoints,
+                                       method, args, kwargs)
+
+    def _acquire_lease(self, surrogate: Surrogate):
+        """Ask the owner for a read lease; returns the replica or None.
+
+        The holder-side expiry clock starts *before* the request is
+        sent, so this replica always expires strictly earlier than the
+        owner believes the lease does — an unreachable holder can be
+        waited out safely by a writer.
+        """
+        if self._closed.is_set():
+            return None
+        cache = self.lease_cache
+        wirerep = surrogate._wirerep
+        if not cache.begin_acquire(wirerep):
+            # Another reader's request is in flight; one RPC now beats
+            # a duplicate grant (and the out-of-order registrations a
+            # stampede of grants would produce).
+            return None
+        try:
+            return self._request_lease(surrogate, wirerep)
+        finally:
+            cache.end_acquire(wirerep)
+
+    def _request_lease(self, surrogate: Surrogate, wirerep: WireRep):
+        cache = self.lease_cache
+        try:
+            connection = self._conn_for_endpoints(surrogate._endpoints)
+        except (CommFailure, SpaceShutdownError):
+            return None
+        if connection.version < 4:
+            # A pre-v4 peer never sees lease frames; every read on this
+            # reference stays an RPC.
+            return None
+        cache.lease_requests += 1
+        ttl_ms = max(1, int(self.gc_config.lease_ttl * 1000))
+        sent_at = time.monotonic()
+        call_id = connection.next_call_id()
+        prior = cache.last_lease_id(wirerep)
+        if prior is not None:
+            request = messages.LeaseRenew(call_id, wirerep, prior, ttl_ms)
+        else:
+            request = messages.LeaseReq(call_id, wirerep, ttl_ms)
+        try:
+            reply = connection.call(request, timeout=self.call_timeout)
+        except NetObjError:
+            return None
+        if not isinstance(reply, messages.LeaseGrant) or not reply.ok:
+            if isinstance(reply, messages.LeaseGrant) \
+                    and reply.error == "unleasable":
+                # The owner's class declares no @reads methods; asking
+                # again for this type is pointless.
+                cache.mark_unleasable(surrogate._surrogate_typecode_)
+            return None
+        unpickler = self._marshal.acquire_unpickler(self._codec_ctx(connection))
+        try:
+            state = unpickler.loads(reply.snapshot_pickle)
+        except UnmarshalError:
+            return None
+        finally:
+            self._marshal.release_unpickler(unpickler)
+        replica = build_replica(
+            self.types.class_for(surrogate._surrogate_typecode_), state
+        )
+        deadline = sent_at + reply.ttl_ms / 1000.0
+        if not cache.register(wirerep, reply.lease_id, replica, deadline,
+                              reply.version):
+            return None  # invalidated or superseded while in flight
+        return replica
+
+    def _release_lease(self, connection: Connection,
+                       target: WireRep) -> None:
+        """Drop any held lease on ``target`` and tell the owner — the
+        clean path calls this so a resurrected surrogate can never be
+        served defunct cached state, and so the owner retires the lease
+        without waiting out its deadline."""
+        held = self.lease_cache.drop(target)
+        if held is not None and connection.version >= 4:
+            try:
+                connection.send(messages.LeaseRelease(target, held.lease_id))
+            except CommFailure:
+                pass  # owner gone; its lease dies with the connection
+
     # -- GC plumbing -------------------------------------------------------------------
 
     def _gc_request(self, endpoints: Sequence[str], kind: str, *,
@@ -543,11 +675,14 @@ class Space:
             if not reply.ok:
                 raise NoSuchObjectError(reply.error)
         elif kind == "clean":
+            self._release_lease(connection, target)
             request = messages.Clean(
                 connection.next_call_id(), target, seqno, strong
             )
             connection.call(request, timeout=timeout)
         elif kind == "clean_batch":
+            for entry_target, _seqno, _strong in entries:
+                self._release_lease(connection, entry_target)
             if connection.version >= 3 and len(entries) > 1:
                 request = messages.CleanBatch(
                     connection.next_call_id(), tuple(entries)
@@ -694,6 +829,18 @@ class Space:
             self._apply_copy_ack(message)
         elif isinstance(message, messages.Ping):
             self._reply(connection, messages.PingAck(message.call_id))
+        elif isinstance(message, (messages.LeaseReq, messages.LeaseRenew)):
+            self._serve_lease(connection, message)
+        elif isinstance(message, messages.LeaseInvalidate):
+            # Holder side: drop the replica, then ack.  Ack ordering
+            # matters — the writer's result is withheld until this ack,
+            # so a reader here can never see pre-write cached state
+            # after the writer's call returned.
+            self.lease_cache.invalidate(message.target, message.lease_id)
+            self._reply(connection,
+                        messages.LeaseInvalidateAck(message.call_id))
+        elif isinstance(message, messages.LeaseRelease):
+            self._apply_lease_release(connection.peer_id, message)
         # Unknown requests are dropped; replies are handled in Connection.
 
     def _apply_dirty(self, peer: SpaceID, message: messages.Dirty):
@@ -727,6 +874,8 @@ class Space:
                 finally:
                     self._marshal.release_unpickler(unpickler)
             result = method(*args, **kwargs)
+            if self._leases_enabled:
+                self._invalidate_after_write(obj, call.method)
             self._send_result(connection, call.call_id, result)
             return
         except NetObjError as exc:
@@ -762,6 +911,138 @@ class Space:
             connection.send_buffer(buffer)
         except CommFailure:
             pass  # peer vanished; nothing to tell it
+
+    # -- read leases: owner half -------------------------------------------------------
+
+    def _serve_lease(self, connection: Connection, message) -> None:
+        """Grant (or deny) a read lease: LEASE_REQ / LEASE_RENEW.
+
+        The grant frame is built like a result frame — envelope prefix,
+        then the state pickle streamed into the same buffer — but the
+        snapshot runs *inside* the lease-table critical section, so it
+        is atomic with respect to the write path's invalidation
+        collect: a concurrent write either sees this lease registered
+        (and invalidates it) or the snapshot captures the post-write
+        state.  Never called under the collector's lock (lock order is
+        lease lock → DgcOwner lock; the pickle may record copy pins).
+        """
+        holder = connection.peer_id
+        target = message.target
+        entry = None
+        deny = None
+        if not self._leases_enabled:
+            deny = "leasing disabled"
+        elif target.owner != self.space_id:
+            deny = f"not the owner of {target}"
+        else:
+            entry = self.object_table.exported_entry(target.index)
+            if entry is None:
+                deny = f"no such object: {target}"
+            elif not reads_method_set(type(entry.obj)):
+                deny = "unleasable"
+            elif holder not in entry.pdirty:
+                # Lease ⊆ pdirty: a holder must be registered with the
+                # collector first, so purge/CLEAN provably retire every
+                # lease.  (Unlocked read: a racing clean is caught by
+                # the retirement hook after the grant registers.)
+                deny = "holder not in dirty set"
+        if deny is not None:
+            self.lease_table.leases_denied += 1
+            self._reply(connection, messages.LeaseGrant(
+                message.call_id, False, 0, 0, 0, deny, b""
+            ))
+            return
+        if isinstance(message, messages.LeaseRenew):
+            self.lease_table.retire_by_id(entry, holder, message.lease_id)
+        ttl = min(message.ttl_ms / 1000.0, self.gc_config.lease_ttl)
+        ttl_ms = max(1, int(ttl * 1000))
+        buffer = connection.new_send_buffer()
+        pickler = self._marshal.acquire_pickler(self._codec_ctx(connection))
+        obj = entry.obj
+
+        def snapshot(lease) -> None:
+            messages.encode_lease_grant_prefix(
+                buffer, message.call_id, lease.lease_id, ttl_ms,
+                lease.version,
+            )
+            pickler.dump_into(snapshot_state(obj), buffer)
+
+        try:
+            with self.lease_table.lock:
+                self.lease_table.grant(entry, holder, ttl, snapshot)
+        except Exception as exc:  # noqa: BLE001 - unpicklable state etc.
+            connection.discard_send_buffer(buffer)
+            self.lease_table.leases_denied += 1
+            self._reply(connection, messages.LeaseGrant(
+                message.call_id, False, 0, 0, 0,
+                f"snapshot failed: {exc}", b"",
+            ))
+            return
+        finally:
+            self._marshal.release_pickler(pickler)
+        try:
+            connection.send_buffer(buffer)
+        except CommFailure:
+            pass  # holder vanished; its lease expires on its own
+
+    def _apply_lease_release(self, peer: SpaceID,
+                             message: messages.LeaseRelease) -> None:
+        if message.target.owner != self.space_id:
+            return
+        entry = self.object_table.exported_entry(message.target.index)
+        if entry is not None:
+            self.lease_table.retire_by_id(entry, peer, message.lease_id)
+
+    def _invalidate_after_write(self, obj: NetObj, method_name: str) -> None:
+        """Write-path invalidation: runs after the mutation, before its
+        result frame is released.
+
+        Every live lease holder gets a LEASE_INVALIDATE and the result
+        is withheld until each has acked — or, for an unreachable
+        holder, until the owner-side lease deadline has passed (the
+        holder's own clock expired the replica strictly earlier, see
+        :meth:`_acquire_lease`).  Either way, once the writer's call
+        returns no reader anywhere can observe pre-write cached state.
+        """
+        reads = reads_method_set(type(obj))
+        if not reads or method_name in reads:
+            return  # not a leasable type, or a read — nothing to do
+        entry = self.object_table.exported_entry_for(obj)
+        if entry is None:
+            return
+        live = self.lease_table.begin_write(entry)
+        if not live:
+            return
+        wirerep = self.object_table.wirerep_for(entry)
+        version = entry.lease_version
+        sends = []
+        for lease in live:
+            peer_conn = self.connection_to(lease.holder)
+            future = None
+            if peer_conn is not None and peer_conn.version >= 4:
+                request = messages.LeaseInvalidate(
+                    peer_conn.next_call_id(), wirerep, lease.lease_id,
+                    version,
+                )
+                try:
+                    future = peer_conn.call_async(request)
+                except NetObjError:
+                    future = None
+            sends.append((lease, future))
+        slack = self.gc_config.lease_invalidate_slack
+        for lease, future in sends:
+            if future is not None:
+                budget = max(0.0, lease.remaining()) + slack
+                if future.exception(budget) is None:
+                    self.lease_table.retire(entry, lease.holder, lease)
+                    continue
+            # Unreachable (or unresponsive) holder: wait out the
+            # owner-side deadline; the replica is already dead at the
+            # holder by then.
+            remaining = lease.remaining()
+            if remaining > 0:
+                time.sleep(remaining)
+            self.lease_table.retire(entry, lease.holder, lease)
 
     def _resolve_target(self, target: WireRep) -> NetObj:
         if target.owner != self.space_id:
@@ -835,7 +1116,13 @@ class Space:
             "cache": self.cache.stats(),
             "reactor": self.reactor.stats(),
             "marshal": self._marshal.stats(),
+            "leases": self.lease_stats(),
         }
+
+    def lease_stats(self) -> dict:
+        """Owner- and client-side read-lease counters, merged (the two
+        halves share no key names)."""
+        return {**self.lease_table.stats(), **self.lease_cache.stats()}
 
     def gc_stats(self) -> dict:
         """A snapshot of collector counters (tests and benchmarks)."""

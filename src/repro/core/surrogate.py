@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple, Type
 
+from repro.core.netobj import reads_method_set
 from repro.wire.wirerep import WireRep
 
 
@@ -35,6 +36,16 @@ class Surrogate:
 
     def _invoke(self, method: str, args: tuple, kwargs: dict):
         return self._invoker(self._wirerep, self._endpoints, method, args, kwargs)
+
+    def _invoke_read(self, method: str, args: tuple, kwargs: dict):
+        """Invocation path for ``@reads`` methods: try the space's
+        lease cache first, falling back to an ordinary remote call when
+        leasing is off, denied, or the peer predates protocol v4."""
+        space = getattr(self._invoker, "__self__", None)
+        read = getattr(space, "_invoke_read", None)
+        if read is None:
+            return self._invoke(method, args, kwargs)
+        return read(self, method, args, kwargs)
 
     def __repr__(self) -> str:
         return (
@@ -58,12 +69,27 @@ def _make_method(name: str):
     return method
 
 
+def _make_read_method(name: str):
+    def method(self, *args, **kwargs):
+        return self._invoke_read(name, args, kwargs)
+
+    method.__name__ = name
+    method.__qualname__ = f"Surrogate.{name}"
+    method.__doc__ = (
+        f"Lease-cached read of {name!r}: served from the local replica "
+        f"when a read lease is held, remote invocation otherwise."
+    )
+    return method
+
+
 def build_surrogate_class(typecode: str, interface: Type,
                           methods: Sequence[str]) -> Type:
     """Generate the surrogate class for one interface typecode."""
     namespace = {"_surrogate_typecode_": typecode}
+    read_methods = reads_method_set(interface)
     for name in methods:
-        namespace[name] = _make_method(name)
+        namespace[name] = (_make_read_method(name) if name in read_methods
+                           else _make_method(name))
     surrogate_cls = type(f"Surrogate[{typecode}]", (Surrogate,), namespace)
     register = getattr(interface, "register", None)
     if callable(register):

@@ -41,3 +41,12 @@ class GcConfig:
     #: CLEAN_BATCH frame (protocol v3).  1 disables batching: every
     #: clean goes out as a unit CLEAN frame, as in v2.
     clean_batch_max: int = 64
+    #: Owner-side cap on a read lease's lifetime (protocol v4), in
+    #: seconds; also the TTL clients request by default.  The owner
+    #: grants min(requested, cap).  Short enough that an unreachable
+    #: holder delays a writer by at most this long.
+    lease_ttl: float = 5.0
+    #: Extra wait (seconds) on top of a lease's remaining lifetime when
+    #: a writer awaits invalidation acks — absorbs scheduling jitter so
+    #: a live-but-slow holder acks instead of being expired.
+    lease_invalidate_slack: float = 0.1

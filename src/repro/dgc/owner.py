@@ -25,6 +25,16 @@ class DgcOwner:
         self._table = table
         self._lock = threading.RLock()
         self._on_drop = on_drop
+        #: Optional hook ``(entry, client)`` retiring the client's read
+        #: lease when it leaves the dirty set (CLEAN or purge) — leases
+        #: imply dirty-set membership, so departure must retire them.
+        #: Called strictly *outside* this collector's lock: the lease
+        #: lock orders before it (the grant path pickles snapshots
+        #: under the lease lock, which can take this lock via
+        #: record_copy_sent), so calling it under our lock would be the
+        #: textbook ABBA deadlock.
+        self.lease_retire: Optional[Callable[[ExportedEntry, SpaceID], None]] \
+            = None
         # Statistics read by tests and the GC benchmarks.
         self.dirty_calls_seen = 0
         self.clean_calls_seen = 0
@@ -56,6 +66,7 @@ class DgcOwner:
         """Apply a clean call.  Cleaning an unknown object is a no-op
         (the paper: "if it is not in the set, the clean call is a
         no-op"), which makes clean retries idempotent."""
+        departed = None
         with self._lock:
             self.clean_calls_seen += 1
             entry = self._table.exported_entry(target.index)
@@ -64,9 +75,12 @@ class DgcOwner:
             if seqno > entry.seqnos.get(client, 0):
                 entry.seqnos[client] = seqno
                 entry.pdirty.discard(client)
+                departed = entry
                 self._maybe_drop(entry)
             else:
                 self.stale_calls_ignored += 1
+        if departed is not None and self.lease_retire is not None:
+            self.lease_retire(departed, client)
 
     # -- transient entries for owner-sent copies ---------------------------------
 
@@ -95,14 +109,17 @@ class DgcOwner:
 
         Returns the number of entries it was removed from.
         """
-        purged = 0
+        departed = []
         with self._lock:
             for entry in self._table.exported_entries():
                 if client in entry.pdirty:
                     entry.pdirty.discard(client)
-                    purged += 1
+                    departed.append(entry)
                     self._maybe_drop(entry)
-        return purged
+        if self.lease_retire is not None:
+            for entry in departed:
+                self.lease_retire(entry, client)
+        return len(departed)
 
     def clients(self) -> Set[SpaceID]:
         """Every space currently present in some dirty set."""

@@ -22,6 +22,7 @@ basic prudence when reading bytes off a network.
 from repro.marshal.registry import StructRegistry, global_registry, register_struct
 from repro.marshal.pickler import NetObjHandler, Pickler, dumps
 from repro.marshal.pool import MarshalPool
+from repro.marshal.snapshot import build_replica, snapshot_state
 from repro.marshal.unpickler import Unpickler, loads
 
 __all__ = [
@@ -30,8 +31,10 @@ __all__ = [
     "Pickler",
     "StructRegistry",
     "Unpickler",
+    "build_replica",
     "dumps",
     "global_registry",
     "loads",
     "register_struct",
+    "snapshot_state",
 ]

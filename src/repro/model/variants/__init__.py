@@ -9,7 +9,10 @@
 * :mod:`counting` — sequential cost models of the owner
   optimisations (Section 5.2) and of the related algorithms the paper
   compares against (Lermen–Maurer, Weighted RC, Indirect RC), used by
-  the E4 message-overhead benchmark.
+  the E4 message-overhead benchmark;
+* :mod:`leased` — the protocol-v4 read-lease layer over the dirty
+  sets: grant/invalidate/expire/CLEAN/crash interleavings, checking
+  staleness, the lease ⊆ pdirty invariant, and leak-freedom.
 """
 
 from repro.model.variants.naive import (
@@ -37,6 +40,12 @@ from repro.model.variants.owner_opt import (
     initial_owner_opt,
     owner_opt_violations,
 )
+from repro.model.variants.leased import (
+    LeasedConfiguration,
+    LeasedMachine,
+    initial_leased,
+    leased_violations,
+)
 from repro.model.variants.counting import (
     BirrellCounting,
     BirrellFifoCounting,
@@ -61,6 +70,10 @@ __all__ = [
     "faulty_safety_violations",
     "initial_faulty",
     "IndirectRC",
+    "LeasedConfiguration",
+    "LeasedMachine",
+    "initial_leased",
+    "leased_violations",
     "LermenMaurer",
     "NaiveConfiguration",
     "NaiveMachine",

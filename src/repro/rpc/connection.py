@@ -24,13 +24,14 @@ Calls come in two shapes over the same call-id multiplexing:
 
 The handshake negotiates the protocol version down to
 ``min(ours, peer's)`` (floor :data:`~repro.wire.protocol.MIN_PROTOCOL_VERSION`),
-so a v3 runtime interoperates with a v2 peer — in either dial
-direction — by never sending the v3 frames (``CLEAN_BATCH``).  The
-HELLO's legacy version field announces our floor, which a genuine
-pre-negotiation v2 peer accepts under its strict equality check; the
-real maximum rides in a trailing extension field old decoders ignore
-(see :class:`~repro.rpc.messages.Hello`).  The agreed version is
-``self.version``.
+so a v4 runtime interoperates with a v2 or v3 peer — in either dial
+direction — by never sending the newer frames (``CLEAN_BATCH`` is v3;
+the read-lease frames ``LEASE_REQ`` .. ``LEASE_INVALIDATE_ACK`` are
+v4).  The HELLO's legacy version field announces our floor, which a
+genuine pre-negotiation v2 peer accepts under its strict equality
+check; the real maximum rides in a trailing extension field old
+decoders ignore (see :class:`~repro.rpc.messages.Hello`).  The agreed
+version is ``self.version``.
 """
 
 from __future__ import annotations

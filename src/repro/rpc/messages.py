@@ -480,10 +480,223 @@ class PingAck(_Encodable):
         return cls(call_id)
 
 
+# -- read leases (protocol v4) ----------------------------------------------
+
+def encode_lease_grant_prefix(out: bytearray, call_id: int, lease_id: int,
+                              ttl_ms: int, version: int) -> None:
+    """Write a successful LEASE_GRANT envelope; the state snapshot
+    pickle follows as trailing bytes (same zero-copy discipline as
+    RESULT)."""
+    out.append(protocol.LEASE_GRANT)
+    write_uvarint(out, call_id)
+    out.append(1)  # ok
+    write_uvarint(out, lease_id)
+    write_uvarint(out, ttl_ms)
+    write_uvarint(out, version)
+    _write_str(out, "")
+
+
+@dataclass(frozen=True)
+class LeaseReq(_Encodable):
+    """Client asks the owner for a read lease on ``target``.
+
+    ``ttl_ms`` is the TTL the client would like; the owner may grant
+    less (its configured cap) but never more.  Only sent on
+    connections that negotiated version ≥ 4.
+    """
+
+    call_id: int
+    target: WireRep
+    ttl_ms: int
+    tag = protocol.LEASE_REQ
+
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
+        write_uvarint(out, self.call_id)
+        self.target.to_wire(out)
+        write_uvarint(out, self.ttl_ms)
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "LeaseReq":
+        call_id, offset = read_uvarint(data, offset)
+        target, offset = WireRep.from_wire(data, offset)
+        ttl_ms, offset = read_uvarint(data, offset)
+        return cls(call_id, target, ttl_ms)
+
+
+@dataclass(frozen=True)
+class LeaseRenew(_Encodable):
+    """Refresh request for a previously granted lease.
+
+    Semantically a :class:`LeaseReq` that also names the prior
+    ``lease_id`` so the owner can retire it in the same step instead of
+    waiting for its expiry.  The reply is a fresh LEASE_GRANT.
+    """
+
+    call_id: int
+    target: WireRep
+    lease_id: int
+    ttl_ms: int
+    tag = protocol.LEASE_RENEW
+
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
+        write_uvarint(out, self.call_id)
+        self.target.to_wire(out)
+        write_uvarint(out, self.lease_id)
+        write_uvarint(out, self.ttl_ms)
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "LeaseRenew":
+        call_id, offset = read_uvarint(data, offset)
+        target, offset = WireRep.from_wire(data, offset)
+        lease_id, offset = read_uvarint(data, offset)
+        ttl_ms, offset = read_uvarint(data, offset)
+        return cls(call_id, target, lease_id, ttl_ms)
+
+
+class LeaseGrant(_Encodable):
+    """Owner's reply to LEASE_REQ / LEASE_RENEW.
+
+    On success (``ok``) it carries the lease id, the granted TTL, the
+    object's lease version and — as the frame's *trailing* bytes, like
+    a RESULT pickle — the snapshot of the object's lease-safe state.
+    On denial the snapshot is empty and ``error`` says why; the client
+    falls back to per-call RPC.
+
+    A ``__slots__`` class (not a frozen dataclass) for the same reason
+    as :class:`Result`: it carries a bulk pickle on the hot read path.
+    """
+
+    __slots__ = ("call_id", "ok", "lease_id", "ttl_ms", "version", "error",
+                 "snapshot_pickle")
+    tag = protocol.LEASE_GRANT
+
+    def __init__(self, call_id: int, ok: bool, lease_id: int, ttl_ms: int,
+                 version: int, error: str, snapshot_pickle) -> None:
+        self.call_id = call_id
+        self.ok = ok
+        self.lease_id = lease_id
+        self.ttl_ms = ttl_ms
+        self.version = version
+        self.error = error
+        self.snapshot_pickle = snapshot_pickle
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LeaseGrant):
+            return (self.call_id == other.call_id and self.ok == other.ok
+                    and self.lease_id == other.lease_id
+                    and self.ttl_ms == other.ttl_ms
+                    and self.version == other.version
+                    and self.error == other.error
+                    and self.snapshot_pickle == other.snapshot_pickle)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"LeaseGrant(call_id={self.call_id}, ok={self.ok}, "
+                f"lease_id={self.lease_id}, ttl_ms={self.ttl_ms}, "
+                f"version={self.version}, error={self.error!r}, "
+                f"snapshot_pickle=<{len(self.snapshot_pickle)} bytes>)")
+
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
+        write_uvarint(out, self.call_id)
+        out.append(1 if self.ok else 0)
+        write_uvarint(out, self.lease_id)
+        write_uvarint(out, self.ttl_ms)
+        write_uvarint(out, self.version)
+        _write_str(out, self.error)
+        out += self.snapshot_pickle
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "LeaseGrant":
+        call_id, offset = read_uvarint(data, offset)
+        if offset >= len(data):
+            raise UnmarshalError("truncated LeaseGrant")
+        ok = bool(data[offset])
+        lease_id, offset = read_uvarint(data, offset + 1)
+        ttl_ms, offset = read_uvarint(data, offset)
+        version, offset = read_uvarint(data, offset)
+        error, offset = _read_str(data, offset)
+        return cls(call_id, ok, lease_id, ttl_ms, version, error,
+                   data[offset:])
+
+
+@dataclass(frozen=True)
+class LeaseRelease(_Encodable):
+    """Client gives up a lease early (one-way, no reply) — sent just
+    before a CLEAN so the owner retires the lease without waiting for
+    its deadline."""
+
+    target: WireRep
+    lease_id: int
+    tag = protocol.LEASE_RELEASE
+
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
+        self.target.to_wire(out)
+        write_uvarint(out, self.lease_id)
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "LeaseRelease":
+        target, offset = WireRep.from_wire(data, offset)
+        lease_id, offset = read_uvarint(data, offset)
+        return cls(target, lease_id)
+
+
+@dataclass(frozen=True)
+class LeaseInvalidate(_Encodable):
+    """Owner tells a lease holder its cached state is stale.
+
+    Sent on the write path *before* the mutation's result is released;
+    the writer's reply is withheld until every live holder has acked
+    (or its lease has provably expired), which is what bounds staleness
+    at one RTT.  ``version`` is the owner's new lease version.
+    """
+
+    call_id: int
+    target: WireRep
+    lease_id: int
+    version: int
+    tag = protocol.LEASE_INVALIDATE
+
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
+        write_uvarint(out, self.call_id)
+        self.target.to_wire(out)
+        write_uvarint(out, self.lease_id)
+        write_uvarint(out, self.version)
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "LeaseInvalidate":
+        call_id, offset = read_uvarint(data, offset)
+        target, offset = WireRep.from_wire(data, offset)
+        lease_id, offset = read_uvarint(data, offset)
+        version, offset = read_uvarint(data, offset)
+        return cls(call_id, target, lease_id, version)
+
+
+@dataclass(frozen=True)
+class LeaseInvalidateAck(_Encodable):
+    call_id: int
+    tag = protocol.LEASE_INVALIDATE_ACK
+
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
+        write_uvarint(out, self.call_id)
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "LeaseInvalidateAck":
+        call_id, offset = read_uvarint(data, offset)
+        return cls(call_id)
+
+
 Message = Union[
     Hello, HelloAck, Bye, Call, Result, Fault,
     Dirty, DirtyAck, Clean, CleanAck, CleanBatch, CleanBatchAck,
     CopyAck, Ping, PingAck,
+    LeaseReq, LeaseGrant, LeaseRenew, LeaseRelease,
+    LeaseInvalidate, LeaseInvalidateAck,
 ]
 
 _DECODERS = {
@@ -502,12 +715,19 @@ _DECODERS = {
     protocol.COPY_ACK: CopyAck.decode,
     protocol.PING: Ping.decode,
     protocol.PING_ACK: PingAck.decode,
+    protocol.LEASE_REQ: LeaseReq.decode,
+    protocol.LEASE_GRANT: LeaseGrant.decode,
+    protocol.LEASE_RENEW: LeaseRenew.decode,
+    protocol.LEASE_RELEASE: LeaseRelease.decode,
+    protocol.LEASE_INVALIDATE: LeaseInvalidate.decode,
+    protocol.LEASE_INVALIDATE_ACK: LeaseInvalidateAck.decode,
 }
 
 #: Replies carry a ``call_id`` matched against the issuer's pending table.
 REPLY_TAGS = frozenset(
     {protocol.RESULT, protocol.FAULT, protocol.DIRTY_ACK,
-     protocol.CLEAN_ACK, protocol.CLEAN_BATCH_ACK, protocol.PING_ACK}
+     protocol.CLEAN_ACK, protocol.CLEAN_BATCH_ACK, protocol.PING_ACK,
+     protocol.LEASE_GRANT, protocol.LEASE_INVALIDATE_ACK}
 )
 
 

@@ -9,10 +9,11 @@ ordinary messages on the same channels as method invocations.
 
 from __future__ import annotations
 
-#: Version 3: adds CLEAN_BATCH/CLEAN_BATCH_ACK (batched collector
+#: Version 4: adds the read-lease frames (LEASE_REQ .. LEASE_INVALIDATE_ACK).
+#: Version 3 added CLEAN_BATCH/CLEAN_BATCH_ACK (batched collector
 #: traffic).  Version 2 introduced trailing pickles on CALL/RESULT
 #: (no varint length prefix), enabling single-buffer encode.
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 #: Oldest version we still speak.  HELLO negotiates down to
 #: ``min(ours, peer's)``; below this floor the handshake is rejected.
@@ -40,6 +41,14 @@ PING_ACK = 0x26       # client liveness reply
 CLEAN_BATCH = 0x27    # several clean calls for one owner in one frame (v3)
 CLEAN_BATCH_ACK = 0x28  # owner acknowledges a whole clean batch (v3)
 
+# --- read leases (v4) ------------------------------------------------------
+LEASE_REQ = 0x30        # client asks the owner for a read lease
+LEASE_GRANT = 0x31      # owner's reply: lease id/ttl/version + state snapshot
+LEASE_RENEW = 0x32      # client refreshes an expired/expiring lease
+LEASE_RELEASE = 0x33    # client gives up a lease early (one-way)
+LEASE_INVALIDATE = 0x34  # owner tells a holder its cached state is stale
+LEASE_INVALIDATE_ACK = 0x35  # holder confirms it dropped the cached state
+
 _NAMES = {
     HELLO: "HELLO",
     HELLO_ACK: "HELLO_ACK",
@@ -56,11 +65,23 @@ _NAMES = {
     PING_ACK: "PING_ACK",
     CLEAN_BATCH: "CLEAN_BATCH",
     CLEAN_BATCH_ACK: "CLEAN_BATCH_ACK",
+    LEASE_REQ: "LEASE_REQ",
+    LEASE_GRANT: "LEASE_GRANT",
+    LEASE_RENEW: "LEASE_RENEW",
+    LEASE_RELEASE: "LEASE_RELEASE",
+    LEASE_INVALIDATE: "LEASE_INVALIDATE",
+    LEASE_INVALIDATE_ACK: "LEASE_INVALIDATE_ACK",
 }
 
 #: Tags that belong to the distributed collector rather than the mutator.
 GC_TAGS = frozenset({DIRTY, DIRTY_ACK, CLEAN, CLEAN_ACK, COPY_ACK, PING,
                      PING_ACK, CLEAN_BATCH, CLEAN_BATCH_ACK})
+
+#: Tags of the v4 read-lease protocol.  Never emitted to a peer whose
+#: negotiated version is below 4 — the surrogate silently falls back to
+#: per-call RPC instead.
+LEASE_TAGS = frozenset({LEASE_REQ, LEASE_GRANT, LEASE_RENEW, LEASE_RELEASE,
+                        LEASE_INVALIDATE, LEASE_INVALIDATE_ACK})
 
 
 def tag_name(tag: int) -> str:

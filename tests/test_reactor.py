@@ -396,7 +396,7 @@ class TestSpaceStats:
             assert echo.echo("x") == "x"
             stats = client.stats()
             assert set(stats) == {
-                "gc", "dispatcher", "cache", "reactor", "marshal"
+                "gc", "dispatcher", "cache", "reactor", "marshal", "leases"
             }
             assert stats["reactor"]["frames_in"] >= 1
             assert stats["reactor"]["frames_out"] >= 1
