@@ -277,6 +277,10 @@ class TestShape:
                         server.endpoints[1], "echo"
                     )
                     tcp_us = time_it(via_tcp.nothing)
+                    fastlane = dict(client.stats()["fastlane"])
+                fastlane["inline_dispatches"] = \
+                    server.stats()["fastlane"]["inline_dispatches"]
+                fastlane["inline_demotions"] = server.inline_demotions
 
             # Raw baselines.
             client_chan, server_chan = channel_pair()
@@ -304,10 +308,11 @@ class TestShape:
             raw_tcp_us = time_it(raw_tcp_call)
             raw_tcp_chan.close()
             listener.close()
-            return (same_space, raw_inproc_us, inproc_us, raw_tcp_us, tcp_us)
+            return (same_space, raw_inproc_us, inproc_us, raw_tcp_us,
+                    tcp_us, fastlane)
 
-        (same_space, raw_inproc_us, inproc_us,
-         raw_tcp_us, tcp_us) = benchmark.pedantic(run, rounds=1, iterations=1)
+        (same_space, raw_inproc_us, inproc_us, raw_tcp_us,
+         tcp_us, fastlane) = benchmark.pedantic(run, rounds=1, iterations=1)
 
         report("E1 null call", f"same-space   netobj : {same_space:9.1f} us",
                null_call_same_space_ns=same_space * 1e3)
@@ -321,7 +326,17 @@ class TestShape:
                null_call_tcp_ns=tcp_us * 1e3)
         report("E1 null call",
                f"object-layer overhead: x{inproc_us / raw_inproc_us:.1f} "
-               f"(same machine), x{tcp_us / raw_tcp_us:.1f} (network)")
+               f"(same machine), x{tcp_us / raw_tcp_us:.1f} (network)",
+               overhead_same_machine_x=round(inproc_us / raw_inproc_us, 2),
+               overhead_network_x=round(tcp_us / raw_tcp_us, 2))
+        report("E1 null call",
+               "fast lane: "
+               f"{fastlane['methods_bound']} bound, "
+               f"{fastlane['fastlane_calls']} typed calls, "
+               f"{fastlane['fastlane_fallbacks']} pickle fallbacks, "
+               f"{fastlane['inline_dispatches']} inline dispatches, "
+               f"{fastlane['inline_demotions']} demotions",
+               **fastlane)
 
         assert same_space < inproc_us, "direct call must beat cross-space"
         assert same_space < tcp_us

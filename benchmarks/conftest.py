@@ -22,15 +22,21 @@ from pathlib import Path
 
 import pytest
 
-from repro import NetObj, Space
+from repro import NetObj, Space, quick
 
 _REPORT_ROWS = defaultdict(list)
 _REPORT_METRICS = defaultdict(dict)
 
 
 class Echo(NetObj):
-    """The benchmark workhorse: null calls and payload echoes."""
+    """The benchmark workhorse: null calls and payload echoes.
 
+    ``nothing`` is ``@quick`` so the E1 null-call rows exercise the
+    full v5 fast lane (typed frames + inline reactor dispatch) — the
+    configuration the "object-layer overhead" claim is about.
+    """
+
+    @quick
     def nothing(self) -> None:
         return None
 

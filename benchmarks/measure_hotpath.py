@@ -5,6 +5,13 @@ numbers, so the same script can be run before and after a hot-path
 change and the two runs diffed mechanically.  Used by the PR workflow
 to record the before/after deltas committed in ``BENCH_*.json``.
 
+The ``E1_hotpath_profile`` section breaks a null call into the
+pipeline's stage buckets (encode / syscall / reactor / dispatch /
+user_code / decode, see :mod:`repro.rpc.hotpath`) from a separate
+profiled run — profiling costs a few hundred ns per call, so the
+headline E1 numbers always come from unprofiled spaces and the profile
+is attribution, not the measurement.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/measure_hotpath.py [--smoke]
@@ -20,12 +27,13 @@ import sys
 import time
 
 from repro import Space
-from repro.core.netobj import NetObj
+from repro.core.netobj import NetObj, quick
 from repro.marshal.pickler import Pickler
 from repro.marshal.unpickler import Unpickler
 
 
 class Echo(NetObj):
+    @quick
     def nothing(self) -> None:
         return None
 
@@ -75,6 +83,41 @@ def measure_null_call(transport: str, iterations: int,
             echo = client.import_object(server.endpoints[0], "echo")
             results.append(_best_of(echo.nothing, iterations))
     return min(results)
+
+
+def measure_null_call_profile(iterations: int) -> dict:
+    """One profiled TCP null-call run: per-stage mean µs per bucket.
+
+    Client and server stages land in their own space's profile (the
+    client accumulates encode/decode plus its half of syscall/reactor;
+    the server accumulates user_code/dispatch plus its half), so the
+    two are reported side by side.  Absolute per-call cost here runs a
+    few hundred ns above the headline E1 number — the instrumentation
+    itself is on the clock.
+    """
+    with Space("mp-server", listen=["tcp://127.0.0.1:0"], shm="off",
+               hotpath_profile=True) as server, \
+            Space("mp-client", shm="off", hotpath_profile=True) as client:
+        server.serve("echo", Echo())
+        echo = client.import_object(server.endpoints[0], "echo")
+        echo.nothing()  # warm: bind + connection setup out of the window
+        client.hotpath.reset()
+        server.hotpath.reset()
+        for _ in range(iterations):
+            echo.nothing()
+
+        def stage_means(space):
+            stages = space.stats()["hotpath"]["stages"]
+            return {
+                name: round(bucket["mean_us"], 3)
+                for name, bucket in stages.items() if bucket["calls"]
+            }
+
+        return {
+            "iterations": iterations,
+            "client_stage_mean_us": stage_means(client),
+            "server_stage_mean_us": stage_means(server),
+        }
 
 
 def measure_throughput(size: int, repeats: int) -> float:
@@ -134,6 +177,9 @@ def main() -> None:
                 "tcp", e1_iters, trials=1 if smoke else 3
             ),
         },
+        "E1_hotpath_profile": measure_null_call_profile(
+            50 if smoke else 1000
+        ),
         "E2_marshal_ns": measure_marshal(e2_iters),
         "E3_throughput_mbps": {
             "64KiB": measure_throughput(64 * 1024, e3_repeats),

@@ -28,7 +28,9 @@ Quickstart::
     assert counter.increment() == 1
 """
 
-from repro.core import GcConfig, NetObj, Space, Surrogate, async_call, reads
+from repro.core import (
+    GcConfig, NetObj, Space, Surrogate, async_call, quick, reads, wiretypes,
+)
 from repro.rpc.futures import CallFuture, RemoteFuture
 from repro.errors import (
     CallTimeout,
@@ -71,7 +73,9 @@ __all__ = [
     "Surrogate",
     "UnmarshalError",
     "async_call",
+    "quick",
     "reads",
     "register_struct",
+    "wiretypes",
     "__version__",
 ]

@@ -7,9 +7,11 @@ imports references from other spaces.  Everything else in this package
 machinery behind those two names.
 """
 
-from repro.core.netobj import NetObj, reads, remote_methods_of
+from repro.core.netobj import NetObj, quick, reads, remote_methods_of
 from repro.core.surrogate import Surrogate
-from repro.core.typecodes import TypeRegistry, global_types, typechain
+from repro.core.typecodes import (
+    TypeRegistry, global_types, typechain, wiretypes,
+)
 from repro.core.objtable import ObjectTable
 from repro.core.space import GcConfig, Space, async_call
 
@@ -22,7 +24,9 @@ __all__ = [
     "Surrogate",
     "TypeRegistry",
     "global_types",
+    "quick",
     "reads",
     "remote_methods_of",
     "typechain",
+    "wiretypes",
 ]

@@ -45,8 +45,11 @@ class ExportedEntry:
     discards them.
     """
 
+    # ``__weakref__``: v5 method bindings reference their entry weakly
+    # (a strong reference would pin the object against the collector
+    # for the life of the peer's connection — see space._MethodBinding).
     __slots__ = ("obj", "index", "pdirty", "seqnos", "tdirty", "pinned",
-                 "leases", "lease_version")
+                 "leases", "lease_version", "__weakref__")
 
     def __init__(self, obj, index: int, pinned: bool = False):
         self.obj = obj

@@ -22,14 +22,26 @@ import os
 import threading
 import time
 import traceback
+import weakref
+from types import FunctionType
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.leases import LeaseCache, LeaseTable
 from repro.core.marshalctx import MarshalContext, decode_ref
-from repro.core.netobj import NetObj, reads_method_set, remote_method_set
+from repro.core.netobj import (
+    NetObj, quick_method_set, reads_method_set, remote_method_set,
+)
 from repro.core.objtable import ObjectTable
 from repro.core.surrogate import Surrogate
-from repro.core.typecodes import TypeRegistry, global_types, typechain
+from repro.core.typecodes import (
+    TypeRegistry,
+    decode_scalar_args,
+    decode_scalar_result,
+    encode_scalar_args_into,
+    encode_scalar_result_into,
+    global_types,
+    typechain,
+)
 from repro.dgc.client import DgcClient, TransientTable
 from repro.dgc.config import GcConfig
 from repro.dgc.daemon import CleanupDaemon
@@ -61,6 +73,7 @@ from repro.rpc.cache import ConnectionCache
 from repro.rpc.connection import Connection
 from repro.rpc.dispatcher import Dispatcher
 from repro.rpc.futures import RemoteFuture
+from repro.rpc.hotpath import HotpathProfile
 from repro.transport.base import Transport, TransportRegistry, split_endpoint
 from repro.transport.inprocess import InProcessTransport
 from repro.transport.reactor import ReactorPool, default_reactor_shards
@@ -90,6 +103,46 @@ _NONE_TAG = tags.NONE
 _PREFETCH_MIN_BYTES = 64
 
 
+class _MethodBinding:
+    """The server half of one interned ``(object, method)`` pair.
+
+    Registered in ``connection.bound_methods`` when a CALL_BIND frame
+    arrives (protocol v5); every later CALL_BOUND/CALL_FAST carrying
+    the same method id skips wirerep decode, the owner check, the
+    object-table lookup, the remote-surface check and the method-name
+    string entirely.  The binding caches the *entry* only weakly and
+    the method as the plain function from the class dict: a strong
+    entry (or bound method) would pin the object against the
+    distributed collector for the life of the peer's connection, which
+    would break the clean/drop story.  ``func`` is None for exotic
+    descriptors (staticmethods, callable instance attributes) — those
+    fall back to per-call ``getattr``.
+
+    ``fault`` records a bind-time resolution failure as an
+    ``(exception_class, message)`` pair replayed on every call — the
+    same answer per-call resolution would keep giving.  ``demoted``
+    flips once when an inline run of a mis-marked ``@quick`` method
+    overran its budget; the binding then dispatches normally forever.
+    """
+
+    __slots__ = ("entry_ref", "method", "func", "quick", "invalidates",
+                 "fault", "demoted")
+
+    def __init__(self, method: str):
+        self.entry_ref = _dead_ref
+        self.method = method
+        self.func = None
+        self.quick = False
+        self.invalidates = False
+        self.fault = None
+        self.demoted = False
+
+
+def _dead_ref():
+    """Stands in for a weakref whose entry never resolved."""
+    return None
+
+
 class Space:
     """One address space: objects, connections and collector state."""
 
@@ -110,6 +163,7 @@ class Space:
         shm: str = "auto",
         marshal_max_per_thread: int = 4,
         leases: str = "on",
+        hotpath_profile: bool = False,
     ):
         """``reactor_shards`` picks the I/O shard count (default
         ``min(4, cpu_count)``); ``dispatcher_max_workers`` and
@@ -119,7 +173,10 @@ class Space:
         ``marshal_max_per_thread`` caps the per-thread codec stacks;
         ``leases`` is ``"on"`` (read leases granted and used on v4
         connections, for types that declare ``@reads`` methods) or
-        ``"off"`` (every read is an RPC, as before v4)."""
+        ``"off"`` (every read is an RPC, as before v4);
+        ``hotpath_profile`` turns on per-stage call-pipeline timing
+        (see :mod:`repro.rpc.hotpath` — costs a few hundred ns per
+        call, so it defaults to off)."""
         self.space_id = fresh_space_id(nickname)
         # Wire decodes of our own identity (the owner field of every
         # incoming call target) then return this very instance, making
@@ -189,6 +246,18 @@ class Space:
         #: CLEAN_BATCH frames actually sent (v3 connections only);
         #: the daemon's ``batches_sent`` counts logical batch attempts.
         self.clean_batch_frames = 0
+
+        # v5 call-fast-lane counters (surfaced as stats()["fastlane"];
+        # inline_dispatches lives on the reactor shards).
+        self.methods_bound = 0
+        self.fastlane_calls = 0
+        self.fastlane_fallbacks = 0
+        self.inline_demotions = 0
+
+        #: Per-stage hot-path buckets; instrumentation sites fire only
+        #: when ``_hotpath`` is non-None (i.e. profiling was requested).
+        self.hotpath = HotpathProfile()
+        self._hotpath = self.hotpath if hotpath_profile else None
 
         self._listeners: List = []
         #: Same-machine side doors (shm rendezvous sockets), one per
@@ -333,7 +402,8 @@ class Space:
                 channel, self.space_id, self.dispatcher,
                 self._handle_request, on_close=self._on_conn_close,
                 outbound=False, max_version=self._protocol_version,
-                reactor=self.reactor,
+                reactor=self.reactor, inline_handler=self._try_inline,
+                profile=self._hotpath,
             )
         except (CommFailure, ProtocolError):
             return
@@ -372,7 +442,8 @@ class Space:
             channel, self.space_id, self.dispatcher,
             self._handle_request, on_close=self._on_conn_close,
             outbound=True, max_version=self._protocol_version,
-            reactor=self.reactor,
+            reactor=self.reactor, inline_handler=self._try_inline,
+            profile=self._hotpath,
         )
         self._track(connection)
         return connection
@@ -433,20 +504,28 @@ class Space:
     # -- outgoing invocations ---------------------------------------------------------
 
     def _invoke_remote(self, wirerep: WireRep, endpoints: Sequence[str],
-                       method: str, args: tuple, kwargs: dict):
+                       method: str, args: tuple, kwargs: dict,
+                       fastlane: bool = False):
         """Entry point for every surrogate method call.
 
         The request is built in a single pooled frame buffer: envelope
-        prefix first, then the args pickle streamed directly after it
-        (see DESIGN.md, "Hot path & copy discipline").
+        prefix first, then the args pickle (or, on the v5 fast lane,
+        the typed scalar encoding) streamed directly after it (see
+        DESIGN.md, "Hot path & copy discipline").  ``fastlane`` is the
+        surrogate's build-time verdict that ``method`` declares a
+        scalar-only signature; the actual arguments are still checked
+        per call and fall back to the pickle lane when they do not
+        conform.
         """
         if self._closed.is_set():
             raise SpaceShutdownError("space is shut down")
+        profile = self._hotpath
         for retry in (False, True):
             connection = self._conn_for_endpoints(endpoints)
             call_id = connection.next_call_id()
-            buffer = self._encode_call(connection, call_id, wirerep, method,
-                                       args, kwargs)
+            buffer, pending_bind = self._encode_call(
+                connection, call_id, wirerep, method, args, kwargs, fastlane
+            )
             try:
                 reply = connection.call_buffer(call_id, buffer,
                                                timeout=self.call_timeout)
@@ -458,7 +537,19 @@ class Space:
                 if retry:
                     raise
                 continue
-            return self._decode_reply(connection, reply)
+            if pending_bind is not None:
+                # The CALL_BIND frame is on the wire (its reply proves
+                # it), so a bound call published now can never overtake
+                # its bind on the stream.
+                connection.method_ids.setdefault(*pending_bind)
+            if profile is None:
+                return self._decode_reply(connection, reply)
+            start = time.perf_counter_ns()
+            try:
+                return self._decode_reply(connection, reply)
+            finally:
+                profile.decode_ns += time.perf_counter_ns() - start
+                profile.decode_calls += 1
 
     def invoke_async(self, surrogate, method: str, *args, **kwargs
                      ) -> RemoteFuture:
@@ -481,8 +572,10 @@ class Space:
         for retry in (False, True):
             connection = self._conn_for_endpoints(surrogate._endpoints)
             call_id = connection.next_call_id()
-            buffer = self._encode_call(connection, call_id, surrogate._wirerep,
-                                       method, args, kwargs)
+            buffer, pending_bind = self._encode_call(
+                connection, call_id, surrogate._wirerep, method, args,
+                kwargs, method in surrogate._fastlane_methods_
+            )
             try:
                 future = connection.call_buffer_async(call_id, buffer)
             except ConnectionClosed:
@@ -490,35 +583,100 @@ class Space:
                 if retry:
                     raise
                 continue
+            if pending_bind is not None:
+                # Published after the send, as in _invoke_remote.
+                connection.method_ids.setdefault(*pending_bind)
             return RemoteFuture(
                 future, lambda reply, c=connection: self._decode_reply(c, reply)
             )
 
     def _encode_call(self, connection: Connection, call_id: int,
                      wirerep: WireRep, method: str, args: tuple,
-                     kwargs: dict) -> bytearray:
-        """Build one Call frame in a pooled buffer (caller owns it)."""
+                     kwargs: dict, fastlane: bool = False):
+        """Build one request frame in a pooled buffer (caller owns it).
+
+        Returns ``(buffer, pending_bind)``: ``pending_bind`` is the
+        ``((wirerep, method), method_id)`` pair the caller must publish
+        into ``connection.method_ids`` once the frame has been sent
+        (None when no new binding was announced).
+        """
+        profile = self._hotpath
+        start = time.perf_counter_ns() if profile is not None else 0
         buffer = connection.new_send_buffer()
+        pending_bind = None
+        try:
+            if connection.version >= 5:
+                pending_bind = self._encode_call_v5(
+                    connection, buffer, call_id, wirerep, method, args,
+                    kwargs, fastlane,
+                )
+            else:
+                messages.encode_call_prefix(buffer, call_id, wirerep, method)
+                self._pickle_args_into(connection, buffer, args, kwargs)
+        except BaseException:
+            connection.discard_send_buffer(buffer)
+            raise
+        if profile is not None:
+            profile.encode_ns += time.perf_counter_ns() - start
+            profile.encode_calls += 1
+        return buffer, pending_bind
+
+    def _encode_call_v5(self, connection: Connection, buffer: bytearray,
+                        call_id: int, wirerep: WireRep, method: str,
+                        args: tuple, kwargs: dict, fastlane: bool):
+        """The v5 request envelope: CALL_BIND on a binding's first
+        call, CALL_FAST/CALL_BOUND afterwards.  Returns the pending
+        bind publication (see :meth:`_encode_call`) or None."""
+        key = (wirerep, method)
+        method_id = connection.method_ids.get(key)
+        if method_id is None:
+            # First call through this binding: the METHOD_BIND
+            # announcement rides the CALL frame itself, so interning
+            # never costs an extra round trip.  Concurrent first calls
+            # each announce their own id — the peer registers all of
+            # them and ``method_ids`` settles on whichever send
+            # publishes first.
+            method_id = connection.next_method_id()
+            self.methods_bound += 1
+            messages.encode_bind_call_prefix(
+                buffer, call_id, method_id, wirerep, method
+            )
+            self._pickle_args_into(connection, buffer, args, kwargs)
+            return key, method_id
+        if fastlane and not kwargs:
+            base = len(buffer)
+            messages.encode_fast_call_prefix(buffer, call_id, method_id)
+            if encode_scalar_args_into(buffer, args):
+                self.fastlane_calls += 1
+                return None
+            # The *signature* conforms but these arguments don't (a
+            # surrogate where a scalar was annotated, an int beyond 64
+            # bits, ...): rewind and take the pickle lane per call.
+            del buffer[base:]
+            self.fastlane_fallbacks += 1
+        messages.encode_bound_call_prefix(buffer, call_id, method_id)
+        self._pickle_args_into(connection, buffer, args, kwargs)
+        return None
+
+    def _pickle_args_into(self, connection: Connection, buffer: bytearray,
+                          args: tuple, kwargs: dict) -> None:
         if not args and not kwargs:
             # Void-call fast path: ``((), {})`` has one canonical
             # encoding, so append it instead of running the pickler.
-            messages.encode_call_prefix(buffer, call_id, wirerep, method)
             buffer += EMPTY_ARGS_PICKLE
-        else:
-            pickler = self._marshal.acquire_pickler(self._codec_ctx(connection))
-            try:
-                messages.encode_call_prefix(buffer, call_id, wirerep, method)
-                pickler.dump_into((args, kwargs), buffer)
-            except BaseException:
-                connection.discard_send_buffer(buffer)
-                raise
-            finally:
-                self._marshal.release_pickler(pickler)
-        return buffer
+            return
+        pickler = self._marshal.acquire_pickler(self._codec_ctx(connection))
+        try:
+            pickler.dump_into((args, kwargs), buffer)
+        finally:
+            self._marshal.release_pickler(pickler)
 
     def _decode_reply(self, connection: Connection,
                       reply: messages.Message):
         """Turn a reply message into the call's value (or exception)."""
+        if type(reply) is messages.FastResult:
+            # v5 typed scalar result: no pickle, no codec stack.
+            return decode_scalar_result(reply.value_wire)
         if isinstance(reply, messages.Fault):
             raise self._fault_to_exception(reply)
         assert isinstance(reply, messages.Result)
@@ -806,7 +964,18 @@ class Space:
 
     def _handle_request(self, connection: Connection,
                         message: messages.Message) -> None:
-        if isinstance(message, messages.Call):
+        # v5 steady-state call frames first: they are the hot path.
+        mtype = type(message)
+        if mtype is messages.FastCall:
+            self._serve_fast_call(connection, message)
+        elif mtype is messages.BoundCall:
+            self._serve_bound_call(connection, message)
+        elif isinstance(message, messages.Call):
+            self._serve_call(connection, message)
+        elif isinstance(message, messages.BindCall):
+            # Register the binding, then serve the piggybacked call —
+            # a BindCall carries the same fields a Call does.
+            self._register_binding(connection, message)
             self._serve_call(connection, message)
         elif isinstance(message, messages.Dirty):
             ok, error = self._apply_dirty(connection.peer_id, message)
@@ -861,19 +1030,15 @@ class Space:
         try:
             obj = self._resolve_target(call.target)
             method = self._resolve_method(obj, call.method)
-            if call.args_pickle == EMPTY_ARGS_PICKLE:
-                # Mirror of the void-call fast path in _invoke_remote.
-                args, kwargs = (), {}
+            args, kwargs = self._decode_args(connection, call.args_pickle)
+            profile = self._hotpath
+            if profile is None:
+                result = method(*args, **kwargs)
             else:
-                self._prefetch_refs(connection, call.args_pickle)
-                unpickler = self._marshal.acquire_unpickler(
-                    self._codec_ctx(connection)
-                )
-                try:
-                    args, kwargs = unpickler.loads(call.args_pickle)
-                finally:
-                    self._marshal.release_unpickler(unpickler)
-            result = method(*args, **kwargs)
+                start = time.perf_counter_ns()
+                result = method(*args, **kwargs)
+                profile.user_code_ns += time.perf_counter_ns() - start
+                profile.user_code_calls += 1
             if self._leases_enabled:
                 self._invalidate_after_write(obj, call.method)
             self._send_result(connection, call.call_id, result)
@@ -888,6 +1053,209 @@ class Space:
                 traceback.format_exc(),
             )
         self._reply(connection, reply)
+
+    def _decode_args(self, connection: Connection, args_pickle):
+        if args_pickle == EMPTY_ARGS_PICKLE:
+            # Mirror of the void-call fast path in _invoke_remote.
+            return (), {}
+        profile = self._hotpath
+        start = time.perf_counter_ns() if profile is not None else 0
+        self._prefetch_refs(connection, args_pickle)
+        unpickler = self._marshal.acquire_unpickler(
+            self._codec_ctx(connection)
+        )
+        try:
+            return unpickler.loads(args_pickle)
+        finally:
+            self._marshal.release_unpickler(unpickler)
+            if profile is not None:
+                profile.decode_ns += time.perf_counter_ns() - start
+                profile.decode_calls += 1
+
+    # -- the v5 call fast lane: serving bound calls ------------------------------------
+
+    def _register_binding(self, connection: Connection,
+                          message: messages.BindCall) -> None:
+        """CALL_BIND: intern ``method_id`` for this connection.
+
+        Resolution runs once, here; a failure is recorded in the
+        binding and replayed as a fault on every call through it —
+        the same answer per-call resolution would keep giving (a
+        dropped object's index is never reused, and a class's remote
+        surface is fixed at definition time).
+        """
+        binding = _MethodBinding(message.method)
+        target = message.target
+        if target.owner != self.space_id:
+            binding.fault = (NoSuchObjectError, f"not the owner of {target}")
+        else:
+            entry = self.object_table.exported_entry(target.index)
+            if entry is None:
+                binding.fault = (NoSuchObjectError,
+                                 f"no such object: {target}")
+            else:
+                cls = type(entry.obj)
+                if message.method not in remote_method_set(cls):
+                    binding.fault = (
+                        NoSuchMethodError,
+                        f"{cls.__qualname__} has no remote method "
+                        f"{message.method!r}",
+                    )
+                else:
+                    binding.entry_ref = weakref.ref(entry)
+                    raw = getattr(cls, message.method, None)
+                    if type(raw) is FunctionType:
+                        # Ordinary def: calling ``func(obj, *args)``
+                        # is exactly ``obj.method(*args)`` minus the
+                        # per-call bound-method allocation.
+                        binding.func = raw
+                    binding.quick = message.method in quick_method_set(cls)
+                    reads = reads_method_set(cls)
+                    binding.invalidates = (
+                        bool(reads) and message.method not in reads
+                    )
+        connection.bound_methods[message.method_id] = binding
+
+    def _bound_target(self, connection: Connection, message):
+        """Resolve a CALL_BOUND/CALL_FAST to ``(binding, obj)``.
+
+        Raises the recorded bind-time fault, or NoSuchObjectError once
+        the entry's weakref has died (the collector reclaimed the
+        object after the peer's clean)."""
+        binding = connection.bound_methods.get(message.method_id)
+        if binding is None:
+            raise NoSuchMethodError(
+                f"unknown method binding {message.method_id} "
+                "(bound call without a preceding CALL_BIND)"
+            )
+        if binding.fault is not None:
+            raise binding.fault[0](binding.fault[1])
+        entry = binding.entry_ref()
+        if entry is None:
+            raise NoSuchObjectError(
+                f"object bound to method id {message.method_id} "
+                "is no longer exported"
+            )
+        return binding, entry.obj
+
+    def _serve_bound_call(self, connection: Connection,
+                          call: messages.BoundCall) -> None:
+        try:
+            binding, obj = self._bound_target(connection, call)
+            args, kwargs = self._decode_args(connection, call.args_pickle)
+            func = binding.func
+            profile = self._hotpath
+            if profile is not None:
+                start = time.perf_counter_ns()
+            if func is not None:
+                result = func(obj, *args, **kwargs)
+            else:
+                result = getattr(obj, binding.method)(*args, **kwargs)
+            if profile is not None:
+                profile.user_code_ns += time.perf_counter_ns() - start
+                profile.user_code_calls += 1
+            if self._leases_enabled and binding.invalidates:
+                self._invalidate_after_write(obj, binding.method)
+            self._send_result(connection, call.call_id, result)
+            return
+        except NetObjError as exc:
+            reply = messages.Fault(
+                call.call_id, type(exc).__name__, str(exc), ""
+            )
+        except Exception as exc:  # noqa: BLE001 - application exception
+            reply = messages.Fault(
+                call.call_id, type(exc).__name__, str(exc),
+                traceback.format_exc(),
+            )
+        self._reply(connection, reply)
+
+    def _serve_fast_call(self, connection: Connection,
+                         call: messages.FastCall) -> None:
+        """CALL_FAST: typed scalar args, typed scalar result when the
+        value allows it.  May run on the frame-delivering thread (see
+        :meth:`_try_inline`) — nothing here unpickles, so argument
+        decode can never issue a nested dirty call."""
+        try:
+            binding, obj = self._bound_target(connection, call)
+            args = decode_scalar_args(call.args_wire)
+            func = binding.func
+            profile = self._hotpath
+            if profile is not None:
+                start = time.perf_counter_ns()
+            if func is not None:
+                result = func(obj, *args)
+            else:
+                result = getattr(obj, binding.method)(*args)
+            if profile is not None:
+                profile.user_code_ns += time.perf_counter_ns() - start
+                profile.user_code_calls += 1
+            if self._leases_enabled and binding.invalidates:
+                self._invalidate_after_write(obj, binding.method)
+            self._send_fast_result(connection, call.call_id, result)
+            return
+        except NetObjError as exc:
+            reply = messages.Fault(
+                call.call_id, type(exc).__name__, str(exc), ""
+            )
+        except Exception as exc:  # noqa: BLE001 - application exception
+            reply = messages.Fault(
+                call.call_id, type(exc).__name__, str(exc),
+                traceback.format_exc(),
+            )
+        self._reply(connection, reply)
+
+    def _send_fast_result(self, connection: Connection, call_id: int,
+                          result: object) -> None:
+        """RESULT_FAST when the value is scalar, the classic pickled
+        RESULT otherwise — the frames are self-describing, so the
+        client needs no foreknowledge of which lane the result took."""
+        buffer = connection.new_send_buffer()
+        base = len(buffer)
+        messages.encode_fast_result_prefix(buffer, call_id)
+        if not encode_scalar_result_into(buffer, result):
+            # Fast-lane method returned a non-scalar (a reference, a
+            # struct...): rewind to the pickle lane for this result.
+            del buffer[base:]
+            pickler = self._marshal.acquire_pickler(
+                self._codec_ctx(connection)
+            )
+            try:
+                messages.encode_result_prefix(buffer, call_id)
+                pickler.dump_into(result, buffer)
+            except BaseException:
+                connection.discard_send_buffer(buffer)
+                raise
+            finally:
+                self._marshal.release_pickler(pickler)
+        try:
+            connection.send_buffer(buffer)
+        except CommFailure:
+            pass  # peer vanished; nothing to tell it
+
+    def _try_inline(self, connection: Connection, message) -> bool:
+        """Connection inline hook: run a ``@quick`` bound typed call
+        directly on the thread that delivered its frame, skipping both
+        dispatch hand-offs.  Budgeted per reactor shard (see
+        transport.reactor); an overrunning call demotes its binding so
+        a mis-marked blocking method stalls the shard at most once.
+        Only CALL_FAST frames are eligible: their argument decode
+        never unpickles, and lease-invalidating writers (which may
+        block on holder acks) are excluded at bind time."""
+        if type(message) is not messages.FastCall:
+            return False
+        binding = connection.bound_methods.get(message.method_id)
+        if (binding is None or not binding.quick or binding.demoted
+                or binding.fault is not None or binding.invalidates):
+            return False
+        reactor = connection._reactor
+        if reactor is None or not reactor.try_acquire_inline():
+            return False
+        start = time.perf_counter_ns()
+        self._serve_fast_call(connection, message)
+        if reactor.record_inline(time.perf_counter_ns() - start):
+            binding.demoted = True
+            self.inline_demotions += 1
+        return True
 
     def _send_result(self, connection: Connection, call_id: int,
                      result: object) -> None:
@@ -1106,17 +1474,32 @@ class Space:
 
         The diagnostics front door: ``stats()["gc"]`` replaces direct
         ``gc_stats()`` access in tests and benchmarks, and the other
-        sections expose the dispatcher pool, the connection cache, and
-        the reactor (``frames_in``/``frames_out``/``wakeups``/
-        ``active_connections``).
+        sections expose the dispatcher pool, the connection cache, the
+        reactor (``frames_in``/``frames_out``/``wakeups``/
+        ``active_connections``), the v5 call fast lane
+        (``fastlane``: methods bound, fast-lane calls and per-call
+        fallbacks, inline dispatches/demotions) and the per-stage
+        hot-path profile (``hotpath``, all-zero unless the space was
+        built with ``hotpath_profile=True``).
         """
+        reactor = self.reactor.stats()
         return {
             "gc": self.gc_stats(),
             "dispatcher": self.dispatcher.stats(),
             "cache": self.cache.stats(),
-            "reactor": self.reactor.stats(),
+            "reactor": reactor,
             "marshal": self._marshal.stats(),
             "leases": self.lease_stats(),
+            "fastlane": {
+                "methods_bound": self.methods_bound,
+                "fastlane_calls": self.fastlane_calls,
+                "fastlane_fallbacks": self.fastlane_fallbacks,
+                "inline_dispatches": reactor["inline_dispatches"],
+                "inline_demotions": self.inline_demotions,
+            },
+            "hotpath": self.hotpath.stats(
+                enabled=self._hotpath is not None
+            ),
         }
 
     def lease_stats(self) -> dict:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Sequence, Tuple, Type
 
 from repro.core.netobj import reads_method_set
+from repro.core.typecodes import fastlane_method_set
 from repro.wire.wirerep import WireRep
 
 
@@ -23,6 +24,9 @@ class Surrogate:
     """Common behaviour of all generated surrogate classes."""
 
     _surrogate_typecode_ = "<abstract>"
+    #: Method names with scalar-only signatures (class-build verdict);
+    #: the async path looks fastlane eligibility up here by name.
+    _fastlane_methods_ = frozenset()
 
     def __init__(self, invoker, wirerep: WireRep, endpoints: Tuple[str, ...],
                  chain: Tuple[str, ...]):
@@ -34,8 +38,10 @@ class Surrogate:
         self._endpoints = endpoints
         self._chain = chain
 
-    def _invoke(self, method: str, args: tuple, kwargs: dict):
-        return self._invoker(self._wirerep, self._endpoints, method, args, kwargs)
+    def _invoke(self, method: str, args: tuple, kwargs: dict,
+                fastlane: bool = False):
+        return self._invoker(self._wirerep, self._endpoints, method, args,
+                             kwargs, fastlane)
 
     def _invoke_read(self, method: str, args: tuple, kwargs: dict):
         """Invocation path for ``@reads`` methods: try the space's
@@ -59,9 +65,13 @@ class Surrogate:
         )
 
 
-def _make_method(name: str):
+def _make_method(name: str, fastlane: bool = False):
+    # ``fastlane`` is decided once per interface at class-build time
+    # (scalar-only signature — see typecodes.fastlane_method_set), so
+    # the per-call path carries it as a constant instead of
+    # re-inspecting the signature.
     def method(self, *args, **kwargs):
-        return self._invoke(name, args, kwargs)
+        return self._invoke(name, args, kwargs, fastlane)
 
     method.__name__ = name
     method.__qualname__ = f"Surrogate.{name}"
@@ -85,11 +95,17 @@ def _make_read_method(name: str):
 def build_surrogate_class(typecode: str, interface: Type,
                           methods: Sequence[str]) -> Type:
     """Generate the surrogate class for one interface typecode."""
-    namespace = {"_surrogate_typecode_": typecode}
     read_methods = reads_method_set(interface)
+    fast_methods = fastlane_method_set(interface)
+    namespace = {
+        "_surrogate_typecode_": typecode,
+        "_fastlane_methods_": frozenset(fast_methods),
+    }
     for name in methods:
-        namespace[name] = (_make_read_method(name) if name in read_methods
-                           else _make_method(name))
+        namespace[name] = (
+            _make_read_method(name) if name in read_methods
+            else _make_method(name, fastlane=name in fast_methods)
+        )
     surrogate_cls = type(f"Surrogate[{typecode}]", (Surrogate,), namespace)
     register = getattr(interface, "register", None)
     if callable(register):

@@ -24,10 +24,11 @@ Calls come in two shapes over the same call-id multiplexing:
 
 The handshake negotiates the protocol version down to
 ``min(ours, peer's)`` (floor :data:`~repro.wire.protocol.MIN_PROTOCOL_VERSION`),
-so a v4 runtime interoperates with a v2 or v3 peer — in either dial
-direction — by never sending the newer frames (``CLEAN_BATCH`` is v3;
-the read-lease frames ``LEASE_REQ`` .. ``LEASE_INVALIDATE_ACK`` are
-v4).  The HELLO's legacy version field announces our floor, which a
+so a v5 runtime interoperates with a v2, v3 or v4 peer — in either
+dial direction — by never sending the newer frames (``CLEAN_BATCH`` is
+v3; the read-lease frames ``LEASE_REQ`` .. ``LEASE_INVALIDATE_ACK``
+are v4; the call-fast-lane frames ``CALL_BIND`` .. ``RESULT_FAST`` are
+v5).  The HELLO's legacy version field announces our floor, which a
 genuine pre-negotiation v2 peer accepts under its strict equality
 check; the real maximum rides in a trailing extension field old
 decoders ignore (see :class:`~repro.rpc.messages.Hello`).  The agreed
@@ -38,6 +39,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from typing import Callable, Optional
 
 from repro.errors import CommFailure, ConnectionClosed, ProtocolError
@@ -89,6 +91,10 @@ class Connection:
         handshake_timeout: float = 10.0,
         max_version: int = protocol.PROTOCOL_VERSION,
         reactor: Optional[Reactor] = None,
+        inline_handler: Optional[
+            Callable[["Connection", messages.Message], bool]
+        ] = None,
+        profile=None,
     ):
         self._channel = channel
         self._local_id = local_id
@@ -104,6 +110,18 @@ class Connection:
         self._closing = False  # set under _pending_lock; rejects new calls
         self._send_buffers = BufferPool()
         self._reactor = reactor
+        self._inline_handler = inline_handler
+        self._profile = profile
+        # v5 method-id interning tables (see PROTOCOL.md, "Protocol
+        # version 5").  Each direction allocates its own ids, exactly
+        # like call ids, so the two never collide.
+        #: Our outbound bindings: ``(wirerep, method)`` -> method id the
+        #: peer has *confirmed* (the CALL_BIND frame reached the wire).
+        self.method_ids: dict = {}
+        #: The peer's bindings: method id -> whatever the owning
+        #: space's request handler registered at CALL_BIND time.
+        self.bound_methods: dict = {}
+        self._method_ids = itertools.count(1)
         #: Reactor shard index this connection's frames arrive on; set
         #: at registration, routes request dispatch to that shard's
         #: local deque.  None = unsharded (standalone / pre-register).
@@ -198,6 +216,13 @@ class Connection:
     def next_call_id(self) -> int:
         return next(self._call_ids)
 
+    def next_method_id(self) -> int:
+        """Allocate an outbound method id (v5 interning).  Ids are
+        never reused; a racing duplicate bind for the same method is
+        harmless — the peer registers both ids and ``method_ids``
+        settles on whichever publishes first."""
+        return next(self._method_ids)
+
     # Frame buffers: ``new_send_buffer`` hands out a pooled bytearray
     # with the 4 length-prefix bytes reserved; callers append the
     # message (envelope + pickle) in place and pass it to
@@ -220,7 +245,14 @@ class Connection:
         try:
             if self._closed.is_set():
                 raise ConnectionClosed("connection closed")
-            self._channel.send_framed(finish_frame(buffer))
+            profile = self._profile
+            if profile is None:
+                self._channel.send_framed(finish_frame(buffer))
+            else:
+                start = time.perf_counter_ns()
+                self._channel.send_framed(finish_frame(buffer))
+                profile.syscall_ns += time.perf_counter_ns() - start
+                profile.syscall_calls += 1
             if self._reactor is not None:
                 self._reactor.frames_out += 1
         finally:
@@ -343,6 +375,8 @@ class Connection:
     # decode, pending-table completion, and dispatcher hand-off only.
 
     def on_frame(self, frame) -> None:
+        profile = self._profile
+        start = time.perf_counter_ns() if profile is not None else 0
         try:
             # memoryview: a decoded Call/Result's pickle is a
             # zero-copy slice of the frame buffer.
@@ -356,13 +390,35 @@ class Connection:
             self._channel.close()
             self._teardown(CommFailure("connection closed by peer"))
             return
+        if profile is not None:
+            # Envelope decode + routing only: inline execution below is
+            # user code and accounts itself in the space's buckets.
+            profile.reactor_ns += time.perf_counter_ns() - start
+            profile.reactor_calls += 1
         if message.tag in messages.REPLY_TAGS:
             self._complete(message)
-        else:
+            return
+        # The v5 inline fast lane: let the owning space run a bound
+        # typed call right here on the delivering thread (budgeted —
+        # see Reactor.try_acquire_inline).  False means "dispatch
+        # normally"; the handler itself never blocks unboundedly.
+        inline = self._inline_handler
+        if inline is not None and inline(self, message):
+            return
+        if profile is None:
             self._dispatcher.submit(
                 lambda m=message: self._handle_request(self, m),
                 shard=self._shard,
             )
+        else:
+            submitted = time.perf_counter_ns()
+
+            def task(m=message):
+                profile.dispatch_ns += time.perf_counter_ns() - submitted
+                profile.dispatch_calls += 1
+                self._handle_request(self, m)
+
+            self._dispatcher.submit(task, shard=self._shard)
 
     def on_closed(self, failure: Optional[Exception]) -> None:
         if failure is None:
@@ -456,6 +512,12 @@ class Connection:
             return
         self._closed.set()
         self._channel.close()
+        # Method bindings die with the connection (ids are
+        # per-connection); drop them eagerly so server-side binding
+        # records release their object-table weakrefs now rather than
+        # whenever the Connection itself is collected.
+        self.method_ids.clear()
+        self.bound_methods.clear()
         with self._pending_lock:
             pending = list(self._pending.values())
             self._pending.clear()

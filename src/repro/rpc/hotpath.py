@@ -1,0 +1,70 @@
+"""Per-stage hot-path accounting for the call pipeline.
+
+A null call crosses six stages we care about when chasing the raw-socket
+gap: request/result *encode*, the send *syscall*, frame *reactor* entry
+(envelope decode + routing), dispatcher hand-off latency (*dispatch*),
+the served method itself (*user_code*), and reply/args *decode*.  A
+:class:`HotpathProfile` holds one cumulative ``(ns, calls)`` pair per
+stage; the owning :class:`~repro.core.space.Space` and its connections
+bump the counters inline with two ``perf_counter_ns`` reads per stage.
+
+That costs real time on a microsecond-scale hot path, so profiling is
+**off by default**: ``Space(hotpath_profile=True)`` turns it on, and
+every instrumentation site guards on a single ``is None`` check when it
+is off.  ``Space.stats()["hotpath"]`` surfaces the buckets either way
+(zeros plus ``enabled: False`` when off); ``benchmarks/measure_hotpath.py``
+prints the per-call breakdown.
+
+Counter increments ride the GIL like every other stats field —
+best-effort exactness, which is all a profile needs.
+"""
+
+from __future__ import annotations
+
+#: Stage names, in pipeline order.  Each contributes ``<stage>_ns`` and
+#: ``<stage>_calls`` slots to the profile.
+STAGES = (
+    "encode",     # request encode (client) + result encode (server)
+    "syscall",    # channel.send_framed — the wire write
+    "reactor",    # on_frame: envelope decode + reply/request routing
+    "dispatch",   # dispatcher hand-off latency (submit -> task start)
+    "user_code",  # the served method body
+    "decode",     # reply decode (client) + argument decode (server)
+)
+
+
+class HotpathProfile:
+    """Cumulative per-stage counters for one space's call traffic.
+
+    Client- and server-side contributions share the buckets: a space
+    that both issues and serves calls accumulates both (the E-series
+    loopback benchmarks use separate spaces per role, so each profile
+    reads cleanly).  Attributes are bumped directly by instrumentation
+    sites (``profile.encode_ns += dt``) — no method-call overhead.
+    """
+
+    __slots__ = tuple(f"{stage}_ns" for stage in STAGES) + tuple(
+        f"{stage}_calls" for stage in STAGES
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for stage in STAGES:
+            setattr(self, f"{stage}_ns", 0)
+            setattr(self, f"{stage}_calls", 0)
+
+    def stats(self, enabled: bool = True) -> dict:
+        """The ``Space.stats()["hotpath"]`` payload: per-stage total
+        nanoseconds, sample counts, and mean microseconds."""
+        stages = {}
+        for stage in STAGES:
+            ns = getattr(self, f"{stage}_ns")
+            calls = getattr(self, f"{stage}_calls")
+            stages[stage] = {
+                "ns": ns,
+                "calls": calls,
+                "mean_us": (ns / calls / 1000.0) if calls else 0.0,
+            }
+        return {"enabled": enabled, "stages": stages}

@@ -58,6 +58,19 @@ def _read_bytes(data, offset: int):
     return data[offset:end], end
 
 
+def _trailing(data, offset: int):
+    """The frame's trailing bytes as a zero-copy view.
+
+    ``data[offset:]`` on a memoryview is already zero-copy, but on
+    ``bytes``/``bytearray`` (standalone decodes, tests, transports
+    that hand whole frames around) it *copies* the payload — wrap
+    first so the pickle slice is always a view into the frame buffer.
+    """
+    if type(data) is not memoryview:
+        data = memoryview(data)
+    return data[offset:]
+
+
 class _Encodable:
     """One-shot ``encode()`` on top of each message's ``encode_into``."""
 
@@ -87,6 +100,45 @@ def encode_call_prefix(out: bytearray, call_id: int, target: WireRep,
 def encode_result_prefix(out: bytearray, call_id: int) -> None:
     """Write a RESULT envelope; the result pickle follows as trailing bytes."""
     out.append(protocol.RESULT)
+    write_uvarint(out, call_id)
+
+
+# -- v5 fast-lane envelope prefix writers -------------------------------------
+
+def encode_bind_call_prefix(out: bytearray, call_id: int, method_id: int,
+                            target: WireRep, method: str) -> None:
+    """Write a CALL_BIND envelope: the METHOD_BIND announcement
+    piggybacked on the first call through a fresh binding.  The args
+    pickle follows as trailing bytes."""
+    out.append(protocol.CALL_BIND)
+    write_uvarint(out, call_id)
+    write_uvarint(out, method_id)
+    target.to_wire(out)
+    _write_str(out, method)
+
+
+def encode_bound_call_prefix(out: bytearray, call_id: int,
+                             method_id: int) -> None:
+    """Write a CALL_BOUND envelope; the args pickle follows as
+    trailing bytes."""
+    out.append(protocol.CALL_BOUND)
+    write_uvarint(out, call_id)
+    write_uvarint(out, method_id)
+
+
+def encode_fast_call_prefix(out: bytearray, call_id: int,
+                            method_id: int) -> None:
+    """Write a CALL_FAST envelope; typed scalar args (see
+    :mod:`repro.core.typecodes`) follow as trailing bytes."""
+    out.append(protocol.CALL_FAST)
+    write_uvarint(out, call_id)
+    write_uvarint(out, method_id)
+
+
+def encode_fast_result_prefix(out: bytearray, call_id: int) -> None:
+    """Write a RESULT_FAST envelope; one typed scalar value follows as
+    trailing bytes."""
+    out.append(protocol.RESULT_FAST)
     write_uvarint(out, call_id)
 
 
@@ -197,7 +249,7 @@ class Call(_Encodable):
         call_id, offset = read_uvarint(data, offset)
         target, offset = WireRep.from_wire(data, offset)
         method, offset = _read_str(data, offset)
-        return cls(call_id, target, method, data[offset:])
+        return cls(call_id, target, method, _trailing(data, offset))
 
 
 class Result(_Encodable):
@@ -231,7 +283,170 @@ class Result(_Encodable):
     @classmethod
     def decode(cls, data, offset: int) -> "Result":
         call_id, offset = read_uvarint(data, offset)
-        return cls(call_id, data[offset:])
+        return cls(call_id, _trailing(data, offset))
+
+
+class BindCall(_Encodable):
+    """First call through a fresh method binding (protocol v5).
+
+    The METHOD_BIND announcement rides the CALL itself: the frame
+    carries the sender-allocated ``method_id`` together with the full
+    target wireRep and method name, plus the args pickle as trailing
+    bytes.  The receiver resolves the binding once, caches the bound
+    method under ``method_id``, and serves the call; every later call
+    through the binding is a :class:`BoundCall` or :class:`FastCall`.
+    Like call ids, method ids are allocated per direction, so the two
+    sides' id spaces never collide.
+    """
+
+    __slots__ = ("call_id", "method_id", "target", "method", "args_pickle")
+    tag = protocol.CALL_BIND
+
+    def __init__(self, call_id: int, method_id: int, target: WireRep,
+                 method: str, args_pickle) -> None:
+        self.call_id = call_id
+        self.method_id = method_id
+        self.target = target
+        self.method = method
+        self.args_pickle = args_pickle
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BindCall):
+            return (self.call_id == other.call_id
+                    and self.method_id == other.method_id
+                    and self.target == other.target
+                    and self.method == other.method
+                    and self.args_pickle == other.args_pickle)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"BindCall(call_id={self.call_id}, "
+                f"method_id={self.method_id}, target={self.target}, "
+                f"method={self.method!r}, "
+                f"args_pickle=<{len(self.args_pickle)} bytes>)")
+
+    def encode_into(self, out: bytearray) -> None:
+        encode_bind_call_prefix(out, self.call_id, self.method_id,
+                                self.target, self.method)
+        out += self.args_pickle
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "BindCall":
+        call_id, offset = read_uvarint(data, offset)
+        method_id, offset = read_uvarint(data, offset)
+        target, offset = WireRep.from_wire(data, offset)
+        method, offset = _read_str(data, offset)
+        return cls(call_id, method_id, target, method, _trailing(data, offset))
+
+
+class BoundCall(_Encodable):
+    """Steady-state bound call (protocol v5): the envelope is just
+    ``call_id, method_id`` — no wireRep, no method string — with the
+    args pickle trailing."""
+
+    __slots__ = ("call_id", "method_id", "args_pickle")
+    tag = protocol.CALL_BOUND
+
+    def __init__(self, call_id: int, method_id: int, args_pickle) -> None:
+        self.call_id = call_id
+        self.method_id = method_id
+        self.args_pickle = args_pickle
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BoundCall):
+            return (self.call_id == other.call_id
+                    and self.method_id == other.method_id
+                    and self.args_pickle == other.args_pickle)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"BoundCall(call_id={self.call_id}, "
+                f"method_id={self.method_id}, "
+                f"args_pickle=<{len(self.args_pickle)} bytes>)")
+
+    def encode_into(self, out: bytearray) -> None:
+        encode_bound_call_prefix(out, self.call_id, self.method_id)
+        out += self.args_pickle
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "BoundCall":
+        call_id, offset = read_uvarint(data, offset)
+        method_id, offset = read_uvarint(data, offset)
+        return cls(call_id, method_id, _trailing(data, offset))
+
+
+class FastCall(_Encodable):
+    """Bound call whose arguments are typed scalars (protocol v5).
+
+    ``args_wire`` is the trailing typed-argument encoding of
+    :func:`repro.core.typecodes.encode_scalar_args_into` — the pickler
+    is bypassed entirely on both sides.
+    """
+
+    __slots__ = ("call_id", "method_id", "args_wire")
+    tag = protocol.CALL_FAST
+
+    def __init__(self, call_id: int, method_id: int, args_wire) -> None:
+        self.call_id = call_id
+        self.method_id = method_id
+        self.args_wire = args_wire
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FastCall):
+            return (self.call_id == other.call_id
+                    and self.method_id == other.method_id
+                    and self.args_wire == other.args_wire)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"FastCall(call_id={self.call_id}, "
+                f"method_id={self.method_id}, "
+                f"args_wire=<{len(self.args_wire)} bytes>)")
+
+    def encode_into(self, out: bytearray) -> None:
+        encode_fast_call_prefix(out, self.call_id, self.method_id)
+        out += self.args_wire
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "FastCall":
+        call_id, offset = read_uvarint(data, offset)
+        method_id, offset = read_uvarint(data, offset)
+        return cls(call_id, method_id, _trailing(data, offset))
+
+
+class FastResult(_Encodable):
+    """Typed scalar completion of a fast-lane call (protocol v5).
+
+    ``value_wire`` is one self-describing typed value
+    (:func:`repro.core.typecodes.encode_scalar_result_into`); the
+    caller decodes it without touching the unpickler pool.
+    """
+
+    __slots__ = ("call_id", "value_wire")
+    tag = protocol.RESULT_FAST
+
+    def __init__(self, call_id: int, value_wire) -> None:
+        self.call_id = call_id
+        self.value_wire = value_wire
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FastResult):
+            return (self.call_id == other.call_id
+                    and self.value_wire == other.value_wire)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"FastResult(call_id={self.call_id}, "
+                f"value_wire=<{len(self.value_wire)} bytes>)")
+
+    def encode_into(self, out: bytearray) -> None:
+        encode_fast_result_prefix(out, self.call_id)
+        out += self.value_wire
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "FastResult":
+        call_id, offset = read_uvarint(data, offset)
+        return cls(call_id, _trailing(data, offset))
 
 
 @dataclass(frozen=True)
@@ -619,7 +834,7 @@ class LeaseGrant(_Encodable):
         version, offset = read_uvarint(data, offset)
         error, offset = _read_str(data, offset)
         return cls(call_id, ok, lease_id, ttl_ms, version, error,
-                   data[offset:])
+                   _trailing(data, offset))
 
 
 @dataclass(frozen=True)
@@ -693,6 +908,7 @@ class LeaseInvalidateAck(_Encodable):
 
 Message = Union[
     Hello, HelloAck, Bye, Call, Result, Fault,
+    BindCall, BoundCall, FastCall, FastResult,
     Dirty, DirtyAck, Clean, CleanAck, CleanBatch, CleanBatchAck,
     CopyAck, Ping, PingAck,
     LeaseReq, LeaseGrant, LeaseRenew, LeaseRelease,
@@ -706,6 +922,10 @@ _DECODERS = {
     protocol.CALL: Call.decode,
     protocol.RESULT: Result.decode,
     protocol.FAULT: Fault.decode,
+    protocol.CALL_BIND: BindCall.decode,
+    protocol.CALL_BOUND: BoundCall.decode,
+    protocol.CALL_FAST: FastCall.decode,
+    protocol.RESULT_FAST: FastResult.decode,
     protocol.DIRTY: Dirty.decode,
     protocol.DIRTY_ACK: DirtyAck.decode,
     protocol.CLEAN: Clean.decode,
@@ -725,9 +945,10 @@ _DECODERS = {
 
 #: Replies carry a ``call_id`` matched against the issuer's pending table.
 REPLY_TAGS = frozenset(
-    {protocol.RESULT, protocol.FAULT, protocol.DIRTY_ACK,
-     protocol.CLEAN_ACK, protocol.CLEAN_BATCH_ACK, protocol.PING_ACK,
-     protocol.LEASE_GRANT, protocol.LEASE_INVALIDATE_ACK}
+    {protocol.RESULT, protocol.RESULT_FAST, protocol.FAULT,
+     protocol.DIRTY_ACK, protocol.CLEAN_ACK, protocol.CLEAN_BATCH_ACK,
+     protocol.PING_ACK, protocol.LEASE_GRANT,
+     protocol.LEASE_INVALIDATE_ACK}
 )
 
 

@@ -55,6 +55,32 @@ from repro.transport.base import Channel, SelectableChannel
 logger = logging.getLogger("repro.transport.reactor")
 
 
+# -- inline-dispatch budget (protocol v5 fast lane) ---------------------------
+#
+# A @quick method runs directly on the thread that delivered its frame
+# (reactor shard or channel pump), skipping both thread hand-offs of a
+# normal dispatch.  That thread also serves every other connection on
+# the shard, so inline work is budgeted per wall-clock window: within
+# any INLINE_WINDOW_NS span at most INLINE_WINDOW_BUDGET_NS of inline
+# CPU and INLINE_WINDOW_MAX_CALLS calls run; past either limit new
+# frames fall back to the dispatcher until the window rolls over.  A
+# single call overrunning INLINE_CALL_DEMOTE_NS additionally demotes
+# its *binding* — a mis-marked blocking method stalls the shard at most
+# once, then dispatches normally forever (see DESIGN.md, "The call
+# fast lane", for the resulting starvation bound).
+
+#: Budget window length.
+INLINE_WINDOW_NS = 5_000_000        # 5 ms
+#: Inline CPU allowed per window (half the window: frame I/O always
+#: keeps at least half the shard's attention).
+INLINE_WINDOW_BUDGET_NS = 2_500_000
+#: Call-count ceiling per window, a backstop against clock-granularity
+#: undercounting of very short calls.
+INLINE_WINDOW_MAX_CALLS = 2048
+#: Single-call overrun that permanently demotes the method binding.
+INLINE_CALL_DEMOTE_NS = 1_000_000   # 1 ms
+
+
 class FrameSink:
     """What the reactor delivers to (duck-typed; Connection implements
     this).  ``on_frame(payload)`` receives one complete frame —
@@ -178,6 +204,13 @@ class Reactor:
         self.frames_in = 0
         self.frames_out = 0
         self.wakeups = 0
+        self.inline_dispatches = 0
+        # Inline budget window state (self-resetting on the clock, so
+        # it needs no per-loop-turn hook and works identically for the
+        # selector thread and ChannelPump threads sharing this shard).
+        self._inline_window_start = 0
+        self._inline_window_ns = 0
+        self._inline_window_calls = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -287,8 +320,36 @@ class Reactor:
             "frames_in": self.frames_in,
             "frames_out": self.frames_out,
             "wakeups": self.wakeups,
+            "inline_dispatches": self.inline_dispatches,
             "active_connections": self.active_connections,
         }
+
+    # -- inline-dispatch budget (any frame-delivering thread) -----------------
+
+    def try_acquire_inline(self) -> bool:
+        """May one more call run inline right now?  Rolls the budget
+        window over when it has expired.  Racy by design (GIL-ridden
+        increments, like every counter here): the budget bounds inline
+        work per window approximately, which is all the starvation
+        argument needs."""
+        now = time.perf_counter_ns()
+        if now - self._inline_window_start >= INLINE_WINDOW_NS:
+            self._inline_window_start = now
+            self._inline_window_ns = 0
+            self._inline_window_calls = 0
+        return (
+            self._inline_window_ns < INLINE_WINDOW_BUDGET_NS
+            and self._inline_window_calls < INLINE_WINDOW_MAX_CALLS
+        )
+
+    def record_inline(self, elapsed_ns: int) -> bool:
+        """Account one completed inline call; True when the call
+        overran :data:`INLINE_CALL_DEMOTE_NS` and its binding should be
+        demoted to the dispatcher."""
+        self.inline_dispatches += 1
+        self._inline_window_calls += 1
+        self._inline_window_ns += elapsed_ns
+        return elapsed_ns > INLINE_CALL_DEMOTE_NS
 
     # -- reactor thread -------------------------------------------------------
 
@@ -549,6 +610,9 @@ class ReactorPool:
             "frames_out": self.frames_out
             + sum(s["frames_out"] for s in per_shard),
             "wakeups": sum(s["wakeups"] for s in per_shard),
+            "inline_dispatches": sum(
+                s["inline_dispatches"] for s in per_shard
+            ),
             "active_connections": sum(
                 s["active_connections"] for s in per_shard
             ),

@@ -340,7 +340,14 @@ class ShmChannel(SelectableChannel):
     def _drain_ring(self, sink) -> None:
         assembler = self._assembler
         while True:
-            count = self._in.consume_into(assembler.next_buffer())
+            try:
+                count = self._in.consume_into(assembler.next_buffer())
+            except ValueError:
+                # close() raced this drain and released the mapping on
+                # another thread (reactor already stopping, so forget()
+                # could not defer the release to us).  The connection
+                # is going away either way — stop reading.
+                return
             if count == 0:
                 break
             payload = assembler.advance(count)

@@ -9,11 +9,15 @@ ordinary messages on the same channels as method invocations.
 
 from __future__ import annotations
 
-#: Version 4: adds the read-lease frames (LEASE_REQ .. LEASE_INVALIDATE_ACK).
-#: Version 3 added CLEAN_BATCH/CLEAN_BATCH_ACK (batched collector
-#: traffic).  Version 2 introduced trailing pickles on CALL/RESULT
-#: (no varint length prefix), enabling single-buffer encode.
-PROTOCOL_VERSION = 4
+#: Version 5: the call fast lane — method-id interning
+#: (CALL_BIND/CALL_BOUND), typed scalar argument/result frames
+#: (CALL_FAST/RESULT_FAST) that bypass the pickler, and inline reactor
+#: dispatch for ``@quick`` methods.  Version 4 added the read-lease
+#: frames (LEASE_REQ .. LEASE_INVALIDATE_ACK).  Version 3 added
+#: CLEAN_BATCH/CLEAN_BATCH_ACK (batched collector traffic).  Version 2
+#: introduced trailing pickles on CALL/RESULT (no varint length
+#: prefix), enabling single-buffer encode.
+PROTOCOL_VERSION = 5
 
 #: Oldest version we still speak.  HELLO negotiates down to
 #: ``min(ours, peer's)``; below this floor the handshake is rejected.
@@ -29,6 +33,13 @@ BYE = 0x03            # orderly shutdown notice
 CALL = 0x10           # method invocation request
 RESULT = 0x11         # successful completion, with pickled result
 FAULT = 0x12          # remote exception, with kind/message/traceback
+
+# --- call fast lane (v5) ---------------------------------------------------
+CALL_BIND = 0x13      # first call through a binding: METHOD_BIND piggybacked
+                      # on the CALL (method_id + wireRep + name + args pickle)
+CALL_BOUND = 0x14     # steady-state bound call: call_id + method_id + pickle
+CALL_FAST = 0x15      # bound call with typed scalar args (no pickle)
+RESULT_FAST = 0x16    # typed scalar result (no pickle)
 
 # --- distributed garbage collector ----------------------------------------
 DIRTY = 0x20          # client registers itself in the owner's dirty set
@@ -56,6 +67,10 @@ _NAMES = {
     CALL: "CALL",
     RESULT: "RESULT",
     FAULT: "FAULT",
+    CALL_BIND: "CALL_BIND",
+    CALL_BOUND: "CALL_BOUND",
+    CALL_FAST: "CALL_FAST",
+    RESULT_FAST: "RESULT_FAST",
     DIRTY: "DIRTY",
     DIRTY_ACK: "DIRTY_ACK",
     CLEAN: "CLEAN",
@@ -82,6 +97,11 @@ GC_TAGS = frozenset({DIRTY, DIRTY_ACK, CLEAN, CLEAN_ACK, COPY_ACK, PING,
 #: per-call RPC instead.
 LEASE_TAGS = frozenset({LEASE_REQ, LEASE_GRANT, LEASE_RENEW, LEASE_RELEASE,
                         LEASE_INVALIDATE, LEASE_INVALIDATE_ACK})
+
+#: Tags of the v5 call fast lane.  Never emitted to a peer whose
+#: negotiated version is below 5 — calls toward such a peer stay
+#: classic CALL/RESULT frames.
+FASTLANE_TAGS = frozenset({CALL_BIND, CALL_BOUND, CALL_FAST, RESULT_FAST})
 
 
 def tag_name(tag: int) -> str:

@@ -1,0 +1,329 @@
+"""The protocol v5 call fast lane.
+
+Covers the three stacked per-call eliminations — method-id interning
+(CALL_BIND/CALL_BOUND), typed scalar argument/result codecs
+(CALL_FAST/RESULT_FAST), and budgeted inline reactor dispatch for
+``@quick`` methods — plus the interop story: a v5 space facing a v4
+peer must behave byte-for-byte like a v4 space, in either dial
+direction, and a below-floor peer must fail fast instead of
+deadlocking.  Also the zero-copy regression for ``Call.decode`` fed
+``bytes`` instead of a memoryview, and the GC obligation that a
+server-side method binding never pins its object against the
+distributed collector.
+"""
+
+from __future__ import annotations
+
+import gc as pygc
+import threading
+import time
+
+import pytest
+
+from repro import NetObj, ProtocolError, Space, quick, wiretypes
+from repro.core import typecodes
+from repro.errors import UnmarshalError
+from repro.rpc import messages
+from repro.wire import protocol
+from repro.wire.ids import fresh_space_id
+from repro.wire.wirerep import WireRep
+from tests.helpers import wait_until
+
+
+class FastEcho(NetObj):
+    """Scalar-only signatures (annotated or declared) plus escapes."""
+
+    @quick
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    def nothing(self) -> None:
+        pass
+
+    @wiretypes(int, str)
+    def label(self, n, text):
+        return f"{text}:{n}"
+
+    def loose(self, x: int):
+        # Scalar *signature*; the runtime must still cope with callers
+        # passing non-scalar values (falls back to the pickle lane).
+        return x
+
+    def anything(self, value):
+        return value
+
+
+class Sleeper(NetObj):
+    """A mis-marked @quick method: blocks far past the demote bound."""
+
+    @quick
+    def nap(self) -> None:
+        time.sleep(0.05)
+
+    @quick
+    def tick(self) -> int:
+        return 1
+
+
+class Token(NetObj):
+    def ping(self) -> str:
+        return "pong"
+
+
+class TokenFactory(NetObj):
+    def make(self):
+        return Token()
+
+
+def _pair(tag: str, server_kwargs=None, client_kwargs=None):
+    server = Space(f"fl-srv-{tag}", listen=["tcp://127.0.0.1:0"],
+                   shm="off", **(server_kwargs or {}))
+    client = Space(f"fl-cli-{tag}", shm="off", **(client_kwargs or {}))
+    return server, client, server.endpoints[0]
+
+
+class TestTypedCodecs:
+    """Unit-level: the scalar wire format in core.typecodes."""
+
+    def roundtrip(self, *args):
+        out = bytearray()
+        assert typecodes.encode_scalar_args_into(out, args)
+        return typecodes.decode_scalar_args(bytes(out))
+
+    def test_every_scalar_type_roundtrips(self):
+        values = (None, True, False, 0, 1, -1, 12345, -98765,
+                  2**63 - 1, -(2**63) + 1, 0.0, -2.5, 1e300,
+                  "", "héllo", "x" * 500, b"", b"\x00\xff", b"y" * 500)
+        assert self.roundtrip(*values[:15]) == values[:15]
+        assert self.roundtrip(*values[15:]) == values[15:]
+
+    def test_bool_is_not_int_on_the_wire(self):
+        out = bytearray()
+        assert typecodes.encode_scalar_args_into(out, (True, 1))
+        decoded = typecodes.decode_scalar_args(bytes(out))
+        assert decoded == (True, 1)
+        assert type(decoded[0]) is bool and type(decoded[1]) is int
+
+    def test_oversize_int_refused_with_rollback(self):
+        out = bytearray(b"prefix")
+        assert not typecodes.encode_scalar_args_into(out, (5, 1 << 64))
+        assert out == b"prefix"  # full rollback, no partial frame
+
+    def test_nonscalar_refused_with_rollback(self):
+        out = bytearray(b"p")
+        assert not typecodes.encode_scalar_args_into(out, ([1], 2))
+        assert out == b"p"
+        assert not typecodes.encode_scalar_result_into(out, {"a": 1})
+        assert out == b"p"
+
+    def test_too_many_args_refused(self):
+        out = bytearray()
+        assert not typecodes.encode_scalar_args_into(out, (1,) * 256)
+        assert out == b""
+
+    def test_trailing_garbage_rejected(self):
+        out = bytearray()
+        assert typecodes.encode_scalar_args_into(out, (7,))
+        with pytest.raises(UnmarshalError):
+            typecodes.decode_scalar_args(bytes(out) + b"\x00")
+
+    def test_wiretypes_rejects_nonscalar_declarations(self):
+        with pytest.raises(TypeError):
+            @wiretypes(list)
+            def bad(self, x):  # pragma: no cover - never called
+                return x
+
+    def test_fastlane_method_set_inference(self):
+        fast = typecodes.fastlane_method_set(FastEcho)
+        assert "add" in fast        # annotated scalars
+        assert "nothing" in fast    # zero-parameter
+        assert "label" in fast      # @wiretypes declaration
+        assert "loose" in fast      # annotated scalar signature
+        assert "anything" not in fast  # unannotated parameter
+
+
+class TestCallDecodeCopyDiscipline:
+    """Regression: decode fed ``bytes`` (not a memoryview) must still
+    hand out zero-copy memoryview slices for trailing payloads."""
+
+    def test_call_args_pickle_is_memoryview_from_bytes(self):
+        rep = WireRep(fresh_space_id("own"), 3)
+        out = bytearray()
+        messages.Call(7, rep, "m", b"PAYLOAD").encode_into(out)
+        decoded = messages.decode(bytes(out))
+        assert isinstance(decoded.args_pickle, memoryview)
+        assert bytes(decoded.args_pickle) == b"PAYLOAD"
+
+    def test_fast_frames_are_memoryview_from_bytes(self):
+        out = bytearray()
+        messages.FastCall(9, 2, b"ARGS").encode_into(out)
+        decoded = messages.decode(bytes(out))
+        assert isinstance(decoded.args_wire, memoryview)
+        out = bytearray()
+        messages.FastResult(9, b"VAL").encode_into(out)
+        decoded = messages.decode(bytes(out))
+        assert isinstance(decoded.value_wire, memoryview)
+
+
+class TestFastLaneRuntime:
+    def test_interning_binds_once_then_rides_fast_frames(self):
+        server, client, endpoint = _pair("intern")
+        with server, client:
+            server.serve("e", FastEcho())
+            e = client.import_object(endpoint, "e")
+            bound_after_import = client.methods_bound
+            for _ in range(20):
+                assert e.nothing() is None
+            # One CALL_BIND for ``nothing``; the other 19 are CALL_FAST.
+            assert client.methods_bound == bound_after_import + 1
+            assert client.fastlane_calls >= 19
+            connection = client.cache.get(endpoint)
+            assert any(m == "nothing" for (_rep, m) in connection.method_ids)
+
+    def test_scalar_args_and_results_roundtrip(self):
+        server, client, endpoint = _pair("scalar")
+        with server, client:
+            server.serve("e", FastEcho())
+            e = client.import_object(endpoint, "e")
+            assert e.add(2, 3) == 5           # bind call
+            assert e.add(-10, 4) == -6        # fast call
+            assert e.label(7, "tok") == "tok:7"
+            assert e.label(8, "tok") == "tok:8"
+            assert e.loose(2.5) == 2.5
+            assert e.loose(b"raw") == b"raw"
+            assert client.fastlane_calls >= 3
+
+    def test_nonconforming_args_fall_back_to_pickle_per_call(self):
+        server, client, endpoint = _pair("fallback")
+        with server, client:
+            server.serve("e", FastEcho())
+            e = client.import_object(endpoint, "e")
+            assert e.loose(1) == 1                    # bind
+            assert e.loose(2) == 2                    # fast lane
+            fast_before = client.fastlane_calls
+            assert e.loose([1, 2]) == [1, 2]          # non-scalar value
+            assert e.loose(1 << 80) == 1 << 80        # beyond 64-bit
+            assert client.fastlane_fallbacks >= 2
+            # The binding is not poisoned: conforming calls go fast again.
+            assert e.loose(3) == 3
+            assert client.fastlane_calls >= fast_before + 1
+
+    def test_quick_methods_dispatch_inline_on_the_reactor(self):
+        server, client, endpoint = _pair("inline")
+        with server, client:
+            server.serve("s", Sleeper())
+            s = client.import_object(endpoint, "s")
+            assert s.tick() == 1  # bind call: normal dispatch
+            for _ in range(30):
+                assert s.tick() == 1
+            assert wait_until(
+                lambda: server.reactor.stats()["inline_dispatches"] >= 10
+            )
+            assert server.inline_demotions == 0
+
+    def test_misdeclared_quick_is_demoted_without_stalling_the_shard(self):
+        server, client_a, endpoint = _pair(
+            "demote", server_kwargs={"reactor_shards": 1}
+        )
+        client_b = Space("fl-cli-demote-b", shm="off")
+        with server, client_a, client_b:
+            server.serve("s", Sleeper())
+            sleeper = client_a.import_object(endpoint, "s")
+            other = client_b.import_object(endpoint, "s")
+            sleeper.nap()  # bind call: dispatcher path, no inline yet
+
+            failures = []
+
+            def blocker():
+                try:
+                    sleeper.nap()  # CALL_FAST: inlined, overruns, demotes
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    failures.append(exc)
+
+            thread = threading.Thread(target=blocker)
+            thread.start()
+            # The second connection keeps making progress while the
+            # mis-marked method blocks the shard's inline budget.
+            for _ in range(10):
+                assert other.tick() == 1
+            thread.join(5)
+            assert not thread.is_alive() and not failures
+            assert wait_until(lambda: server.inline_demotions == 1)
+            # The demoted binding never runs inline again.
+            inlined = server.reactor.stats()["inline_dispatches"]
+            sleeper.nap()
+            assert server.reactor.stats()["inline_dispatches"] == inlined
+            assert server.inline_demotions == 1
+
+    def test_async_calls_ride_the_fast_lane(self):
+        from repro import async_call
+
+        server, client, endpoint = _pair("async")
+        with server, client:
+            server.serve("e", FastEcho())
+            e = client.import_object(endpoint, "e")
+            assert e.add(1, 1) == 2  # bind
+            fast_before = client.fastlane_calls
+            futures = [async_call(e.add, i, i) for i in range(20)]
+            assert [f.result(10) for f in futures] \
+                == [2 * i for i in range(20)]
+            assert client.fastlane_calls >= fast_before + 20
+            # Non-conforming async values fall back per call, same as
+            # the blocking path.
+            assert async_call(e.loose, [5]).result(10) == [5]
+
+    def test_binding_does_not_pin_object_against_the_collector(self):
+        server, client, endpoint = _pair("gcpin")
+        with server, client:
+            server.serve("f", TokenFactory())
+            factory = client.import_object(endpoint, "f")
+            exported0 = server.stats()["gc"]["exported"]
+            token = factory.make()
+            assert token.ping() == "pong"  # binds Token.ping server-side
+            assert token.ping() == "pong"  # rides the binding
+            assert server.stats()["gc"]["exported"] == exported0 + 1
+            del token
+            pygc.collect()
+            assert client.cleanup_daemon.wait_idle(10)
+            # The weakly-held binding must not keep the token exported.
+            assert wait_until(
+                lambda: server.stats()["gc"]["exported"] == exported0
+            )
+
+
+class TestVersionInterop:
+    def test_v5_dialer_to_v4_acceptor_never_uses_v5_frames(self):
+        server, client, endpoint = _pair(
+            "v4srv", server_kwargs={"protocol_version": 4}
+        )
+        with server, client:
+            server.serve("e", FastEcho())
+            e = client.import_object(endpoint, "e")
+            assert client.cache.get(endpoint).version == 4
+            assert e.add(2, 3) == 5
+            assert e.nothing() is None
+            assert e.anything({"k": [1]}) == {"k": [1]}
+            assert client.methods_bound == 0
+            assert client.fastlane_calls == 0
+            assert server.reactor.stats()["inline_dispatches"] == 0
+
+    def test_v4_dialer_to_v5_acceptor_is_served_classically(self):
+        server, client, endpoint = _pair(
+            "v4cli", client_kwargs={"protocol_version": 4}
+        )
+        with server, client:
+            server.serve("e", FastEcho())
+            e = client.import_object(endpoint, "e")
+            assert client.cache.get(endpoint).version == 4
+            assert e.add(2, 3) == 5
+            assert e.label(1, "a") == "a:1"
+            assert client.methods_bound == 0
+            assert server.reactor.stats()["inline_dispatches"] == 0
+
+    def test_below_floor_peer_fails_fast(self):
+        server, client, endpoint = _pair(
+            "floor", client_kwargs={"protocol_version": 1}
+        )
+        with server, client:
+            with pytest.raises(ProtocolError):
+                client.import_object(endpoint, "e")

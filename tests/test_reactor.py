@@ -396,8 +396,15 @@ class TestSpaceStats:
             assert echo.echo("x") == "x"
             stats = client.stats()
             assert set(stats) == {
-                "gc", "dispatcher", "cache", "reactor", "marshal", "leases"
+                "gc", "dispatcher", "cache", "reactor", "marshal",
+                "leases", "fastlane", "hotpath",
             }
+            assert set(stats["fastlane"]) == {
+                "methods_bound", "fastlane_calls", "fastlane_fallbacks",
+                "inline_dispatches", "inline_demotions",
+            }
+            assert stats["fastlane"]["methods_bound"] >= 1
+            assert stats["hotpath"]["enabled"] is False
             assert stats["reactor"]["frames_in"] >= 1
             assert stats["reactor"]["frames_out"] >= 1
             assert stats["reactor"]["active_connections"] >= 1

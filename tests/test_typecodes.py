@@ -154,7 +154,8 @@ class TestNarrowing:
 
 class TestSurrogateGeneration:
     def make_surrogate(self, cls, recorded):
-        def invoker(wirerep, endpoints, method, args, kwargs):
+        def invoker(wirerep, endpoints, method, args, kwargs,
+                    fastlane=False):
             recorded.append((method, args, kwargs))
             return f"invoked-{method}"
 
