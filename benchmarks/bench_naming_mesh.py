@@ -1,0 +1,203 @@
+"""E11 — naming-mesh failover: cold bootstraps against replica death.
+
+The claim under test: with the naming service replicated across three
+``netobjd``-style replicas, killing one replica mid-run costs clients
+nothing after the failure settles — every cold bootstrap (discover the
+roster from a seed, resolve a name) still succeeds, and the name table
+converges across the survivors within two gossip periods.
+
+Three phases:
+
+* **E11_baseline** — sustained cold bootstraps against a single
+  (unreplicated) agent: the pre-mesh configuration, for rate context
+  and to show its failure mode (kill the agent and every bootstrap
+  fails).
+* **E11_failover** — the headline: a 3-replica mesh under a sustained
+  bootstrap loop; one replica (the leader, the worst case) is killed
+  mid-run.  Bootstraps started more than ``SETTLE`` seconds after the
+  kill must *all* succeed.
+* **E11_convergence** — after the kill, a write through one survivor
+  must be visible on the other within two gossip periods.
+
+Honesty notes: the bootstrap client reuses one Space (so TCP
+connections to surviving replicas come from the connection cache —
+"cold" means a fresh :class:`ReplicatedAgent` doing real discovery +
+resolution RPCs, not a fresh process), and it runs ``leases="off"``
+so every ``get`` is a real RPC rather than a lease-cache hit.
+"""
+
+import time
+
+from repro import GcConfig, NameServiceError, Space
+from repro.naming.discovery import ReplicatedAgent
+from repro.naming.mesh import MeshAgent, MeshConfig
+from tests.helpers import Counter, wait_until
+
+#: Mesh gossip period for this experiment (the convergence bound is
+#: asserted in units of this).
+GOSSIP_S = 0.2
+#: Failures inside this window after the kill are "during failover"
+#: and tolerated; afterwards the mesh has settled and none are.
+SETTLE_S = 1.0
+
+RUN_BEFORE_KILL_S = 1.5
+RUN_AFTER_KILL_S = 4.0
+
+
+def _mesh_replica(rid: int, tag: str, join):
+    agent = MeshAgent(
+        rid,
+        config=MeshConfig(gossip_interval=GOSSIP_S, suspect_after=2,
+                          election_timeout=0.5),
+    )
+    space = Space(
+        f"e11-r{rid}-{tag}", listen=["tcp://127.0.0.1:0"],
+        gc=GcConfig(ping_interval=None), agent=agent, shm="off",
+    )
+    agent.activate(join=join)
+    return space, agent
+
+
+def _bootstrap_once(client, seeds, name):
+    """One cold bootstrap: fresh discovery, then a name resolution."""
+    agent = ReplicatedAgent(client, seeds, backoff=0.02)
+    return agent.get(name)
+
+
+class TestE11NamingMesh:
+    def test_baseline_single_agent(self, report):
+        with Space("e11-single", listen=["tcp://127.0.0.1:0"],
+                   gc=GcConfig(ping_interval=None), shm="off") as lone, \
+                Space("e11-cli0", leases="off", shm="off") as client:
+            lone.serve("svc", Counter(1))
+            endpoint = lone.endpoints[0]
+            _bootstrap_once(client, [endpoint], "svc")  # warm the dial
+            start = time.perf_counter()
+            count = 0
+            while time.perf_counter() - start < 1.0:
+                _bootstrap_once(client, [endpoint], "svc")
+                count += 1
+            elapsed = time.perf_counter() - start
+            rate = count / elapsed
+        report("E11_naming_mesh",
+               f"single-agent cold bootstraps: {rate:7.0f}/s "
+               "(and one SIGKILL away from zero)",
+               e11_single_bootstraps_per_s=round(rate))
+
+    def test_failover_mid_run_kill(self, report):
+        tag = "kill"
+        spaces, agents = [], []
+        join = []
+        for rid in (1, 2, 3):
+            space, agent = _mesh_replica(rid, tag, join=list(join))
+            join.append(space.endpoints[0])
+            spaces.append(space)
+            agents.append(agent)
+        owner = Space("e11-owner", listen=["tcp://127.0.0.1:0"],
+                      gc=GcConfig(ping_interval=None), shm="off")
+        client = Space("e11-cli", leases="off", shm="off",
+                       gc=GcConfig(ping_interval=None))
+        try:
+            owner.import_object(join[0]).put("svc", Counter(7))
+            assert wait_until(
+                lambda: all(
+                    "svc" in agent.list() for agent in agents
+                ), timeout=10,
+            )
+            # Kill the leader mid-run: the worst case (writes must
+            # re-elect; the roster every client discovers shrinks).
+            assert wait_until(
+                lambda: agents[0]._leader is not None, timeout=10
+            )
+            victim_id = agents[0]._leader
+            victim_index = victim_id - 1
+            seeds = [ep for i, ep in enumerate(join)
+                     if i != victim_index]
+
+            outcomes = []   # (t_since_kill or None, ok)
+            kill_at = None
+
+            def run_for(seconds):
+                deadline = time.perf_counter() + seconds
+                while time.perf_counter() < deadline:
+                    begun = time.perf_counter()
+                    try:
+                        _bootstrap_once(client, seeds, "svc")
+                        ok = True
+                    except (NameServiceError, Exception):  # noqa: BLE001
+                        ok = False
+                    since_kill = (None if kill_at is None
+                                  else begun - kill_at)
+                    outcomes.append((since_kill, ok))
+
+            run_for(RUN_BEFORE_KILL_S)
+            kill_at = time.perf_counter()
+            spaces[victim_index].shutdown()
+            run_for(RUN_AFTER_KILL_S)
+
+            before = [ok for since, ok in outcomes if since is None]
+            settling = [ok for since, ok in outcomes
+                        if since is not None and since <= SETTLE_S]
+            settled = [ok for since, ok in outcomes
+                       if since is not None and since > SETTLE_S]
+            assert before and all(before), (
+                f"{before.count(False)} bootstraps failed pre-kill"
+            )
+            assert settled, "run too short: no post-settle bootstraps"
+            failed_settled = settled.count(False)
+            assert failed_settled == 0, (
+                f"{failed_settled}/{len(settled)} bootstraps failed "
+                f"after the {SETTLE_S}s settle window"
+            )
+            total = len(outcomes)
+            rate = total / (RUN_BEFORE_KILL_S + RUN_AFTER_KILL_S)
+            survivor = [a for a in agents
+                        if a.replica_id != victim_id][0]
+            stats = survivor.naming_stats()
+            report(
+                "E11_naming_mesh",
+                f"3-replica mesh, leader killed mid-run: "
+                f"{total} bootstraps at {rate:5.0f}/s, "
+                f"{settling.count(False)} failures in the "
+                f"{SETTLE_S}s settle window, "
+                f"{failed_settled}/{len(settled)} after settle "
+                f"(elections {stats['elections']}, "
+                f"failovers {stats['failovers']})",
+                e11_mesh_bootstraps_total=total,
+                e11_mesh_bootstraps_per_s=round(rate),
+                e11_post_settle_failures=failed_settled,
+                e11_post_settle_bootstraps=len(settled),
+                e11_settle_window_failures=settling.count(False),
+            )
+
+            # -- convergence across the survivors after the kill -----
+            survivors = [a for a in agents if a.replica_id != victim_id]
+            writer, reader = survivors[0], survivors[1]
+            converged_in = []
+            for i in range(5):
+                name = f"post-kill-{i}"
+                t0 = time.perf_counter()
+                writer.put(name, i)
+                assert wait_until(
+                    lambda: name in reader.list(),
+                    timeout=GOSSIP_S * 10,
+                ), f"{name} never reached the other survivor"
+                converged_in.append(time.perf_counter() - t0)
+            worst = max(converged_in)
+            assert worst <= 2 * GOSSIP_S, (
+                f"convergence took {worst:.3f}s "
+                f"(> 2 gossip periods of {GOSSIP_S}s)"
+            )
+            report(
+                "E11_naming_mesh",
+                f"survivor convergence: worst {worst * 1000:6.1f} ms "
+                f"over 5 writes (bound: 2 x {GOSSIP_S * 1000:.0f} ms "
+                "gossip)",
+                e11_convergence_worst_ms=round(worst * 1000, 1),
+                e11_convergence_bound_ms=2 * GOSSIP_S * 1000,
+            )
+        finally:
+            client.shutdown()
+            owner.shutdown()
+            for space in spaces:
+                space.shutdown()

@@ -311,6 +311,66 @@ class TestSmokeLeases:
                smoke_lease_hits=hits)
 
 
+class TestSmokeFailover:
+    def test_mesh_bootstrap_survives_replica_kill(self, report):
+        """Naming-mesh gate (E11 in miniature): with a 3-replica mesh,
+        killing one replica must not cost a client its bootstrap — a
+        fresh :class:`ReplicatedAgent` discovers the survivors and
+        resolves a name within its retry budget — and the mesh must
+        not leak threads (gossip rides the reactor timer and the
+        dispatcher, never its own thread)."""
+        from repro import GcConfig
+        from repro.naming.discovery import ReplicatedAgent
+        from repro.naming.mesh import MeshAgent, MeshConfig
+
+        threads_before = threading.active_count()
+        spaces, agents, seeds = [], [], []
+        client = Space("smoke-mesh-cli", shm="off",
+                       gc=GcConfig(ping_interval=None))
+        try:
+            for rid in (1, 2, 3):
+                agent = MeshAgent(rid, config=MeshConfig(
+                    gossip_interval=0.1, election_timeout=0.5,
+                ))
+                space = Space(
+                    f"smoke-mesh-r{rid}", listen=["tcp://127.0.0.1:0"],
+                    gc=GcConfig(ping_interval=None), agent=agent,
+                    shm="off",
+                )
+                agent.activate(join=list(seeds))
+                seeds.append(space.endpoints[0])
+                spaces.append(space)
+                agents.append(agent)
+            agents[0].put("svc", "value")
+            deadline = time.monotonic() + 10
+            while (not all("svc" in a.list() for a in agents)
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert all("svc" in a.list() for a in agents)
+
+            spaces[1].shutdown()    # kill one replica
+            start = time.perf_counter()
+            agent = ReplicatedAgent(client, seeds, backoff=0.02)
+            assert agent.get("svc") == "value"
+            elapsed = time.perf_counter() - start
+            assert elapsed < 10, "bootstrap blew the retry budget"
+        finally:
+            client.shutdown()
+            for space in spaces:
+                space.shutdown()
+        deadline = time.monotonic() + 5.0
+        while (threading.active_count() > threads_before
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert threading.active_count() <= threads_before, (
+            "naming mesh leaked threads"
+        )
+        report("smoke",
+               f"failover gate: bootstrap with 1/3 replicas dead in "
+               f"{elapsed * 1000:6.1f} ms, no thread growth",
+               smoke_failover_bootstrap_ms=round(elapsed * 1000, 1))
+
+
 class TestSmokeMarshal:
     @pytest.mark.parametrize("value", [
         list(range(100)),

@@ -47,7 +47,7 @@ from repro.errors import (
     UnmarshalError,
 )
 from repro.marshal import register_struct
-from repro.naming import Agent, NameServer
+from repro.naming import Agent, MeshAgent, MeshConfig, NameServer, ReplicatedAgent
 
 __version__ = "1.0.0"
 
@@ -58,6 +58,8 @@ __all__ = [
     "CommFailure",
     "GcConfig",
     "MarshalError",
+    "MeshAgent",
+    "MeshConfig",
     "NameServer",
     "NameServiceError",
     "NarrowingError",
@@ -68,6 +70,7 @@ __all__ = [
     "ProtocolError",
     "RemoteError",
     "RemoteFuture",
+    "ReplicatedAgent",
     "Space",
     "SpaceShutdownError",
     "Surrogate",

@@ -164,6 +164,7 @@ class Space:
         marshal_max_per_thread: int = 4,
         leases: str = "on",
         hotpath_profile: bool = False,
+        agent: Optional[Agent] = None,
     ):
         """``reactor_shards`` picks the I/O shard count (default
         ``min(4, cpu_count)``); ``dispatcher_max_workers`` and
@@ -176,7 +177,10 @@ class Space:
         ``"off"`` (every read is an RPC, as before v4);
         ``hotpath_profile`` turns on per-stage call-pipeline timing
         (see :mod:`repro.rpc.hotpath` — costs a few hundred ns per
-        call, so it defaults to off)."""
+        call, so it defaults to off); ``agent`` substitutes the name
+        server exported at the special index (a
+        :class:`~repro.naming.mesh.MeshAgent` turns this space into a
+        naming-mesh replica)."""
         self.space_id = fresh_space_id(nickname)
         # Wire decodes of our own identity (the owner field of every
         # incoming call target) then return this very instance, making
@@ -295,8 +299,11 @@ class Space:
 
         # The agent is the special object: pinned at index 0 so any
         # peer can bootstrap from just our endpoint.
-        self.agent = Agent()
+        self.agent = agent if agent is not None else Agent()
         self.object_table.export(self.agent, pinned=True)
+        bind_space = getattr(self.agent, "_bind_space", None)
+        if bind_space is not None:
+            bind_space(self)
 
         for endpoint in listen:
             self.add_listener(endpoint)
@@ -306,6 +313,7 @@ class Space:
             self.pinger = Pinger(
                 self.dgc_owner, self._ping_client, self.gc_config,
                 name=f"gc-pinger-{nickname or self.space_id.short()}",
+                on_purge=self._on_client_purged,
             )
 
         self._sweeper: Optional[threading.Thread] = None
@@ -339,6 +347,9 @@ class Space:
         if self._closed.is_set():
             return
         self._closed.set()
+        agent_shutdown = getattr(self.agent, "_shutdown", None)
+        if agent_shutdown is not None:
+            agent_shutdown()
         if self.pinger is not None:
             self.pinger.stop()
         self.cleanup_daemon.stop()
@@ -786,7 +797,10 @@ class Space:
         unpickler = self._marshal.acquire_unpickler(self._codec_ctx(connection))
         try:
             state = unpickler.loads(reply.snapshot_pickle)
-        except UnmarshalError:
+        except NetObjError:
+            # UnmarshalError, or a CommFailure from the nested dirty
+            # call a surrogate inside the snapshot makes if its owner
+            # died — either way the read falls back to a plain RPC.
             return None
         finally:
             self._marshal.release_unpickler(unpickler)
@@ -959,6 +973,20 @@ class Space:
             return True
         except NetObjError:
             return False
+
+    def _on_client_purged(self, client: SpaceID) -> None:
+        """Pinger hook: a client space is dead and its dirty-set
+        entries are purged.  Sweep the agent's third-party
+        registrations whose objects that space owned — a ``get`` of
+        such a name could only hand out a surrogate doomed to
+        :class:`CommFailure` — and refresh any agent leases so
+        clients' cached tables drop the names too."""
+        sweep = getattr(self.agent, "_sweep_owner", None)
+        if sweep is None:
+            return
+        removed = sweep(client)
+        if removed:
+            self._invalidate_after_write(self.agent, "remove")
 
     # -- serving -----------------------------------------------------------------------
 
@@ -1442,9 +1470,13 @@ class Space:
                 f"serve() needs a NetObj, got {type(obj).__qualname__}"
             )
         self.agent.put(name, obj)
+        # A local mutation bypasses the remote-call write path, so
+        # clients holding a lease on the agent must be refreshed here.
+        self._invalidate_after_write(self.agent, "put")
 
     def unserve(self, name: str) -> None:
         self.agent.remove(name)
+        self._invalidate_after_write(self.agent, "remove")
 
     def import_object(self, endpoint: str, name: Optional[str] = None):
         """Bootstrap from a peer: its agent, or the object it serves
@@ -1478,12 +1510,15 @@ class Space:
         reactor (``frames_in``/``frames_out``/``wakeups``/
         ``active_connections``), the v5 call fast lane
         (``fastlane``: methods bound, fast-lane calls and per-call
-        fallbacks, inline dispatches/demotions) and the per-stage
+        fallbacks, inline dispatches/demotions), the per-stage
         hot-path profile (``hotpath``, all-zero unless the space was
-        built with ``hotpath_profile=True``).
+        built with ``hotpath_profile=True``) and the name service
+        (``naming``: ``mode`` single/mesh, entries; a mesh replica
+        adds gossip rounds, entries synced, elections, failovers).
         """
         reactor = self.reactor.stats()
         return {
+            "naming": self.agent.naming_stats(),
             "gc": self.gc_stats(),
             "dispatcher": self.dispatcher.stats(),
             "cache": self.cache.stats(),

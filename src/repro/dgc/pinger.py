@@ -16,7 +16,7 @@ alone kept alive become locally collectable.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.dgc.config import GcConfig
 from repro.dgc.owner import DgcOwner
@@ -29,14 +29,21 @@ PingFn = Callable[[SpaceID], bool]
 
 
 class Pinger:
-    """Periodic client-liveness prober (see module docstring)."""
+    """Periodic client-liveness prober (see module docstring).
+
+    ``on_purge(client_id)`` is called after a client is purged from
+    the dirty sets — the space hooks it to sweep dangling third-party
+    name registrations the dead space owned.
+    """
     def __init__(self, owner: DgcOwner, ping: PingFn, config: GcConfig,
-                 name: str = "gc-pinger"):
+                 name: str = "gc-pinger",
+                 on_purge: Optional[Callable[[SpaceID], None]] = None):
         if config.ping_interval is None:
             raise ValueError("Pinger requires ping_interval to be set")
         self._owner = owner
         self._ping = ping
         self._config = config
+        self._on_purge = on_purge
         self._failures: Dict[SpaceID, int] = {}
         self._stop_event = threading.Event()
         self.clients_purged = 0
@@ -81,3 +88,10 @@ class Pinger:
                 self._owner.purge_client(client)
                 self.clients_purged += 1
                 del self._failures[client]
+                if self._on_purge is not None:
+                    try:
+                        self._on_purge(client)
+                    except Exception:  # noqa: BLE001 - see _run
+                        import traceback
+
+                        traceback.print_exc()

@@ -1,5 +1,28 @@
-"""The agent: Network Objects' bootstrap name service."""
+"""The agent: Network Objects' bootstrap name service.
 
-from repro.naming.agent import Agent, NameServer
+:class:`Agent` is the single-space name server every
+:class:`~repro.core.space.Space` carries; :class:`MeshAgent` replicates
+it across N ``netobjd`` daemons (leader-serialized writes, gossip
+anti-entropy — see :mod:`repro.naming.mesh`) and
+:class:`ReplicatedAgent` is the client that discovers the replica set
+from any seed and fails over between replicas.
+"""
 
-__all__ = ["Agent", "NameServer"]
+from repro.naming.agent import (
+    MESH_NAME,
+    MESH_RPC_NAME,
+    Agent,
+    NameServer,
+)
+from repro.naming.discovery import ReplicatedAgent
+from repro.naming.mesh import MeshAgent, MeshConfig
+
+__all__ = [
+    "Agent",
+    "MESH_NAME",
+    "MESH_RPC_NAME",
+    "MeshAgent",
+    "MeshConfig",
+    "NameServer",
+    "ReplicatedAgent",
+]

@@ -11,6 +11,25 @@ that serves nothing else.
 Because ``put`` accepts any network object reference — including
 surrogates for objects owned elsewhere — an agent can hold third-party
 registrations, exactly like the original.
+
+Two behaviours layered on since the seed:
+
+* ``get``/``list`` are declared ``@reads``, so bootstrap lookups ride
+  the read-lease layer: a client that resolved one name serves every
+  further lookup from its lease-cached copy of the table with zero
+  network traffic until a registration changes (the space's ``serve``/
+  ``unserve`` and the remote ``put``/``remove`` paths all invalidate).
+
+* ``_sweep_owner`` removes third-party registrations whose owning
+  space the collector's pinger has declared dead, so a lookup of a
+  dangling name fails with :class:`NameServiceError` (the name no
+  longer exists) instead of handing out a surrogate that can only
+  raise :class:`CommFailure`.
+
+Names of the form ``__name__`` are reserved for the runtime (the
+replicated mesh parks its discovery document and replica-to-replica
+RPC object there — see :mod:`repro.naming.mesh`); they resolve through
+``get`` but are hidden from ``list``.
 """
 
 from __future__ import annotations
@@ -18,13 +37,31 @@ from __future__ import annotations
 import threading
 from typing import List
 
-from repro.core.netobj import NetObj
+from repro.core.netobj import NetObj, reads
 from repro.errors import NameServiceError
+from repro.wire.ids import SpaceID
+
+#: Reserved name under which a mesh replica serves its discovery
+#: document (a plain dict: replica id, live roster, leader) — see
+#: :mod:`repro.naming.discovery`.  A single-space agent answers it
+#: with :class:`NameServiceError`, which is how clients detect they
+#: are talking to an unreplicated agent.
+MESH_NAME = "__mesh__"
+
+#: Reserved name under which a mesh replica serves its internal
+#: replica-to-replica RPC object (:class:`repro.naming.mesh.MeshPeer`).
+MESH_RPC_NAME = "__mesh_rpc__"
+
+
+def is_reserved(name: str) -> bool:
+    """True for runtime-reserved names (``__name__`` convention)."""
+    return name.startswith("__") and name.endswith("__")
 
 
 class NameServer(NetObj):
     """The remote interface of the agent."""
 
+    @reads
     def get(self, name: str):
         """Return the object registered under ``name``."""
         raise NotImplementedError
@@ -37,8 +74,9 @@ class NameServer(NetObj):
         """Unregister ``name``; unknown names are ignored."""
         raise NotImplementedError
 
+    @reads
     def list(self) -> List[str]:
-        """All registered names, sorted."""
+        """All registered (non-reserved) names, sorted."""
         raise NotImplementedError
 
 
@@ -71,4 +109,43 @@ class Agent(NameServer):
 
     def list(self) -> List[str]:
         with self._lock:
-            return sorted(self._table)
+            return sorted(n for n in self._table if not is_reserved(n))
+
+    # -- read-lease snapshot ----------------------------------------------------
+
+    def __lease_state__(self) -> dict:
+        with self._lock:
+            return {"names": dict(self._table)}
+
+    def __set_lease_state__(self, state: dict) -> None:
+        # The replica is a fully working Agent: local mutations on it
+        # would be legal (if pointless — they die with the lease), and
+        # reads need the same lock discipline as the original.
+        self._lock = threading.Lock()
+        self._table = dict(state["names"])
+
+    # -- runtime hooks (not part of the remote surface) --------------------------
+
+    def _sweep_owner(self, owner: SpaceID) -> List[str]:
+        """Drop registrations whose objects the dead ``owner`` owned.
+
+        Called by the space when the pinger purges a client: any
+        surrogate the agent still holds for that space's objects is a
+        dangling registration — ``get`` would hand out a reference
+        that can only raise :class:`CommFailure`.  Returns the removed
+        names so the caller can invalidate read leases.
+        """
+        removed: List[str] = []
+        with self._lock:
+            for name, value in list(self._table.items()):
+                rep = getattr(value, "_wirerep", None)
+                if rep is not None and rep.owner == owner:
+                    del self._table[name]
+                    removed.append(name)
+        return removed
+
+    def naming_stats(self) -> dict:
+        """Counters for ``Space.stats()["naming"]``."""
+        with self._lock:
+            entries = sum(1 for n in self._table if not is_reserved(n))
+        return {"mode": "single", "entries": entries}

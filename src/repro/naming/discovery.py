@@ -1,0 +1,219 @@
+"""Client-side discovery and failover for the replicated naming mesh.
+
+:class:`ReplicatedAgent` is the bootstrap front door a client uses
+instead of a raw ``import_object(endpoint, name)``: give it any seed
+endpoint of the mesh and it
+
+* **discovers** the full replica roster by asking the seed's agent for
+  the reserved ``__mesh__`` name (a single-space agent answers with
+  :class:`NameServiceError`, in which case the seed itself is the
+  whole "mesh" and the client degrades gracefully to one replica);
+
+* **caches** one agent surrogate per replica and spreads lookups
+  round-robin across them;
+
+* **retries** failed calls against the other replicas with jittered
+  exponential backoff, dropping replicas that fail and re-resolving
+  the roster from whatever still answers — a replica death costs one
+  failed RPC and a re-dial, not a client-visible error.
+
+``get``/``list`` on the underlying surrogates are lease-backed reads
+(PR 7), so a steady-state lookup costs no RPC at all; this class only
+adds the *which replica* decision and the failure handling around it.
+
+A ``NameServiceError`` from ``get`` is different from a dead replica:
+the name genuinely may not exist.  Because the table is eventually
+consistent, ``get`` gives every live replica one chance to know the
+name before the error propagates; all other methods treat it as the
+authoritative answer it is.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import (
+    NameServiceError,
+    NetObjError,
+    SpaceShutdownError,
+)
+from repro.naming.agent import MESH_NAME
+
+
+class ReplicatedAgent:
+    """A mesh-aware name-service client with failover.
+
+    Not a network object itself — a thin local wrapper that owns the
+    replica roster and routes :class:`~repro.naming.agent.NameServer`
+    calls (``get``/``put``/``remove``/``list``) to live replicas.
+    """
+
+    def __init__(self, space, seeds: Sequence[str],
+                 max_attempts: int = 8, backoff: float = 0.05,
+                 backoff_max: float = 1.0):
+        if not seeds:
+            raise ValueError("ReplicatedAgent needs at least one seed")
+        self._space = space
+        self._seeds = list(seeds)
+        self._max_attempts = max_attempts
+        self._backoff = backoff
+        self._backoff_max = backoff_max
+        self._lock = threading.Lock()
+        self._replicas: Dict[str, object] = {}  # endpoint -> agent
+        self._rr = 0
+        #: "mesh" once a discovery document has been seen, "single"
+        #: when the seed turned out to be an unreplicated agent.
+        self.mode = "unresolved"
+        self.bootstraps = 0
+        self.failovers = 0
+        self.retries = 0
+        self._resolve()
+
+    # -- public name-service surface -----------------------------------------------
+
+    def get(self, name: str):
+        """Resolve ``name``, failing over across replicas.  Because
+        replicas converge (they are not snapshot-identical), a
+        :class:`NameServiceError` is only raised after every live
+        replica has denied the name."""
+        return self._call("get", (name,), spread_miss=True)
+
+    def put(self, name: str, obj) -> None:
+        return self._call("put", (name, obj))
+
+    def remove(self, name: str) -> None:
+        return self._call("remove", (name,))
+
+    def list(self) -> List[str]:
+        return self._call("list", ())
+
+    def refresh(self) -> None:
+        """Drop the cached roster and re-discover from scratch."""
+        with self._lock:
+            self._replicas.clear()
+        self._resolve()
+
+    @property
+    def replicas(self) -> List[str]:
+        """The live replica endpoints, in routing order."""
+        with self._lock:
+            return list(self._replicas)
+
+    # -- discovery -------------------------------------------------------------------
+
+    def _resolve(self) -> None:
+        with self._lock:
+            known = list(self._replicas)
+        last_error: Optional[Exception] = None
+        for endpoint in known + [s for s in self._seeds
+                                 if s not in known]:
+            try:
+                agent = self._space.import_object(endpoint)
+                info = agent.get(MESH_NAME)
+            except NameServiceError:
+                # A plain single-space agent: it IS the name service.
+                with self._lock:
+                    self._replicas = {endpoint: agent}
+                self.mode = "single"
+                self.bootstraps += 1
+                return
+            except SpaceShutdownError:
+                raise
+            except NetObjError as exc:
+                last_error = exc
+                continue
+            roster = info.get("roster", {})
+            replicas: Dict[str, object] = {}
+            for rid in sorted(roster, key=int):
+                for ep in roster[rid]:
+                    if ep not in replicas:
+                        try:
+                            replicas[ep] = self._space.import_object(ep)
+                        except NetObjError:
+                            continue
+                        break
+            if endpoint not in replicas:
+                replicas[endpoint] = agent
+            with self._lock:
+                self._replicas = replicas
+            self.mode = "mesh"
+            self.bootstraps += 1
+            return
+        raise NameServiceError(
+            f"could not discover the naming mesh from any of "
+            f"{self._seeds!r} ({last_error})"
+        )
+
+    # -- routing ---------------------------------------------------------------------
+
+    def _next(self):
+        with self._lock:
+            if not self._replicas:
+                return None, None
+            endpoints = list(self._replicas)
+            endpoint = endpoints[self._rr % len(endpoints)]
+            self._rr += 1
+            return endpoint, self._replicas[endpoint]
+
+    def _drop(self, endpoint: str) -> None:
+        with self._lock:
+            self._replicas.pop(endpoint, None)
+
+    def _call(self, method: str, args: tuple,
+              spread_miss: bool = False):
+        attempt = 0
+        while True:
+            endpoint, agent = self._next()
+            if agent is None:
+                self._resolve()
+                endpoint, agent = self._next()
+                if agent is None:
+                    raise NameServiceError(
+                        "naming mesh unreachable: no live replicas"
+                    )
+            try:
+                return getattr(agent, method)(*args)
+            except NameServiceError:
+                if not spread_miss:
+                    raise
+                # Either returns a hit from another replica or raises
+                # the (now authoritative) NameServiceError.
+                return self._spread_miss(method, args, endpoint)
+            except SpaceShutdownError:
+                raise
+            except NetObjError:
+                self._drop(endpoint)
+                self.failovers += 1
+            attempt += 1
+            if attempt >= self._max_attempts:
+                raise NameServiceError(
+                    f"naming mesh call {method!r} failed after "
+                    f"{attempt} attempts"
+                )
+            self.retries += 1
+            delay = min(self._backoff * (2 ** attempt),
+                        self._backoff_max)
+            time.sleep(delay * random.uniform(0.5, 1.5))
+
+    def _spread_miss(self, method: str, args: tuple, missed: str):
+        """A replica denied the name; give each *other* live replica
+        one chance (the table is eventually consistent) and raise the
+        miss only when they all agree."""
+        with self._lock:
+            others = [(ep, ag) for ep, ag in self._replicas.items()
+                      if ep != missed]
+        for endpoint, agent in others:
+            try:
+                return getattr(agent, method)(*args)
+            except NameServiceError:
+                continue
+            except NetObjError:
+                self._drop(endpoint)
+                self.failovers += 1
+                continue
+        raise NameServiceError(
+            f"no object named {args[0]!r} on any live replica"
+        )

@@ -1,0 +1,782 @@
+"""The replicated naming mesh: N agents, one name table, no SPOF.
+
+A single ``netobjd`` is the last bootstrap single-point-of-failure
+between "demo" and serving real traffic: every client must reach it
+before it holds its first reference.  This module replicates the
+agent across N ``netobjd`` spaces that form a *mesh*:
+
+* **Versioned name table.**  Every registration carries a version
+  ``(lamport, replica_id)`` — a Lamport clock stamped by the replica
+  that applied the write, with the replica id as tiebreaker — and
+  removals leave *tombstones* so a deletion cannot be resurrected by
+  an older copy gossiping back.  Merging is last-writer-wins on the
+  version tuple, so any two replicas that have seen the same set of
+  records hold identical tables regardless of delivery order.
+
+* **Bully-style leader election.**  Writes are serialized through a
+  leader (highest live ``replica_id`` wins an election) to keep the
+  common path free of write conflicts; the versioned merge makes the
+  table converge even across the leadership gaps where two replicas
+  stamp concurrently.  Elections ride the same RPC plane as
+  everything else — a replica that cannot reach the leader holds an
+  election, defers to any live higher id, and claims leadership when
+  none answers.
+
+* **Gossip anti-entropy.**  Every ``gossip_interval`` a replica picks
+  a random live peer and exchanges a digest (``name -> version``);
+  the peer answers with the records it has newer plus the names it
+  wants, and the initiator pushes those back.  Writes are also pushed
+  eagerly to every live peer, so gossip is the repair channel (lost
+  pushes, healed partitions, joiners), bounding convergence at two
+  gossip periods for any record a survivor holds.
+
+* **Failure detection.**  ``suspect_after`` consecutive RPC failures
+  mark a peer dead: it leaves the advertised roster and, if it was
+  the leader, triggers an election.  An explicit ``join`` clears the
+  dead mark — a restarted replica re-enters by joining any survivor.
+
+The mesh is reachable through the ordinary agent surface: replicas
+answer ``get``/``list`` locally (reads are eventually consistent and
+lease-cacheable), route ``put``/``remove`` through the leader, serve
+their discovery document under the reserved name ``__mesh__`` and
+their replica-to-replica RPC object (:class:`MeshPeer`) under
+``__mesh_rpc__``.  Clients use :class:`repro.naming.discovery.
+ReplicatedAgent` to discover the roster from any seed and fail over
+between replicas.
+
+Threading: the mesh spawns no threads.  The gossip tick is a reactor
+timer that only submits the round to the dispatcher; elections,
+forwards and pushes all run on dispatcher workers, and every RPC the
+mesh makes happens outside the agent lock.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.netobj import NetObj
+from repro.errors import NameServiceError, NetObjError
+from repro.naming.agent import MESH_NAME, MESH_RPC_NAME, Agent, is_reserved
+
+Version = Tuple[int, int]
+
+
+class MeshConfig:
+    """Tunables for one mesh replica."""
+
+    __slots__ = ("gossip_interval", "suspect_after", "election_timeout",
+                 "election_rounds", "tombstone_ttl", "forward_attempts")
+
+    def __init__(self, gossip_interval: float = 0.5, suspect_after: int = 2,
+                 election_timeout: float = 1.0, election_rounds: int = 5,
+                 tombstone_ttl: float = 60.0, forward_attempts: int = 3):
+        #: Seconds between anti-entropy rounds (each round contacts one
+        #: random live peer); convergence is bounded by two periods.
+        self.gossip_interval = gossip_interval
+        #: Consecutive RPC failures before a peer is declared dead.
+        self.suspect_after = suspect_after
+        #: How long an election waits for a higher replica to announce
+        #: itself before re-running (and, ultimately, claiming).
+        self.election_timeout = election_timeout
+        #: Election retries before claiming leadership despite a live
+        #: higher id that never announced (it is presumed wedged).
+        self.election_rounds = election_rounds
+        #: How long a tombstone is remembered.  Must comfortably exceed
+        #: the longest plausible partition; a replica that gossips an
+        #: old value after the tombstone is gone resurrects the name.
+        self.tombstone_ttl = tombstone_ttl
+        #: Write attempts (forward, elect, retry) before giving up.
+        self.forward_attempts = forward_attempts
+
+
+class _Record:
+    """One versioned name-table entry (a value or a tombstone)."""
+
+    __slots__ = ("version", "value", "tombstone", "stamped_at")
+
+    def __init__(self, version: Version, value, tombstone: bool,
+                 stamped_at: float):
+        self.version = version
+        self.value = value
+        self.tombstone = tombstone
+        self.stamped_at = stamped_at
+
+    def wire(self, name: str) -> tuple:
+        return (name, self.version, self.value, self.tombstone)
+
+
+class MeshPeer(NetObj):
+    """Replica-to-replica RPC surface of the naming mesh.
+
+    Served under the reserved name ``__mesh_rpc__`` so peers reach it
+    through the ordinary bootstrap path; every method delegates to the
+    local :class:`MeshAgent`.  Not meant for application code.
+    """
+
+    def __init__(self, mesh: "MeshAgent"):
+        self._mesh = mesh
+
+    def gossip(self, sender_id: int, sender_endpoints, digest: dict) -> dict:
+        """One anti-entropy exchange: answer with my newer records
+        (``updates``), the names where the sender is newer
+        (``wanted``), my roster and my leader view."""
+        return self._mesh._handle_gossip(sender_id, sender_endpoints, digest)
+
+    def push(self, sender_id: int, records) -> int:
+        """Apply pushed records; returns how many were news here."""
+        return self._mesh._handle_push(sender_id, records)
+
+    def election(self, candidate_id: int) -> bool:
+        """Bully probe from a lower replica; True means "I am alive
+        and will take it from here"."""
+        return self._mesh._handle_election(candidate_id)
+
+    def coordinator(self, leader_id: int, roster: dict) -> bool:
+        """Leadership announcement at the end of an election."""
+        return self._mesh._handle_coordinator(leader_id, roster)
+
+    def join(self, replica_id: int, endpoints) -> dict:
+        """A (re)starting replica announces itself; returns the full
+        record set, roster and leader so it can catch up in one RPC."""
+        return self._mesh._handle_join(replica_id, endpoints)
+
+    def publish(self, name: str, value) -> Version:
+        """Leader-side write: stamp, apply, propagate; returns the
+        version so the forwarder can apply the same record locally."""
+        return self._mesh._handle_publish(name, value)
+
+    def retract(self, name: str) -> Version:
+        """Leader-side remove (tombstone); returns the version."""
+        return self._mesh._handle_retract(name)
+
+
+class MeshAgent(Agent):
+    """An agent replica participating in the naming mesh.
+
+    Construct with a unique ``replica_id`` (it is the bully-election
+    priority), hand it to ``Space(agent=...)``, then call
+    :meth:`activate` once the space's listeners are bound.  The
+    ``netobjd`` daemon does all three — see
+    :func:`repro.naming.netobjd.serve`.
+    """
+
+    def __init__(self, replica_id: int,
+                 config: Optional[MeshConfig] = None,
+                 gossip_interval: Optional[float] = None):
+        super().__init__()
+        self.replica_id = int(replica_id)
+        self.config = config if config is not None else MeshConfig()
+        if gossip_interval is not None:
+            self.config.gossip_interval = gossip_interval
+
+        # Versioned view of the name table; ``Agent._table`` stays the
+        # live (non-tombstone) projection so reads are plain Agent
+        # reads.  Both are guarded by ``self._lock``.
+        self._records: Dict[str, _Record] = {}
+        self._lamport = 0
+        self._roster: Dict[int, Tuple[str, ...]] = {}
+        self._dead: set = set()
+        self._suspect: Dict[int, int] = {}
+        self._peers: Dict[int, object] = {}  # rid -> MeshPeer surrogate
+        self._leader: Optional[int] = None
+
+        self._space_ref = None  # set by Space via _bind_space
+        self._peer_obj = MeshPeer(self)
+        self._timer = None
+        self._active = False
+        self._stopped = threading.Event()
+        self._election_lock = threading.Lock()
+        self._coordinator_event = threading.Event()
+        self._pending_joins: List[str] = []
+
+        # stats (surfaced as Space.stats()["naming"])
+        self.gossip_rounds = 0
+        self.entries_synced = 0
+        self.elections = 0
+        self.failovers = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _bind_space(self, space) -> None:
+        """Called by ``Space.__init__`` when this agent is installed."""
+        self._space_ref = weakref.ref(space)
+
+    def _space(self):
+        ref = self._space_ref
+        return ref() if ref is not None else None
+
+    def activate(self, join: Sequence[str] = ()) -> None:
+        """Start meshing: register self in the roster, serve the
+        internal RPC object, join via the seed endpoints, elect or
+        adopt a leader, and arm the gossip timer.  Call after the
+        space's listeners are bound (the roster advertises
+        ``space.endpoints``)."""
+        space = self._space()
+        if space is None:
+            raise RuntimeError("MeshAgent is not bound to a Space; "
+                               "pass it as Space(agent=...)")
+        if self._active:
+            return
+        self._active = True
+        with self._lock:
+            self._roster[self.replica_id] = tuple(space.endpoints)
+            self._table[MESH_RPC_NAME] = self._peer_obj
+        self._pending_joins = [ep for ep in join]
+        self._try_joins()
+        if self._leader is None:
+            self._start_election()
+        self._timer = space.reactor.add_timer(
+            self.config.gossip_interval, self._tick
+        )
+
+    def _shutdown(self) -> None:
+        """Called by ``Space.shutdown``: stop gossiping immediately."""
+        self._stopped.set()
+        self._coordinator_event.set()  # release any waiting election
+        if self._timer is not None:
+            self._timer.cancel()
+
+    def _tick(self) -> None:
+        # Reactor-thread timer callback: only schedules; the round does
+        # RPC and must run on a dispatcher worker.
+        space = self._space()
+        if space is None or self._stopped.is_set():
+            return
+        space.dispatcher.submit(self._gossip_round)
+
+    # -- agent surface -----------------------------------------------------------
+
+    def get(self, name: str):
+        if name == MESH_NAME:
+            return self._mesh_info()
+        return super().get(name)
+
+    def put(self, name: str, obj) -> None:
+        if is_reserved(name):
+            with self._lock:
+                self._table[name] = obj
+            return
+        self._write(name, obj, tombstone=False)
+
+    def remove(self, name: str) -> None:
+        if is_reserved(name):
+            with self._lock:
+                self._table.pop(name, None)
+            return
+        self._write(name, None, tombstone=True)
+
+    def __lease_state__(self) -> dict:
+        state = super().__lease_state__()
+        # Even a client that narrowed us to a plain Agent can then
+        # serve get("__mesh__") from its replica: the discovery
+        # document rides inside the snapshot.
+        state["names"][MESH_NAME] = self._mesh_info()
+        return state
+
+    def naming_stats(self) -> dict:
+        with self._lock:
+            entries = sum(1 for n in self._table if not is_reserved(n))
+            tombstones = sum(
+                1 for r in self._records.values() if r.tombstone
+            )
+            roster_live = sum(
+                1 for rid in self._roster if rid not in self._dead
+            )
+        return {
+            "mode": "mesh",
+            "replica_id": self.replica_id,
+            "leader": self._leader,
+            "entries": entries,
+            "tombstones": tombstones,
+            "roster_live": roster_live,
+            "gossip_rounds": self.gossip_rounds,
+            "entries_synced": self.entries_synced,
+            "elections": self.elections,
+            "failovers": self.failovers,
+        }
+
+    def _mesh_info(self) -> dict:
+        """The discovery document served under ``__mesh__``."""
+        with self._lock:
+            roster = {
+                rid: list(eps) for rid, eps in self._roster.items()
+                if rid not in self._dead
+            }
+        return {
+            "replica_id": self.replica_id,
+            "roster": roster,
+            "leader": self._leader,
+        }
+
+    # -- versioned writes --------------------------------------------------------
+
+    def _stamp(self) -> Version:
+        # Caller holds self._lock.
+        self._lamport += 1
+        return (self._lamport, self.replica_id)
+
+    def _apply_locked(self, name: str, version: Version, value,
+                      tombstone: bool) -> bool:
+        """Merge one record (caller holds the lock); True if it won."""
+        record = self._records.get(name)
+        if record is not None and record.version >= version:
+            return False
+        self._records[name] = _Record(
+            version, None if tombstone else value, tombstone,
+            time.monotonic(),
+        )
+        if tombstone:
+            self._table.pop(name, None)
+        else:
+            self._table[name] = value
+        return True
+
+    def _write(self, name: str, value, tombstone: bool) -> None:
+        """A client-facing ``put``/``remove``: route through the
+        leader; elect on a dead one; apply locally as leader."""
+        last_error: Optional[Exception] = None
+        for _ in range(self.config.forward_attempts):
+            leader = self._leader
+            if (not self._active or leader is None
+                    or leader == self.replica_id):
+                with self._lock:
+                    version = self._stamp()
+                    self._apply_locked(name, version, value, tombstone)
+                self._after_write(name, version, value, tombstone,
+                                  propagate=True)
+                return
+            peer = self._peer_surrogate(leader)
+            if peer is not None:
+                try:
+                    if tombstone:
+                        version = tuple(peer.retract(name))
+                    else:
+                        version = tuple(peer.publish(name, value))
+                    with self._lock:
+                        self._lamport = max(self._lamport, version[0])
+                        self._apply_locked(name, version, value, tombstone)
+                    # The leader propagates; we only refresh our leases.
+                    self._after_write(name, version, value, tombstone,
+                                      propagate=False)
+                    return
+                except NameServiceError:
+                    raise
+                except NetObjError as exc:
+                    last_error = exc
+            self._peer_failed(leader)
+            self._start_election()
+        raise NameServiceError(
+            f"naming mesh could not apply {name!r}: no reachable leader "
+            f"({last_error})"
+        )
+
+    def _after_write(self, name: str, version: Version, value,
+                     tombstone: bool, propagate: bool) -> None:
+        self._invalidate_leases()
+        if not propagate or not self._active or self._stopped.is_set():
+            return
+        space = self._space()
+        if space is None:
+            return
+        record = (name, version, value, tombstone)
+        for rid in self._live_peer_ids():
+            space.dispatcher.submit(
+                lambda rid=rid: self._push_to(rid, [record])
+            )
+
+    def _invalidate_leases(self) -> None:
+        """Refresh every client's lease-cached copy of the table after
+        a mutation (local writes bypass the space's remote-call
+        invalidation hook)."""
+        space = self._space()
+        if space is not None:
+            space._invalidate_after_write(self, "put")
+
+    # -- internal RPC handlers (via MeshPeer, on dispatcher workers) ---------------
+
+    def _handle_publish(self, name: str, value) -> Version:
+        # Stamp and apply even if our leadership view is stale: the
+        # version merge keeps convergence, and refusing would turn a
+        # leadership race into a client-visible failure.
+        with self._lock:
+            version = self._stamp()
+            self._apply_locked(name, version, value, False)
+        self._after_write(name, version, value, False, propagate=True)
+        return version
+
+    def _handle_retract(self, name: str) -> Version:
+        with self._lock:
+            version = self._stamp()
+            self._apply_locked(name, version, None, True)
+        self._after_write(name, version, None, True, propagate=True)
+        return version
+
+    def _handle_gossip(self, sender_id: int, sender_endpoints,
+                       digest: dict) -> dict:
+        sender_id = int(sender_id)
+        self._mark_alive(sender_id, sender_endpoints)
+        updates = []
+        wanted = []
+        with self._lock:
+            theirs = {n: tuple(v) for n, v in digest.items()}
+            for name, record in self._records.items():
+                version = theirs.get(name)
+                if version is None or version < record.version:
+                    updates.append(record.wire(name))
+            for name, version in theirs.items():
+                record = self._records.get(name)
+                if record is None or record.version < version:
+                    wanted.append(name)
+            roster = {
+                rid: list(eps) for rid, eps in self._roster.items()
+                if rid not in self._dead
+            }
+        return {
+            "updates": updates,
+            "wanted": wanted,
+            "roster": roster,
+            "leader": self._leader,
+        }
+
+    def _handle_push(self, sender_id: int, records) -> int:
+        self._mark_alive(int(sender_id), None)
+        return self._apply_records(records)
+
+    def _handle_join(self, replica_id: int, endpoints) -> dict:
+        replica_id = int(replica_id)
+        changed = False
+        with self._lock:
+            endpoints = tuple(endpoints)
+            if (replica_id in self._dead
+                    or self._roster.get(replica_id) != endpoints):
+                changed = True
+            self._dead.discard(replica_id)
+            self._suspect.pop(replica_id, None)
+            self._peers.pop(replica_id, None)  # re-dial fresh endpoints
+            self._roster[replica_id] = endpoints
+            records = [r.wire(n) for n, r in self._records.items()]
+            roster = {
+                rid: list(eps) for rid, eps in self._roster.items()
+                if rid not in self._dead
+            }
+        if changed:
+            self._invalidate_leases()
+        return {
+            "records": records,
+            "roster": roster,
+            "leader": self._leader,
+        }
+
+    def _handle_election(self, candidate_id: int) -> bool:
+        if int(candidate_id) >= self.replica_id:
+            return False
+        # A lower replica is electing: we outrank it, so we take over.
+        space = self._space()
+        if space is not None and self._active and not self._stopped.is_set():
+            space.dispatcher.submit(self._start_election)
+        return True
+
+    def _handle_coordinator(self, leader_id: int, roster: dict) -> bool:
+        leader_id = int(leader_id)
+        self._merge_roster(roster)
+        with self._lock:
+            self._dead.discard(leader_id)
+            self._suspect.pop(leader_id, None)
+        self._set_leader(leader_id)
+        self._coordinator_event.set()
+        return True
+
+    # -- gossip ------------------------------------------------------------------
+
+    def _gossip_round(self) -> None:
+        if self._stopped.is_set() or not self._active:
+            return
+        if self._pending_joins:
+            self._try_joins()
+        picked = self._pick_peer()
+        if picked is None:
+            return
+        rid, peer = picked
+        with self._lock:
+            digest = {n: r.version for n, r in self._records.items()}
+            my_endpoints = list(self._roster.get(self.replica_id, ()))
+        try:
+            reply = peer.gossip(self.replica_id, my_endpoints, digest)
+        except NetObjError:
+            self._peer_failed(rid)
+            return
+        self._suspect.pop(rid, None)
+        self.gossip_rounds += 1
+        self._apply_records(reply.get("updates", ()))
+        self._merge_roster(reply.get("roster", {}))
+        self._adopt_leader(reply.get("leader"))
+        wanted = reply.get("wanted", ())
+        if wanted:
+            with self._lock:
+                records = [
+                    self._records[n].wire(n) for n in wanted
+                    if n in self._records
+                ]
+            if records:
+                self._push_to(rid, records)
+        self._gc_tombstones()
+        leader = self._leader
+        if leader is None or leader in self._dead:
+            self._start_election()
+
+    def _pick_peer(self):
+        candidates = self._live_peer_ids()
+        random.shuffle(candidates)
+        for rid in candidates:
+            peer = self._peer_surrogate(rid)
+            if peer is not None:
+                return rid, peer
+        return None
+
+    def _apply_records(self, records) -> int:
+        applied = 0
+        with self._lock:
+            for name, version, value, tombstone in records:
+                version = tuple(version)
+                if version[0] > self._lamport:
+                    self._lamport = version[0]
+                if self._apply_locked(name, version, value, tombstone):
+                    applied += 1
+        if applied:
+            self.entries_synced += applied
+            self._invalidate_leases()
+        return applied
+
+    def _push_to(self, rid: int, records) -> None:
+        if self._stopped.is_set():
+            return
+        peer = self._peer_surrogate(rid)
+        if peer is None:
+            return
+        try:
+            peer.push(self.replica_id, records)
+        except NetObjError:
+            self._peer_failed(rid)
+
+    def _gc_tombstones(self) -> None:
+        horizon = time.monotonic() - self.config.tombstone_ttl
+        with self._lock:
+            for name, record in list(self._records.items()):
+                if record.tombstone and record.stamped_at < horizon:
+                    del self._records[name]
+
+    # -- membership --------------------------------------------------------------
+
+    def _live_peer_ids(self) -> List[int]:
+        with self._lock:
+            return [
+                rid for rid in self._roster
+                if rid != self.replica_id and rid not in self._dead
+            ]
+
+    def _mark_alive(self, rid: int, endpoints) -> None:
+        if rid == self.replica_id:
+            return
+        changed = False
+        with self._lock:
+            if rid in self._dead:
+                self._dead.discard(rid)
+                changed = True
+            self._suspect.pop(rid, None)
+            if endpoints:
+                endpoints = tuple(endpoints)
+                if self._roster.get(rid) != endpoints:
+                    self._roster[rid] = endpoints
+                    changed = True
+        if changed:
+            self._invalidate_leases()
+
+    def _merge_roster(self, incoming: dict) -> None:
+        changed = False
+        with self._lock:
+            for rid, endpoints in incoming.items():
+                rid = int(rid)
+                if rid == self.replica_id or rid in self._dead:
+                    continue
+                endpoints = tuple(endpoints)
+                if self._roster.get(rid) != endpoints:
+                    self._roster[rid] = endpoints
+                    changed = True
+        if changed:
+            self._invalidate_leases()
+
+    def _peer_failed(self, rid: int) -> None:
+        count = self._suspect.get(rid, 0) + 1
+        self._suspect[rid] = count
+        if count < self.config.suspect_after:
+            return
+        with self._lock:
+            if rid in self._dead:
+                return
+            self._dead.add(rid)
+            self._peers.pop(rid, None)
+        self._invalidate_leases()  # the advertised roster shrank
+        if self._leader == rid:
+            self._leader = None
+            self._start_election()
+
+    def _peer_surrogate(self, rid: int):
+        with self._lock:
+            if rid in self._dead:
+                return None
+            peer = self._peers.get(rid)
+            endpoints = self._roster.get(rid, ())
+        if peer is not None:
+            return peer
+        space = self._space()
+        if space is None or self._stopped.is_set():
+            return None
+        for endpoint in endpoints:
+            try:
+                agent = space.import_object(endpoint)
+                # Plain RPC on purpose: a leased read here would leave
+                # the peer's agent lease in *our* hands, and our death
+                # would then stall its writers for a lease TTL.
+                peer = agent._invoke("get", (MESH_RPC_NAME,), {})
+            except NetObjError:
+                continue
+            with self._lock:
+                if rid in self._dead:
+                    return None
+                self._peers[rid] = peer
+            return peer
+        return None
+
+    def _try_joins(self) -> None:
+        space = self._space()
+        if space is None or self._stopped.is_set():
+            return
+        remaining = []
+        for endpoint in self._pending_joins:
+            try:
+                agent = space.import_object(endpoint)
+                peer = agent._invoke("get", (MESH_RPC_NAME,), {})
+                with self._lock:
+                    my_endpoints = list(
+                        self._roster.get(self.replica_id, ())
+                    )
+                reply = peer.join(self.replica_id, my_endpoints)
+            except NetObjError:
+                remaining.append(endpoint)  # retried on gossip ticks
+                continue
+            self._apply_records(reply.get("records", ()))
+            self._merge_roster(reply.get("roster", {}))
+            self._adopt_leader(reply.get("leader"))
+        self._pending_joins = remaining
+
+    # -- leader election (bully) ---------------------------------------------------
+
+    def _adopt_leader(self, leader: Optional[int]) -> None:
+        """Take a peer's leader *view* when ours is missing, dead, or
+        lower (the bully invariant: the highest live id leads)."""
+        if leader is None:
+            return
+        leader = int(leader)
+        with self._lock:
+            if leader in self._dead:
+                return
+        current = self._leader
+        if (current is None or current in self._dead
+                or leader > current):
+            self._set_leader(leader)
+
+    def _set_leader(self, leader: int) -> None:
+        previous = self._leader
+        if previous == leader:
+            return
+        self._leader = leader
+        if previous is not None:
+            self.failovers += 1
+        self._invalidate_leases()  # discovery documents changed
+
+    def _start_election(self) -> None:
+        if self._stopped.is_set() or not self._active:
+            return
+        if not self._election_lock.acquire(blocking=False):
+            # An election is already running on another worker; wait
+            # for its outcome rather than stampeding the mesh.
+            self._coordinator_event.wait(self.config.election_timeout)
+            return
+        try:
+            self.elections += 1
+            self._coordinator_event.clear()
+            for _ in range(self.config.election_rounds):
+                if self._stopped.is_set():
+                    return
+                deferred = False
+                higher = [rid for rid in self._live_peer_ids()
+                          if rid > self.replica_id]
+                for rid in sorted(higher, reverse=True):
+                    peer = self._peer_surrogate(rid)
+                    if peer is None:
+                        continue
+                    try:
+                        if peer.election(self.replica_id):
+                            deferred = True
+                    except NetObjError:
+                        self._peer_failed(rid)
+                if not deferred:
+                    self._become_leader()
+                    return
+                if self._coordinator_event.wait(
+                        self.config.election_timeout):
+                    return  # a higher replica announced itself
+                # The higher replica answered but never announced —
+                # treat the round as failed and re-probe.
+            self._become_leader()
+        finally:
+            self._election_lock.release()
+
+    def _become_leader(self) -> None:
+        self._set_leader(self.replica_id)
+        self._coordinator_event.set()
+        with self._lock:
+            roster = {
+                rid: list(eps) for rid, eps in self._roster.items()
+                if rid not in self._dead
+            }
+        for rid in self._live_peer_ids():
+            peer = self._peer_surrogate(rid)
+            if peer is None:
+                continue
+            try:
+                peer.coordinator(self.replica_id, roster)
+            except NetObjError:
+                self._peer_failed(rid)
+
+    # -- integration hooks ---------------------------------------------------------
+
+    def _sweep_owner(self, owner) -> List[str]:
+        """Dead-owner sweep, mesh edition: tombstone (not just drop)
+        each dangling registration so the removal gossips to the other
+        replicas instead of resurrecting from them."""
+        removed: List[str] = []
+        records = []
+        with self._lock:
+            for name, value in list(self._table.items()):
+                if is_reserved(name):
+                    continue
+                rep = getattr(value, "_wirerep", None)
+                if rep is not None and rep.owner == owner:
+                    version = self._stamp()
+                    self._apply_locked(name, version, None, True)
+                    removed.append(name)
+                    records.append((name, version, None, True))
+        if records and self._active and not self._stopped.is_set():
+            space = self._space()
+            if space is not None:
+                for rid in self._live_peer_ids():
+                    space.dispatcher.submit(
+                        lambda rid=rid, recs=list(records):
+                        self._push_to(rid, recs)
+                    )
+        return removed

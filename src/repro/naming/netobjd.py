@@ -19,16 +19,36 @@ Programs then rendezvous through it::
 Because ``Agent.put`` accepts references owned elsewhere, the daemon
 never owns application objects — it only holds surrogates for them,
 and the distributed collector keeps the owners informed.
+
+Replication: give each daemon a ``--replica-id`` and point later ones
+at any live replica with ``--join`` and the daemons form a naming
+mesh (:mod:`repro.naming.mesh`) — leader-serialized writes, gossip
+anti-entropy, no bootstrap SPOF:
+
+.. code-block:: console
+
+    $ netobjd --replica-id 1 --listen tcp://0.0.0.0:7023
+    $ netobjd --replica-id 2 --listen tcp://0.0.0.0:7024 \\
+              --join tcp://127.0.0.1:7023
+    $ netobjd --replica-id 3 --listen tcp://0.0.0.0:7025 \\
+              --join tcp://127.0.0.1:7023
+
+Clients bootstrap through
+:class:`repro.naming.discovery.ReplicatedAgent` with any one of the
+three endpoints as seed.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import threading
 from typing import Callable, Optional, Sequence
 
 from repro.core.space import Space
 from repro.dgc.config import GcConfig
+from repro.errors import CommFailure
+from repro.naming.mesh import MeshAgent
 
 DEFAULT_ENDPOINT = "tcp://127.0.0.1:7023"
 
@@ -38,18 +58,41 @@ def serve(
     ping_interval: Optional[float] = 5.0,
     ready: Optional[Callable[[Space], None]] = None,
     stop_event: Optional[threading.Event] = None,
+    replica_id: Optional[int] = None,
+    join: Sequence[str] = (),
+    gossip_interval: float = 0.5,
 ) -> Space:
     """Run a name-server space until ``stop_event`` is set.
 
     ``ready`` is invoked with the space once every listener is bound
-    (its concrete endpoints are in ``space.endpoints``).  Returns the
-    (shut-down) space, mostly for tests.
+    (its concrete endpoints are in ``space.endpoints``).  With a
+    ``replica_id`` (or ``join`` seeds) the daemon hosts a
+    :class:`~repro.naming.mesh.MeshAgent` and participates in the
+    replicated naming mesh; the mesh activates after the listeners
+    are bound and before ``ready`` fires.  Returns the (shut-down)
+    space, mostly for tests.
+
+    Raises :class:`~repro.errors.CommFailure` without leaking the
+    space if a listen endpoint cannot be bound.
     """
+    agent = None
+    if replica_id is not None or join:
+        if replica_id is None:
+            raise ValueError("--join requires --replica-id")
+        agent = MeshAgent(replica_id, gossip_interval=gossip_interval)
     gc_config = GcConfig(ping_interval=ping_interval)
-    space = Space("netobjd", listen=list(endpoints), gc=gc_config)
+    space = Space("netobjd", gc=gc_config, agent=agent)
+    try:
+        for endpoint in endpoints:
+            space.add_listener(endpoint)
+    except CommFailure:
+        space.shutdown()
+        raise
     if stop_event is None:
         stop_event = threading.Event()
     try:
+        if agent is not None:
+            agent.activate(join=join)
         if ready is not None:
             ready(space)
         stop_event.wait()
@@ -60,6 +103,8 @@ def serve(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (``python -m repro.naming.netobjd``)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="netobjd",
         description="Network Objects name-server daemon",
@@ -72,15 +117,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--ping-interval", type=float, default=5.0,
         help="seconds between client liveness probes (default 5)",
     )
+    parser.add_argument(
+        "--replica-id", type=int, default=None, metavar="N",
+        help="join the naming mesh as replica N (the highest live id "
+             "is elected leader)",
+    )
+    parser.add_argument(
+        "--join", action="append", default=[], metavar="ENDPOINT",
+        help="endpoint of a live mesh replica to join (repeatable; "
+             "requires --replica-id)",
+    )
+    parser.add_argument(
+        "--gossip-interval", type=float, default=0.5, metavar="SECONDS",
+        help="seconds between mesh anti-entropy rounds (default 0.5)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"netobjd (repro {__version__})",
+    )
     args = parser.parse_args(argv)
     endpoints = args.listen or [DEFAULT_ENDPOINT]
+    if args.join and args.replica_id is None:
+        parser.error("--join requires --replica-id")
 
     def announce(space: Space) -> None:
+        role = "agent" if args.replica_id is None \
+            else f"mesh replica {args.replica_id}"
         for endpoint in space.endpoints:
-            print(f"netobjd: serving agent on {endpoint}", flush=True)
+            print(f"netobjd: serving {role} on {endpoint}", flush=True)
 
     try:
-        serve(endpoints, ping_interval=args.ping_interval, ready=announce)
+        serve(
+            endpoints,
+            ping_interval=args.ping_interval,
+            ready=announce,
+            replica_id=args.replica_id,
+            join=args.join,
+            gossip_interval=args.gossip_interval,
+        )
+    except CommFailure as exc:
+        print(f"netobjd: {exc}", file=sys.stderr)
+        return 1
     except KeyboardInterrupt:
         print("netobjd: shutting down")
     return 0

@@ -249,6 +249,16 @@ class TestFastLaneRuntime:
             thread.join(5)
             assert not thread.is_alive() and not failures
             assert wait_until(lambda: server.inline_demotions == 1)
+
+            # inline_dispatches is accounted *after* a call's result
+            # frame is sent, so the last tick's increment can trail its
+            # reply; settle the counter before sampling it.
+            def inline_count_settled():
+                count = server.reactor.stats()["inline_dispatches"]
+                time.sleep(0.05)
+                return count == server.reactor.stats()["inline_dispatches"]
+
+            assert wait_until(inline_count_settled)
             # The demoted binding never runs inline again.
             inlined = server.reactor.stats()["inline_dispatches"]
             sleeper.nap()

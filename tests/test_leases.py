@@ -84,10 +84,14 @@ class TestLeaseBasics:
             assert impl.reads_served == 0
             owner = server.lease_stats()
             holder = client.lease_stats()
-            assert owner["leases_granted"] == 1
-            assert holder["lease_requests"] == 1
+            # Two leases: the agent (import_object's get() is a leased
+            # read since the naming mesh PR) and the gauge itself.
+            assert owner["leases_granted"] == 2
+            assert holder["lease_requests"] == 2
             assert holder["lease_hits"] >= 100
-            assert holder["held_leases"] == 1
+            # The agent lease dies with the bootstrap surrogate (its
+            # clean releases it); only the gauge lease is still held.
+            assert holder["held_leases"] >= 1
 
     def test_stats_exposes_the_lease_counters(self, request):
         server, client, endpoint = _pair(request.node.name)
@@ -110,7 +114,8 @@ class TestLeaseBasics:
             assert gauge.get() == 5
             owner = server.lease_stats()
             assert owner["invalidations_sent"] >= 1
-            assert owner["leases_granted"] == 2
+            # agent + gauge + the gauge re-grant after the write
+            assert owner["leases_granted"] == 3
             assert client.lease_stats()["invalidations_received"] >= 1
 
     def test_expired_lease_is_renewed(self, request):
@@ -128,7 +133,8 @@ class TestLeaseBasics:
             assert gauge.get() == 3          # renewed, not stale-served
             holder = client.lease_stats()
             assert holder["replica_expiries"] >= 1
-            assert server.lease_stats()["leases_granted"] == 2
+            # agent + gauge + the gauge renewal after expiry
+            assert server.lease_stats()["leases_granted"] == 3
 
     def test_leases_off_knob_client_side(self, request):
         server, client, endpoint = _pair(
@@ -320,7 +326,8 @@ class TestExpiryAndClean:
             factory = client.import_object(owner.endpoints[0], "factory")
             gauge = factory.make(6)
             assert gauge.get() == 6          # lease held at the crash
-            assert owner.lease_stats()["leases_granted"] == 1
+            # agent bootstrap lease + the gauge lease
+            assert owner.lease_stats()["leases_granted"] == 2
             client.shutdown()                # crash: no cleans, no release
             assert wait_until(lambda: factory_impl.live_count() == 0,
                               timeout=10)

@@ -1,10 +1,13 @@
 """Tests for the agent (name service) and bootstrap mechanics."""
 
+import threading
+
 import pytest
 
-from repro import Agent, NameServiceError, Space
+from repro import Agent, GcConfig, NameServiceError, Space
+from repro.naming.agent import is_reserved
 from repro.wire.wirerep import SPECIAL_OBJECT_INDEX
-from tests.helpers import Counter
+from tests.helpers import Counter, wait_until
 
 
 class TestAgentLocal:
@@ -92,3 +95,133 @@ class TestBootstrap:
         with Space("server", listen=[endpoint]) as server:
             with pytest.raises(TypeError):
                 server.serve("bad", object())
+
+
+class TestAgentLeases:
+    def test_repeat_get_is_served_from_the_replica(self, request):
+        """Bootstrap lookups ride the read-lease layer: after the
+        first ``get`` the client holds a lease on the agent, and a
+        repeat lookup is a replica hit — no RPC at all."""
+        endpoint = f"inproc://lease-boot-{request.node.name}"
+        with Space("server", listen=[endpoint]) as server, \
+                Space("client") as client:
+            server.serve("svc", Counter(3))
+            agent = client.import_object(endpoint)
+            first = agent.get("svc")
+            assert first.value() == 3
+            before = client.lease_stats()
+            again = agent.get("svc")
+            assert again.value() == 3
+            assert agent.list() == ["svc"]
+            after = client.lease_stats()
+            # The repeat get and the list were replica hits; no new
+            # lease request (hence no RPC) went to the server.
+            assert after["lease_hits"] >= before["lease_hits"] + 2
+            assert after["lease_requests"] == before["lease_requests"]
+
+    def test_registration_change_refreshes_the_lease(self, request):
+        endpoint = f"inproc://lease-boot2-{request.node.name}"
+        with Space("server", listen=[endpoint]) as server, \
+                Space("client") as client:
+            server.serve("svc", Counter())
+            agent = client.import_object(endpoint)
+            assert agent.list() == ["svc"]
+            server.serve("late", Counter())   # local serve after lease
+            assert agent.list() == ["late", "svc"]
+            server.unserve("svc")
+            assert agent.list() == ["late"]
+
+
+class TestDeadOwnerSweep:
+    def test_get_after_owner_death_is_a_name_miss(self, request):
+        """A third-party registration whose owner died is swept when
+        the pinger purges the owner, so ``get`` answers with the truth
+        (no such name) instead of a doomed surrogate."""
+        gc_config = GcConfig(ping_interval=0.05, ping_timeout=0.2,
+                             ping_max_failures=2)
+        endpoint = f"inproc://sweep-{request.node.name}"
+        owner_ep = f"inproc://sweep-own-{request.node.name}"
+        with Space("server", listen=[endpoint], gc=gc_config) as server:
+            owner = Space("mortal", listen=[owner_ep], gc=gc_config)
+            agent = owner.import_object(endpoint)
+            agent.put("doomed", Counter(1))
+            assert server.agent.get("doomed") is not None
+            owner.shutdown()                  # crash: no unregistration
+            assert wait_until(
+                lambda: server.pinger.clients_purged >= 1, timeout=10
+            )
+            with pytest.raises(NameServiceError):
+                server.agent.get("doomed")
+            with Space("observer") as observer:
+                with pytest.raises(NameServiceError):
+                    observer.import_object(endpoint, "doomed")
+
+    def test_sweep_spares_other_owners(self, request):
+        gc_config = GcConfig(ping_interval=0.05, ping_timeout=0.2,
+                             ping_max_failures=2)
+        endpoint = f"inproc://sweep2-{request.node.name}"
+        with Space("server", listen=[endpoint], gc=gc_config) as server, \
+                Space("keeper",
+                      listen=[f"inproc://sweep2-k-{request.node.name}"],
+                      gc=gc_config) as keeper:
+            mortal = Space(
+                "mortal",
+                listen=[f"inproc://sweep2-m-{request.node.name}"],
+                gc=gc_config,
+            )
+            # Keep the agent surrogates alive so both spaces stay in
+            # the server's dirty set (and hence on its ping schedule).
+            keeper_agent = keeper.import_object(endpoint)
+            mortal_agent = mortal.import_object(endpoint)
+            keeper_agent.put("kept", Counter(7))
+            mortal_agent.put("doomed", Counter())
+            mortal.shutdown()
+            assert wait_until(
+                lambda: server.pinger.clients_purged >= 1, timeout=10
+            )
+            assert server.agent.list() == ["kept"]
+            assert server.agent.get("kept") is not None
+
+
+class TestAgentConcurrency:
+    def test_list_stays_sorted_under_concurrent_mutation(self):
+        """``list`` must hold its sorted-snapshot contract while other
+        threads churn the table."""
+        agent = Agent()
+        names = [f"name-{i:03d}" for i in range(50)]
+        stop = threading.Event()
+        failures = []
+
+        def churn(offset):
+            i = 0
+            while not stop.is_set():
+                name = names[(i + offset) % len(names)]
+                if i % 3 == 2:
+                    agent.remove(name)
+                else:
+                    agent.put(name, i)
+                i += 1
+
+        def observe():
+            while not stop.is_set():
+                listed = agent.list()
+                if listed != sorted(listed):
+                    failures.append(listed)
+                    return
+                if any(is_reserved(name) for name in listed):
+                    failures.append(listed)
+                    return
+
+        threads = [threading.Thread(target=churn, args=(k,), daemon=True)
+                   for k in range(3)]
+        threads += [threading.Thread(target=observe, daemon=True)
+                    for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not failures

@@ -1,0 +1,360 @@
+"""The replicated naming mesh: gossip convergence, tombstones, leader
+election and failover, late joins, client-side discovery/retry."""
+
+import threading
+import time
+
+import pytest
+
+from repro import GcConfig, NameServiceError, Space
+from repro.naming.agent import MESH_NAME, MESH_RPC_NAME
+from repro.naming.discovery import ReplicatedAgent
+from repro.naming.mesh import MeshAgent, MeshConfig, _Record
+from tests.helpers import Counter, wait_until
+
+GOSSIP = 0.05
+
+
+def fast_config() -> MeshConfig:
+    return MeshConfig(gossip_interval=GOSSIP, suspect_after=2,
+                      election_timeout=0.5, tombstone_ttl=30.0)
+
+
+class Mesh:
+    """N in-process mesh replicas plus teardown bookkeeping."""
+
+    def __init__(self, n: int, tag: str, ping_interval=None):
+        self.spaces = []
+        self.agents = []
+        seeds = []
+        for rid in range(1, n + 1):
+            agent = MeshAgent(rid, config=fast_config())
+            space = Space(
+                f"mesh{rid}-{tag}",
+                listen=[f"inproc://mesh-{tag}-{rid}"],
+                gc=GcConfig(ping_interval=ping_interval,
+                            ping_timeout=0.2, ping_max_failures=2),
+                agent=agent,
+            )
+            agent.activate(join=list(seeds))
+            seeds.append(space.endpoints[0])
+            self.spaces.append(space)
+            self.agents.append(agent)
+        self.endpoints = list(seeds)
+
+    def shutdown(self):
+        for space in self.spaces:
+            space.shutdown()
+
+    def converged(self, name, predicate):
+        """True when ``predicate(table value or None)`` holds on every
+        live replica."""
+        for space, agent in zip(self.spaces, self.agents):
+            if space.closed:
+                continue
+            try:
+                value = agent.get(name)
+            except NameServiceError:
+                value = None
+            if not predicate(value):
+                return False
+        return True
+
+
+@pytest.fixture()
+def mesh3(request):
+    mesh = Mesh(3, request.node.name.replace("[", "-").replace("]", ""))
+    yield mesh
+    mesh.shutdown()
+
+
+class TestGossipConvergence:
+    def test_put_reaches_every_replica(self, mesh3):
+        mesh3.agents[0].put("alpha", 1)
+        assert wait_until(
+            lambda: mesh3.converged("alpha", lambda v: v == 1), timeout=5
+        )
+
+    def test_remove_tombstones_everywhere(self, mesh3):
+        mesh3.agents[1].put("beta", 2)
+        assert wait_until(
+            lambda: mesh3.converged("beta", lambda v: v == 2), timeout=5
+        )
+        mesh3.agents[2].remove("beta")
+        assert wait_until(
+            lambda: mesh3.converged("beta", lambda v: v is None), timeout=5
+        )
+        # The tombstone keeps the name dead through later gossip.
+        time.sleep(GOSSIP * 6)
+        assert mesh3.converged("beta", lambda v: v is None)
+
+    def test_concurrent_writes_from_all_replicas_converge(self, mesh3):
+        def write(agent, k):
+            for i in range(10):
+                agent.put(f"key-{k}-{i}", (k, i))
+
+        threads = [threading.Thread(target=write, args=(agent, k),
+                                    daemon=True)
+                   for k, agent in enumerate(mesh3.agents)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=20)
+        expected = sorted(
+            f"key-{k}-{i}" for k in range(3) for i in range(10)
+        )
+        assert wait_until(
+            lambda: all(agent.list() == expected
+                        for agent in mesh3.agents),
+            timeout=10,
+        )
+
+    def test_same_name_written_twice_converges_to_one_value(self, mesh3):
+        mesh3.agents[0].put("contested", "first")
+        mesh3.agents[2].put("contested", "second")
+        def settled():
+            try:
+                values = {agent.get("contested")
+                          for agent in mesh3.agents}
+            except NameServiceError:
+                return False   # still propagating
+            return len(values) == 1
+
+        assert wait_until(settled, timeout=5)
+
+    def test_late_joiner_catches_up_in_one_join(self, request, mesh3):
+        for i in range(5):
+            mesh3.agents[0].put(f"pre-{i}", i)
+        assert wait_until(
+            lambda: mesh3.converged("pre-4", lambda v: v == 4), timeout=5
+        )
+        tag = request.node.name.replace("[", "-").replace("]", "")
+        agent = MeshAgent(9, config=fast_config())
+        space = Space(
+            f"mesh9-{tag}", listen=[f"inproc://mesh-{tag}-9"],
+            gc=GcConfig(ping_interval=None), agent=agent,
+        )
+        try:
+            agent.activate(join=[mesh3.endpoints[0]])
+            # The join reply carries the whole record set: no gossip
+            # round needed to see every earlier registration.
+            assert agent.get("pre-0") == 0
+            assert agent.get("pre-4") == 4
+            assert wait_until(
+                lambda: agent.naming_stats()["roster_live"] == 4,
+                timeout=5,
+            )
+        finally:
+            space.shutdown()
+
+
+class TestLeadership:
+    def test_a_leader_emerges_and_is_shared(self, mesh3):
+        assert wait_until(
+            lambda: len({a._leader for a in mesh3.agents}) == 1
+            and mesh3.agents[0]._leader is not None,
+            timeout=5,
+        )
+
+    def test_leader_death_elects_a_survivor(self, mesh3):
+        assert wait_until(
+            lambda: all(a._leader is not None for a in mesh3.agents),
+            timeout=5,
+        )
+        leader = mesh3.agents[0]._leader
+        index = leader - 1   # replica ids are 1-based
+        mesh3.spaces[index].shutdown()
+        survivors = [a for a in mesh3.agents
+                     if a.replica_id != leader]
+        # A write through a survivor forces failure detection and an
+        # election; it must succeed within the forward budget.
+        survivors[0].put("after-kill", 42)
+        assert wait_until(
+            lambda: all(a._leader is not None and a._leader != leader
+                        for a in survivors),
+            timeout=10,
+        )
+        def sees_write():
+            try:
+                return all(a.get("after-kill") == 42 for a in survivors)
+            except NameServiceError:
+                return False
+
+        assert wait_until(sees_write, timeout=10)
+        assert any(a.naming_stats()["failovers"] >= 1
+                   or a.naming_stats()["elections"] >= 1
+                   for a in survivors)
+
+    def test_writes_through_any_replica_reach_all(self, mesh3):
+        for k, agent in enumerate(mesh3.agents):
+            agent.put(f"via-{k}", k)
+        assert wait_until(
+            lambda: all(
+                mesh3.converged(f"via-{k}", lambda v, k=k: v == k)
+                for k in range(3)
+            ),
+            timeout=10,
+        )
+
+
+class TestDiscoveryDocument:
+    def test_mesh_name_resolves_to_the_roster(self, mesh3):
+        info = mesh3.agents[0].get(MESH_NAME)
+        assert info["replica_id"] == 1
+        assert wait_until(
+            lambda: len(mesh3.agents[0].get(MESH_NAME)["roster"]) == 3,
+            timeout=5,
+        )
+
+    def test_reserved_names_hidden_from_list(self, mesh3):
+        mesh3.agents[0].put("visible", 1)
+        assert wait_until(
+            lambda: mesh3.converged("visible", lambda v: v == 1),
+            timeout=5,
+        )
+        for agent in mesh3.agents:
+            assert agent.list() == ["visible"]
+            assert agent.get(MESH_RPC_NAME) is not None
+
+    def test_naming_stats_section(self, mesh3):
+        stats = mesh3.spaces[0].stats()["naming"]
+        assert stats["mode"] == "mesh"
+        assert stats["replica_id"] == 1
+        for key in ("leader", "entries", "tombstones", "roster_live",
+                    "gossip_rounds", "entries_synced", "elections",
+                    "failovers"):
+            assert key in stats, key
+
+
+class TestReplicatedAgent:
+    def test_discovers_the_full_roster_from_one_seed(self, mesh3):
+        with Space("client") as client:
+            agent = ReplicatedAgent(client, [mesh3.endpoints[0]])
+            assert agent.mode == "mesh"
+            assert wait_until(
+                lambda: (agent.refresh() or len(agent.replicas) == 3),
+                timeout=5,
+            )
+
+    def test_put_and_get_round_trip(self, mesh3):
+        with Space(
+            "client", listen=["inproc://mesh-client-rt"]
+        ) as client:
+            agent = ReplicatedAgent(client, [mesh3.endpoints[0]])
+            agent.put("svc", Counter(11))
+            assert agent.get("svc").value() == 11
+            assert wait_until(lambda: "svc" in agent.list(), timeout=5)
+
+    def test_get_fails_over_a_dead_replica(self, mesh3):
+        with Space("client") as client:
+            agent = ReplicatedAgent(client, [mesh3.endpoints[0]],
+                                    backoff=0.01)
+            mesh3.agents[0].put("durable", 5)
+            assert wait_until(
+                lambda: mesh3.converged("durable", lambda v: v == 5),
+                timeout=5,
+            )
+            wait_until(lambda: (agent.refresh() or
+                                len(agent.replicas) == 3), timeout=5)
+            mesh3.spaces[1].shutdown()   # one replica dies
+            # Every lookup must still succeed, whichever replica the
+            # round-robin lands on.
+            for _ in range(6):
+                assert agent.get("durable") == 5
+            assert agent.failovers >= 1
+
+    def test_single_agent_seed_degrades_gracefully(self, request):
+        endpoint = f"inproc://single-{request.node.name}"
+        with Space("lone", listen=[endpoint]) as lone, \
+                Space("client") as client:
+            lone.serve("only", Counter(3))
+            agent = ReplicatedAgent(client, [endpoint])
+            assert agent.mode == "single"
+            assert agent.replicas == [endpoint]
+            assert agent.get("only").value() == 3
+            with pytest.raises(NameServiceError):
+                agent.get("nope")
+
+    def test_unreachable_seeds_raise_name_service_error(self):
+        with Space("client") as client:
+            with pytest.raises(NameServiceError):
+                ReplicatedAgent(
+                    client, ["tcp://127.0.0.1:1"], max_attempts=2,
+                )
+
+    def test_miss_is_checked_on_every_replica_before_raising(self, mesh3):
+        with Space("client") as client:
+            agent = ReplicatedAgent(client, [mesh3.endpoints[0]])
+            with pytest.raises(NameServiceError):
+                agent.get("never-registered")
+
+
+class TestDeadOwnerSweepOnMesh:
+    def test_sweep_tombstones_and_gossips(self, request):
+        tag = request.node.name.replace("[", "-").replace("]", "")
+        mesh = Mesh(2, tag, ping_interval=0.05)
+        owner = Space(
+            "mortal", listen=[f"inproc://mesh-owner-{tag}"],
+            gc=GcConfig(ping_interval=0.05, ping_timeout=0.2,
+                        ping_max_failures=2),
+        )
+        try:
+            owner_agent = owner.import_object(mesh.endpoints[0])
+            owner_agent.put("doomed", Counter())
+            assert wait_until(
+                lambda: mesh.converged("doomed", lambda v: v is not None),
+                timeout=5,
+            )
+            owner.shutdown()
+            # The pinger on replica 1 purges the owner; the sweep
+            # tombstones the name, and gossip removes it everywhere.
+            assert wait_until(
+                lambda: mesh.converged("doomed", lambda v: v is None),
+                timeout=10,
+            )
+        finally:
+            owner.shutdown()
+            mesh.shutdown()
+
+
+class TestVersionedMergeUnit:
+    def make_agent(self):
+        return MeshAgent(1, config=fast_config())
+
+    def test_higher_version_wins(self):
+        agent = self.make_agent()
+        with agent._lock:
+            assert agent._apply_locked("n", (2, 1), "new", False)
+            assert not agent._apply_locked("n", (1, 9), "old", False)
+        assert agent.get("n") == "new"
+
+    def test_replica_id_breaks_lamport_ties(self):
+        agent = self.make_agent()
+        with agent._lock:
+            assert agent._apply_locked("n", (3, 1), "low", False)
+            assert agent._apply_locked("n", (3, 2), "high", False)
+            assert not agent._apply_locked("n", (3, 1), "low", False)
+        assert agent.get("n") == "high"
+
+    def test_tombstone_beats_older_value(self):
+        agent = self.make_agent()
+        with agent._lock:
+            assert agent._apply_locked("n", (1, 1), "v", False)
+            assert agent._apply_locked("n", (2, 1), None, True)
+            assert not agent._apply_locked("n", (1, 2), "zombie", False)
+        with pytest.raises(NameServiceError):
+            agent.get("n")
+
+    def test_tombstones_are_garbage_collected(self):
+        agent = self.make_agent()
+        agent.config.tombstone_ttl = 0.0
+        with agent._lock:
+            agent._apply_locked("n", (1, 1), None, True)
+        assert "n" in agent._records
+        time.sleep(0.01)
+        agent._gc_tombstones()
+        assert "n" not in agent._records
+
+    def test_record_wire_round_trip(self):
+        record = _Record((4, 2), "value", False, 0.0)
+        assert record.wire("name") == ("name", (4, 2), "value", False)

@@ -92,7 +92,134 @@ class TestNetobjd:
             publisher.shutdown()
 
     def test_cli_parser(self):
-        import argparse
-
         with pytest.raises(SystemExit):
             netobjd.main(["--help"])
+
+
+class TestCli:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            netobjd.main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+
+    def test_busy_endpoint_exits_nonzero_with_one_line(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            rc = netobjd.main(["--listen", f"tcp://127.0.0.1:{port}"])
+        finally:
+            blocker.close()
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("netobjd: cannot listen on")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_join_requires_replica_id(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            netobjd.main(["--join", "tcp://127.0.0.1:1"])
+        assert excinfo.value.code != 0
+        assert "--join requires --replica-id" in capsys.readouterr().err
+
+    def test_main_passes_args_to_serve(self, monkeypatch):
+        seen = {}
+
+        def fake_serve(endpoints, **kwargs):
+            seen["endpoints"] = list(endpoints)
+            seen.update(kwargs)
+
+        monkeypatch.setattr(netobjd, "serve", fake_serve)
+        rc = netobjd.main([
+            "--listen", "tcp://127.0.0.1:1234",
+            "--listen", "tcp://127.0.0.1:1235",
+            "--ping-interval", "2.5",
+            "--replica-id", "7",
+            "--join", "tcp://127.0.0.1:9",
+            "--gossip-interval", "0.25",
+        ])
+        assert rc == 0
+        assert seen["endpoints"] == [
+            "tcp://127.0.0.1:1234", "tcp://127.0.0.1:1235",
+        ]
+        assert seen["ping_interval"] == 2.5
+        assert seen["replica_id"] == 7
+        assert seen["join"] == ["tcp://127.0.0.1:9"]
+        assert seen["gossip_interval"] == 0.25
+
+    def test_default_endpoint_when_no_listen(self, monkeypatch):
+        seen = {}
+        monkeypatch.setattr(
+            netobjd, "serve",
+            lambda endpoints, **kwargs: seen.update(endpoints=endpoints),
+        )
+        assert netobjd.main([]) == 0
+        assert seen["endpoints"] == [netobjd.DEFAULT_ENDPOINT]
+
+
+class TestServeLifecycle:
+    def test_ready_fires_after_listeners_bind(self):
+        stop = threading.Event()
+        state = {}
+
+        def on_ready(space):
+            state["endpoints"] = list(space.endpoints)
+            state["closed_at_ready"] = space.closed
+            stop.set()          # stop immediately; serve() returns
+
+        space = netobjd.serve(
+            ["tcp://127.0.0.1:0"], ping_interval=None,
+            ready=on_ready, stop_event=stop,
+        )
+        assert state["endpoints"], "ready saw no bound endpoints"
+        assert state["closed_at_ready"] is False
+        assert space.closed    # serve shut the space down on return
+
+    def test_stop_event_terminates_serve(self):
+        stop = threading.Event()
+        ready = threading.Event()
+        result = {}
+
+        def run():
+            result["space"] = netobjd.serve(
+                ["tcp://127.0.0.1:0"], ping_interval=None,
+                ready=lambda s: ready.set(), stop_event=stop,
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        assert thread.is_alive()   # parked on the stop event
+        stop.set()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert result["space"].closed
+
+    def test_serve_does_not_leak_the_space_on_bind_failure(self):
+        import socket
+
+        from repro.errors import CommFailure
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            with pytest.raises(CommFailure):
+                netobjd.serve(
+                    [f"tcp://127.0.0.1:{port}"], ping_interval=None,
+                )
+        finally:
+            blocker.close()
+
+    def test_join_without_replica_id_is_rejected(self):
+        with pytest.raises(ValueError):
+            netobjd.serve(
+                ["tcp://127.0.0.1:0"], join=["tcp://127.0.0.1:9"],
+            )

@@ -396,9 +396,10 @@ class TestSpaceStats:
             assert echo.echo("x") == "x"
             stats = client.stats()
             assert set(stats) == {
-                "gc", "dispatcher", "cache", "reactor", "marshal",
-                "leases", "fastlane", "hotpath",
+                "naming", "gc", "dispatcher", "cache", "reactor",
+                "marshal", "leases", "fastlane", "hotpath",
             }
+            assert stats["naming"]["mode"] == "single"
             assert set(stats["fastlane"]) == {
                 "methods_bound", "fastlane_calls", "fastlane_fallbacks",
                 "inline_dispatches", "inline_demotions",
