@@ -1,0 +1,268 @@
+"""E12 — overload behaviour of the bounded ingress pipeline.
+
+The claim under test: a server driven at ~10x its capacity by ~1k
+pipelined clients stays *bounded* — memory does not grow with offered
+load, worker threads stay at their cap, and a well-behaved probe
+client sees finite tail latency (BUSY + retry) instead of an unbounded
+queueing delay.  Without admission control every overload frame would
+buffer somewhere: the dispatcher queue, the reactor corks, the kernel
+— and RSS/p99 would track offered load instead of capacity.
+
+Topology: one small-capacity server (few dispatcher workers, tight
+global queue, per-connection inflight budgets) and N client spaces
+each keeping a window of W pipelined calls in flight — N x W
+simulated clients.  A separate probe space issues sequential
+idempotent calls through ``retry_busy`` and records end-to-end
+latency, overloaded vs unloaded.
+
+``TestOverloadGate`` is the CI smoke variant: hardware-adaptive sizes,
+assertions loose enough for a 2-core runner, done in seconds.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import NetObj, Space, async_call
+from repro.errors import NetObjError, ServerBusy
+from repro.rpc.admission import AdmissionConfig, retry_busy
+from benchmarks.conftest import peak_rss_bytes, percentile
+
+#: Server capacity knobs: 4 workers x ~1ms of work ~= 4k calls/s.
+SERVER_WORKERS = 4
+WORK_SECONDS = 0.001
+
+#: Per-connection read throttle; the global queue cap is sized per
+#: run so the offered inflight (connections x this) always exceeds it
+#: — otherwise read-pausing alone can absorb a small storm and the
+#: shed path would go unexercised.
+INFLIGHT_BUDGET = 32
+
+
+class Worker(NetObj):
+    def work(self) -> int:
+        time.sleep(WORK_SECONDS)
+        return 1
+
+
+def _pump(surrogate, window: int, stop: threading.Event, out: dict):
+    """One flood client: keep ``window`` calls in flight until told to
+    stop, counting completions and sheds (a flood client does *not*
+    retry — it re-offers new load immediately, which is the worst
+    case admission control must absorb)."""
+    inflight = []
+    done = sheds = failures = 0
+    try:
+        while not stop.is_set():
+            while len(inflight) < window and not stop.is_set():
+                inflight.append(async_call(surrogate.work))
+            if not inflight:
+                break
+            future = inflight.pop(0)
+            try:
+                future.result(60)
+                done += 1
+            except ServerBusy:
+                sheds += 1
+            except NetObjError:
+                failures += 1
+    finally:
+        for future in inflight:
+            try:
+                future.result(60)
+                done += 1
+            except ServerBusy:
+                sheds += 1
+            except NetObjError:
+                failures += 1
+        out["done"] = done
+        out["sheds"] = sheds
+        out["failures"] = failures
+
+
+def _probe(surrogate, stop: threading.Event, samples: list):
+    """The well-behaved client: sequential calls, jittered BUSY
+    retries, end-to-end latency per logical operation."""
+    while not stop.is_set():
+        start = time.perf_counter()
+        try:
+            retry_busy(lambda: surrogate.work(), attempts=4)
+        except NetObjError:
+            continue
+        samples.append(time.perf_counter() - start)
+
+
+def _run_overload(n_spaces: int, window: int, seconds: float):
+    """Drive the flood + probe topology; returns everything the
+    assertions and report rows need."""
+    # Half the worst-case admitted inflight: the storm always fills
+    # the queue past its cap, so BUSY shedding is exercised at every
+    # topology size (including the 2-space CI gate).
+    max_queued = max(8, n_spaces * INFLIGHT_BUDGET // 2)
+    server = Space(
+        "e12-server", listen=["tcp://127.0.0.1:0"], shm="off",
+        dispatcher_max_workers=SERVER_WORKERS,
+        admission=AdmissionConfig(
+            max_inflight_frames=INFLIGHT_BUDGET,
+            max_queued=max_queued,
+            shard_queue_max=INFLIGHT_BUDGET,
+            retry_after_ms=20,
+        ),
+    )
+    endpoint = server.endpoints[0]
+    server.serve("worker", Worker())
+    clients = [Space(f"e12-client-{i}", shm="off") for i in range(n_spaces)]
+    probe_space = Space("e12-probe", shm="off")
+    rss_before = peak_rss_bytes()
+    threads_baseline = threading.active_count()
+    result = {}
+    try:
+        # Unloaded probe first: the comparison baseline.
+        probe_target = probe_space.import_object(endpoint, "worker")
+        unloaded = []
+        for _ in range(100):
+            start = time.perf_counter()
+            probe_target.work()
+            unloaded.append(time.perf_counter() - start)
+
+        stop = threading.Event()
+        tallies = [dict() for _ in clients]
+        pumps = []
+        for client, tally in zip(clients, tallies):
+            surrogate = client.import_object(endpoint, "worker")
+            pumps.append(threading.Thread(
+                target=_pump, args=(surrogate, window, stop, tally),
+                daemon=True,
+            ))
+        loaded = []
+        prober = threading.Thread(
+            target=_probe, args=(probe_target, stop, loaded), daemon=True,
+        )
+        for thread in pumps:
+            thread.start()
+        prober.start()
+        time.sleep(seconds / 2)
+        threads_mid_a = threading.active_count()
+        workers_mid = server.dispatcher.stats()["workers"]
+        time.sleep(seconds / 2)
+        threads_mid_b = threading.active_count()
+        stop.set()
+        for thread in pumps:
+            thread.join(120)
+            assert not thread.is_alive(), "flood pump hung"
+        prober.join(120)
+        assert not prober.is_alive(), "probe hung"
+
+        result.update(
+            server_stats=server.stats(),
+            tallies=tallies,
+            unloaded=unloaded,
+            loaded=loaded,
+            rss_growth=peak_rss_bytes() - rss_before,
+            threads_baseline=threads_baseline,
+            threads_mid=(threads_mid_a, threads_mid_b),
+            workers_mid=workers_mid,
+        )
+    finally:
+        probe_space.shutdown()
+        for client in clients:
+            client.shutdown()
+        server.shutdown()
+    return result
+
+
+def _assert_bounded(result, n_spaces: int, window: int):
+    """The always-on E12 invariants, sized for any-hardware CI."""
+    done = sum(t["done"] for t in result["tallies"])
+    sheds = sum(t["sheds"] for t in result["tallies"])
+    admission = result["server_stats"]["admission"]
+    # The server made progress AND visibly refused the excess load.
+    assert done > 0, "no flood call ever completed"
+    assert admission["shed"] > 0, "10x overload but nothing was shed"
+    assert sheds > 0, "no flood client ever observed a BUSY"
+    # Inflight budgets actually throttled reads at least once.
+    assert admission["read_pauses"] > 0
+    # Worker threads sit at their cap, not at offered load.
+    assert result["workers_mid"] <= SERVER_WORKERS
+    mid_a, mid_b = result["threads_mid"]
+    assert abs(mid_b - mid_a) <= 2, (
+        f"thread count moved under steady overload: {mid_a} -> {mid_b}"
+    )
+    # Memory bounded: the whole topology (server + every client space
+    # + N x W pickled frames in flight) stays far below what queueing
+    # the raw overload would cost.
+    assert result["rss_growth"] < 512 * 1024 * 1024, (
+        f"RSS grew {result['rss_growth'] / 2**20:.0f} MiB under overload"
+    )
+    # The probe made progress throughout the storm.
+    assert len(result["loaded"]) > 0, "well-behaved probe starved"
+
+
+class TestOverloadGate:
+    def test_overload_gate(self, report):
+        """CI smoke: a scaled-down storm, bounded in seconds, asserts
+        the shape of the result (sheds happened, threads flat, RSS
+        bounded, probe alive) without latency numerology."""
+        n_spaces = max(2, min(4, os.cpu_count() or 1))
+        window = 32
+        result = _run_overload(n_spaces, window, seconds=2.0)
+        _assert_bounded(result, n_spaces, window)
+        admission = result["server_stats"]["admission"]
+        report(
+            "E12 overload (gate)",
+            f"{n_spaces * window:4d} clients: "
+            f"shed={admission['shed']} "
+            f"pauses={admission['read_pauses']} "
+            f"rss_growth={result['rss_growth'] / 2**20:.0f}MiB",
+        )
+
+
+class TestOverloadE12:
+    def test_overload_1k_clients(self, report):
+        """The full E12 row: ~1k simulated clients at ~10x capacity."""
+        n_spaces, window = 16, 64      # 1024 pipelined clients
+        result = _run_overload(n_spaces, window, seconds=6.0)
+        _assert_bounded(result, n_spaces, window)
+
+        admission = result["server_stats"]["admission"]
+        done = sum(t["done"] for t in result["tallies"])
+        sheds = sum(t["sheds"] for t in result["tallies"])
+        p99_unloaded = percentile(result["unloaded"], 0.99)
+        p50_loaded = percentile(result["loaded"], 0.50)
+        p99_loaded = percentile(result["loaded"], 0.99)
+        if (os.cpu_count() or 1) >= 4:
+            # The tail-latency claim needs real parallelism: on a 1-2
+            # core host the flood and the server timeshare one CPU and
+            # the probe measures the scheduler, not the pipeline.
+            assert p99_loaded < 5.0, (
+                f"probe p99 {p99_loaded:.2f}s — overload latency is "
+                "unbounded, admission control is not shedding early"
+            )
+        report(
+            "E12 overload",
+            f"{n_spaces * window:4d} clients x {WORK_SECONDS * 1e3:.0f}ms "
+            f"work vs {SERVER_WORKERS} workers: "
+            f"done={done} shed(client)={sheds} shed(server)="
+            f"{admission['shed']} pauses={admission['read_pauses']}",
+            overload_clients=n_spaces * window,
+            overload_done_calls=done,
+            overload_server_sheds=admission["shed"],
+            overload_read_pauses=admission["read_pauses"],
+            overload_rss_growth_bytes=result["rss_growth"],
+            overload_p99_unloaded_s=p99_unloaded,
+            overload_p50_loaded_s=p50_loaded,
+            overload_p99_loaded_s=p99_loaded,
+        )
+        report(
+            "E12 overload",
+            f"probe latency: unloaded p99 {p99_unloaded * 1e3:7.1f} ms | "
+            f"loaded p50 {p50_loaded * 1e3:7.1f} ms, "
+            f"p99 {p99_loaded * 1e3:7.1f} ms | "
+            f"rss growth {result['rss_growth'] / 2**20:.0f} MiB",
+        )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

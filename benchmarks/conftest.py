@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import resource
 import subprocess
 import sys
 import time
@@ -123,7 +124,38 @@ def _machine_stamp() -> dict:
         "platform": platform.platform(),
         "git_sha": git_sha,
         "dirty": dirty,
+        # High-water mark of the whole bench process, in bytes.  The
+        # overload experiment (E12) asserts *growth* against its own
+        # before/after samples; this stamp records the session-level
+        # ceiling so memory trajectories are comparable across PRs.
+        "peak_rss_bytes": peak_rss_bytes(),
     }
+
+
+def peak_rss_bytes() -> int:
+    """The process's resident-set high-water mark, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS — normalise
+    so the JSON reports never mix units across platforms.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
+
+
+def percentile(samples, fraction: float) -> float:
+    """The ``fraction`` quantile of ``samples`` (nearest-rank).
+
+    Tail latency is the load-shedding story's whole point: a mean
+    hides the stalls that BUSY shedding exists to prevent, so the
+    overload rows report p50/p99 through this one helper.
+    """
+    if not samples:
+        raise ValueError("percentile of no samples")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+    return ordered[rank]
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -57,6 +57,7 @@ from repro.errors import (
     NoSuchObjectError,
     ProtocolError,
     RemoteError,
+    ServerBusy,
     SpaceShutdownError,
     UnmarshalError,
 )
@@ -69,6 +70,9 @@ from repro.marshal.registry import StructRegistry, global_registry
 from repro.marshal.unpickler import scan_netobj_payloads
 from repro.naming.agent import Agent
 from repro.rpc import messages
+from repro.rpc.admission import (
+    AdmissionConfig, AdmissionController, busy_backoff, retry_busy,
+)
 from repro.rpc.cache import ConnectionCache
 from repro.rpc.connection import Connection
 from repro.rpc.dispatcher import Dispatcher
@@ -165,6 +169,7 @@ class Space:
         leases: str = "on",
         hotpath_profile: bool = False,
         agent: Optional[Agent] = None,
+        admission=None,
     ):
         """``reactor_shards`` picks the I/O shard count (default
         ``min(4, cpu_count)``); ``dispatcher_max_workers`` and
@@ -180,7 +185,13 @@ class Space:
         call, so it defaults to off); ``agent`` substitutes the name
         server exported at the special index (a
         :class:`~repro.naming.mesh.MeshAgent` turns this space into a
-        naming-mesh replica)."""
+        naming-mesh replica); ``admission`` configures the bounded
+        ingress pipeline — ``None`` enables it with the default
+        :class:`~repro.rpc.admission.AdmissionConfig` budgets,
+        ``"off"`` disables it entirely (pre-v6 unbounded behaviour),
+        and an :class:`~repro.rpc.admission.AdmissionConfig` (or a
+        ready :class:`~repro.rpc.admission.AdmissionController`)
+        customises the budgets."""
         self.space_id = fresh_space_id(nickname)
         # Wire decodes of our own identity (the owner field of every
         # incoming call target) then return this very instance, making
@@ -215,11 +226,35 @@ class Space:
         for transport in transports:
             self.transports.add(transport)
 
+        # The bounded ingress pipeline: one controller shared by every
+        # connection of this space, so the budgets are per-space, not
+        # per-channel.  ``"off"`` restores the pre-v6 unbounded paths.
+        if admission == "off":
+            self.admission: Optional[AdmissionController] = None
+        elif isinstance(admission, AdmissionController):
+            self.admission = admission
+        elif isinstance(admission, AdmissionConfig):
+            self.admission = AdmissionController(admission)
+        elif admission is None:
+            self.admission = AdmissionController(AdmissionConfig())
+        else:  # pragma: no cover - misuse
+            raise TypeError(
+                "admission must be None, 'off', an AdmissionConfig or "
+                f"an AdmissionController (got {type(admission).__name__})"
+            )
+        admission_config = (
+            self.admission.config if self.admission is not None else None
+        )
+
         self.dispatcher = Dispatcher(
             name=nickname or str(self.space_id),
             max_workers=dispatcher_max_workers,
             idle_timeout=dispatcher_idle_timeout,
             shards=shards if shards > 1 else 0,
+            max_queued=(admission_config.max_queued
+                        if admission_config is not None else None),
+            shard_queue_max=(admission_config.shard_queue_max
+                             if admission_config is not None else None),
         )
         self._marshal = MarshalPool(
             self.structs, max_per_thread=marshal_max_per_thread
@@ -288,6 +323,8 @@ class Space:
             self._dial, idle_ttl=conn_idle_ttl,
             upgrade=self._shm_upgrade if shm != "off" else None,
         )
+        if admission_config is not None:
+            self.cache.busy_strike_limit = admission_config.busy_strikes
         if conn_idle_ttl is not None:
             # The tick only schedules; the sweep itself runs on a
             # dispatcher worker because its orderly goodbyes wait for
@@ -355,6 +392,13 @@ class Space:
         self.cleanup_daemon.stop()
         for listener in (*self._listeners, *self._shm_listeners):
             listener.close()
+        # Drain the dispatcher *before* the connection goodbyes: a
+        # space quitting under overload must not execute its whole
+        # backlog first, and each discarded task's on_shed hook sends
+        # its waiting caller a BUSY reply — which only reaches the
+        # peer while the connections are still open.  Tasks already
+        # running keep their workers and reply normally.
+        self.dispatcher.shutdown(discard_pending=True)
         with self._conn_lock:
             connections = list(self._connections)
         for connection in connections:
@@ -365,7 +409,6 @@ class Space:
         self.cache.close_all()
         for connection in connections:
             connection.close(notify_peer=False)
-        self.dispatcher.shutdown()
         self.reactor.stop()
 
     @property
@@ -414,7 +457,7 @@ class Space:
                 self._handle_request, on_close=self._on_conn_close,
                 outbound=False, max_version=self._protocol_version,
                 reactor=self.reactor, inline_handler=self._try_inline,
-                profile=self._hotpath,
+                profile=self._hotpath, admission=self.admission,
             )
         except (CommFailure, ProtocolError):
             return
@@ -454,7 +497,7 @@ class Space:
             self._handle_request, on_close=self._on_conn_close,
             outbound=True, max_version=self._protocol_version,
             reactor=self.reactor, inline_handler=self._try_inline,
-            profile=self._hotpath,
+            profile=self._hotpath, admission=self.admission,
         )
         self._track(connection)
         return connection
@@ -496,7 +539,9 @@ class Space:
 
     def _conn_for_endpoints(self, endpoints: Sequence[str]) -> Connection:
         failure: Exception = CommFailure("reference carries no endpoints")
-        for endpoint in endpoints:
+        # Endpoints that keep answering BUSY are tried last, so a
+        # reference with replica choice prefers healthy replicas.
+        for endpoint in self.cache.healthy_order(endpoints):
             try:
                 return self.cache.get(endpoint)
             except (CommFailure, SpaceShutdownError) as exc:
@@ -548,6 +593,15 @@ class Space:
                 if retry:
                     raise
                 continue
+            except ServerBusy:
+                # Strike the endpoint so healthy_order demotes it; the
+                # *caller* decides whether to retry — writes are never
+                # auto-retried (the shed guarantee says the call did
+                # not run, but policy stays with the invoking layer).
+                self.cache.note_busy(connection.endpoint)
+                raise
+            if self.cache._busy_strikes:
+                self.cache.note_ok(connection.endpoint)
             if pending_bind is not None:
                 # The CALL_BIND frame is on the wire (its reply proves
                 # it), so a bound call published now can never overtake
@@ -721,16 +775,22 @@ class Space:
         """
         wirerep = surrogate._wirerep
         cache = self.lease_cache
+
+        def remote_read():
+            # @reads methods are idempotent by contract, so a BUSY shed
+            # is retried after a jittered backoff (writes never are).
+            return retry_busy(lambda: self._invoke_remote(
+                wirerep, surrogate._endpoints, method, args, kwargs
+            ))
+
         if (not self._leases_enabled
                 or not cache.leasable(surrogate._surrogate_typecode_)):
-            return self._invoke_remote(wirerep, surrogate._endpoints,
-                                       method, args, kwargs)
+            return remote_read()
         replica = cache.replica_for(wirerep)
         if replica is None:
             replica = self._acquire_lease(surrogate)
             if replica is None:
-                return self._invoke_remote(wirerep, surrogate._endpoints,
-                                           method, args, kwargs)
+                return remote_read()
         try:
             return getattr(replica, method)(*args, **kwargs)
         except NotImplementedError:
@@ -739,8 +799,7 @@ class Space:
             # asking for leases on it and serve reads remotely.
             cache.mark_unleasable(surrogate._surrogate_typecode_)
             cache.drop(wirerep)
-            return self._invoke_remote(wirerep, surrogate._endpoints,
-                                       method, args, kwargs)
+            return remote_read()
 
     def _acquire_lease(self, surrogate: Surrogate):
         """Ask the owner for a read lease; returns the replica or None.
@@ -785,6 +844,15 @@ class Space:
             request = messages.LeaseReq(call_id, wirerep, ttl_ms)
         try:
             reply = connection.call(request, timeout=self.call_timeout)
+        except ServerBusy as busy:
+            # A lease acquire is idempotent: one jittered retry, then
+            # give up and let the read fall back to a plain RPC (which
+            # carries its own busy-retry policy).
+            time.sleep(busy_backoff(busy.retry_after, 0))
+            try:
+                reply = connection.call(request, timeout=self.call_timeout)
+            except NetObjError:
+                return None
         except NetObjError:
             return None
         if not isinstance(reply, messages.LeaseGrant) or not reply.ok:
@@ -848,27 +916,34 @@ class Space:
                 raise NoSuchObjectError(reply.error)
         elif kind == "clean":
             self._release_lease(connection, target)
-            request = messages.Clean(
-                connection.next_call_id(), target, seqno, strong
-            )
-            connection.call(request, timeout=timeout)
+            # Cleans are idempotent (the seqno dedups at the owner), so
+            # a BUSY shed is retried with backoff; a dirty above is
+            # not — its caller owns the must-not-lose-the-ack policy.
+            retry_busy(lambda: connection.call(
+                messages.Clean(
+                    connection.next_call_id(), target, seqno, strong
+                ),
+                timeout=timeout,
+            ))
         elif kind == "clean_batch":
             for entry_target, _seqno, _strong in entries:
                 self._release_lease(connection, entry_target)
             if connection.version >= 3 and len(entries) > 1:
-                request = messages.CleanBatch(
-                    connection.next_call_id(), tuple(entries)
-                )
                 self.clean_batch_frames += 1
-                reply = connection.call(request, timeout=timeout)
+                reply = retry_busy(lambda: connection.call(
+                    messages.CleanBatch(
+                        connection.next_call_id(), tuple(entries)
+                    ),
+                    timeout=timeout,
+                ))
                 assert isinstance(reply, messages.CleanBatchAck)
             else:
                 for entry_target, entry_seqno, entry_strong in entries:
-                    request = messages.Clean(
-                        connection.next_call_id(), entry_target,
-                        entry_seqno, entry_strong,
-                    )
-                    connection.call(request, timeout=timeout)
+                    retry_busy(lambda t=entry_target, s=entry_seqno,
+                               g=entry_strong: connection.call(
+                        messages.Clean(connection.next_call_id(), t, s, g),
+                        timeout=timeout,
+                    ))
         else:  # pragma: no cover - internal misuse
             raise ValueError(f"unknown GC request kind {kind!r}")
 
@@ -1506,9 +1581,12 @@ class Space:
 
         The diagnostics front door: ``stats()["gc"]`` replaces direct
         ``gc_stats()`` access in tests and benchmarks, and the other
-        sections expose the dispatcher pool, the connection cache, the
-        reactor (``frames_in``/``frames_out``/``wakeups``/
-        ``active_connections``), the v5 call fast lane
+        sections expose the admission pipeline (``admission``: frames
+        admitted/shed by stage, read pauses/resumes, backlog sheds —
+        or ``{"enabled": False}`` with ``admission="off"``), the
+        dispatcher pool, the connection cache, the reactor
+        (``frames_in``/``frames_out``/``wakeups``/
+        ``active_connections``/``paused_reads``), the v5 call fast lane
         (``fastlane``: methods bound, fast-lane calls and per-call
         fallbacks, inline dispatches/demotions), the per-stage
         hot-path profile (``hotpath``, all-zero unless the space was
@@ -1518,6 +1596,10 @@ class Space:
         """
         reactor = self.reactor.stats()
         return {
+            "admission": (
+                self.admission.stats() if self.admission is not None
+                else {"enabled": False}
+            ),
             "naming": self.agent.naming_stats(),
             "gc": self.gc_stats(),
             "dispatcher": self.dispatcher.stats(),

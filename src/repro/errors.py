@@ -44,6 +44,31 @@ class ConnectionClosed(CommFailure):
     the peer never saw the call."""
 
 
+class ServerBusy(NetObjError):
+    """The peer shed this request under admission control.
+
+    Deliberately *not* a :class:`CommFailure`: the connection is
+    healthy, the peer simply refused the work.  Idempotent callers
+    (``@reads`` methods, lease acquires, seqno-guarded CLEAN batches)
+    retry automatically after a jittered backoff; everyone else sees
+    the error and decides for themselves.
+
+    Attributes
+    ----------
+    reason:
+        Which budget was exhausted (``"queue full"``, ``"rate limit"``,
+        ``"shutting down"``...).
+    retry_after:
+        The peer's backoff hint, in seconds.
+    """
+
+    def __init__(self, reason: str = "server busy",
+                 retry_after: float = 0.05):
+        super().__init__(f"server busy: {reason}")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
 class NoSuchObjectError(NetObjError):
     """A wireRep did not resolve to an object at its owner.
 

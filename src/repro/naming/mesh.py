@@ -144,6 +144,12 @@ class MeshPeer(NetObj):
         record set, roster and leader so it can catch up in one RPC."""
         return self._mesh._handle_join(replica_id, endpoints)
 
+    def assign_replica_id(self, endpoints) -> int:
+        """Grant a fresh replica id to a joiner that started without
+        one.  Non-leaders forward to the leader so a single grantor
+        keeps ids unique without consensus."""
+        return self._mesh._handle_assign_id(endpoints)
+
     def publish(self, name: str, value) -> Version:
         """Leader-side write: stamp, apply, propagate; returns the
         version so the forwarder can apply the same record locally."""
@@ -162,13 +168,22 @@ class MeshAgent(Agent):
     :meth:`activate` once the space's listeners are bound.  The
     ``netobjd`` daemon does all three — see
     :func:`repro.naming.netobjd.serve`.
+
+    ``replica_id=None`` defers the choice to the mesh: ``activate``
+    asks a seed replica (ultimately the leader) to grant a fresh id
+    before registering in the roster; with no reachable seed the
+    replica is the mesh's first and takes id 1.  Manually assigned
+    ids always win — the grantor never hands out an id at or below
+    any it has seen.
     """
 
-    def __init__(self, replica_id: int,
+    def __init__(self, replica_id: Optional[int] = None,
                  config: Optional[MeshConfig] = None,
                  gossip_interval: Optional[float] = None):
         super().__init__()
-        self.replica_id = int(replica_id)
+        self.replica_id: Optional[int] = (
+            int(replica_id) if replica_id is not None else None
+        )
         self.config = config if config is not None else MeshConfig()
         if gossip_interval is not None:
             self.config.gossip_interval = gossip_interval
@@ -183,6 +198,10 @@ class MeshAgent(Agent):
         self._suspect: Dict[int, int] = {}
         self._peers: Dict[int, object] = {}  # rid -> MeshPeer surrogate
         self._leader: Optional[int] = None
+        #: Ids this replica has granted to auto-id joiners.  Kept so
+        #: two joiners asking in the window before either registers in
+        #: the roster still get distinct ids.
+        self._granted_ids: set = set()
 
         self._space_ref = None  # set by Space via _bind_space
         self._peer_obj = MeshPeer(self)
@@ -221,6 +240,10 @@ class MeshAgent(Agent):
                                "pass it as Space(agent=...)")
         if self._active:
             return
+        if self.replica_id is None:
+            # Started without an id: have a seed (ultimately the
+            # leader) grant one before we appear in any roster.
+            self.replica_id = self._acquire_replica_id(join, space)
         self._active = True
         with self._lock:
             self._roster[self.replica_id] = tuple(space.endpoints)
@@ -239,6 +262,18 @@ class MeshAgent(Agent):
         self._coordinator_event.set()  # release any waiting election
         if self._timer is not None:
             self._timer.cancel()
+
+    def _acquire_replica_id(self, join: Sequence[str], space) -> int:
+        """Ask each seed for a granted id; with none reachable this
+        replica is the mesh's first and takes id 1."""
+        for endpoint in join:
+            try:
+                agent = space.import_object(endpoint)
+                peer = agent._invoke("get", (MESH_RPC_NAME,), {})
+                return int(peer.assign_replica_id(list(space.endpoints)))
+            except NetObjError:
+                continue
+        return 1
 
     def _tick(self) -> None:
         # Reactor-thread timer callback: only schedules; the round does
@@ -470,6 +505,34 @@ class MeshAgent(Agent):
             "roster": roster,
             "leader": self._leader,
         }
+
+    def _handle_assign_id(self, endpoints) -> int:
+        """Grant a fresh replica id to an auto-id joiner.
+
+        Forwarded to the leader when we are not it (the single grantor
+        keeps ids unique without consensus); an unreachable leader
+        falls back to a local grant — the joiner must not be stranded,
+        and a duplicate-free grant only needs ids this grantor has
+        *seen*, which the version merge then reconciles exactly like
+        any other roster disagreement.  Manual ids always win: the
+        grant starts strictly above every known id.
+        """
+        leader = self._leader
+        if leader is not None and leader != self.replica_id:
+            peer = self._peer_surrogate(leader)
+            if peer is not None:
+                try:
+                    return int(peer.assign_replica_id(endpoints))
+                except NetObjError:
+                    self._peer_failed(leader)
+        with self._lock:
+            known = [rid for rid in self._roster]
+            known.extend(self._granted_ids)
+            if self.replica_id is not None:
+                known.append(self.replica_id)
+            granted = max(known, default=0) + 1
+            self._granted_ids.add(granted)
+        return granted
 
     def _handle_election(self, candidate_id: int) -> bool:
         if int(candidate_id) >= self.replica_id:

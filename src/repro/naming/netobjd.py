@@ -28,10 +28,12 @@ anti-entropy, no bootstrap SPOF:
 .. code-block:: console
 
     $ netobjd --replica-id 1 --listen tcp://0.0.0.0:7023
-    $ netobjd --replica-id 2 --listen tcp://0.0.0.0:7024 \\
-              --join tcp://127.0.0.1:7023
-    $ netobjd --replica-id 3 --listen tcp://0.0.0.0:7025 \\
-              --join tcp://127.0.0.1:7023
+    $ netobjd --listen tcp://0.0.0.0:7024 --join tcp://127.0.0.1:7023
+    $ netobjd --listen tcp://0.0.0.0:7025 --join tcp://127.0.0.1:7023
+
+``--replica-id`` is optional for joiners: a daemon started with only
+``--join`` asks the mesh leader for a fresh id (manually assigned ids
+always outrank grants, so mixing both is safe).
 
 Clients bootstrap through
 :class:`repro.naming.discovery.ReplicatedAgent` with any one of the
@@ -69,16 +71,18 @@ def serve(
     ``replica_id`` (or ``join`` seeds) the daemon hosts a
     :class:`~repro.naming.mesh.MeshAgent` and participates in the
     replicated naming mesh; the mesh activates after the listeners
-    are bound and before ``ready`` fires.  Returns the (shut-down)
-    space, mostly for tests.
+    are bound and before ``ready`` fires.  ``join`` without a
+    ``replica_id`` asks the mesh (ultimately its leader) to grant a
+    fresh id at activation.  Returns the (shut-down) space, mostly
+    for tests.
 
     Raises :class:`~repro.errors.CommFailure` without leaking the
     space if a listen endpoint cannot be bound.
     """
     agent = None
     if replica_id is not None or join:
-        if replica_id is None:
-            raise ValueError("--join requires --replica-id")
+        # replica_id may be None: the mesh then grants one at
+        # activation (leader-assigned; see MeshAgent).
         agent = MeshAgent(replica_id, gossip_interval=gossip_interval)
     gc_config = GcConfig(ping_interval=ping_interval)
     space = Space("netobjd", gc=gc_config, agent=agent)
@@ -125,7 +129,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--join", action="append", default=[], metavar="ENDPOINT",
         help="endpoint of a live mesh replica to join (repeatable; "
-             "requires --replica-id)",
+             "without --replica-id the mesh leader grants a fresh id)",
     )
     parser.add_argument(
         "--gossip-interval", type=float, default=0.5, metavar="SECONDS",
@@ -137,12 +141,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     endpoints = args.listen or [DEFAULT_ENDPOINT]
-    if args.join and args.replica_id is None:
-        parser.error("--join requires --replica-id")
 
     def announce(space: Space) -> None:
-        role = "agent" if args.replica_id is None \
-            else f"mesh replica {args.replica_id}"
+        # ``ready`` fires after mesh activation, so an auto-assigned
+        # replica id is already resolved on the agent.
+        agent = space.agent
+        role = (f"mesh replica {agent.replica_id}"
+                if isinstance(agent, MeshAgent) else "agent")
         for endpoint in space.endpoints:
             print(f"netobjd: serving {role} on {endpoint}", flush=True)
 

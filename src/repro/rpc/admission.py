@@ -1,0 +1,306 @@
+"""Admission control: the credit accounting behind every ingress stage.
+
+The paper's runtime assumed cooperative peers; at scale one slow or
+abusive client can pin memory and latency for everyone.  This module
+is the single place where "may this frame enter the system?" is
+decided, and the single place that counts the outcomes.  The ingress
+pipeline it governs:
+
+1. **frame decode** (``Connection.on_frame``) — a per-connection
+   token bucket (rate policing) and an inflight frames/bytes budget.
+   Exceeding the rate sheds with BUSY; exceeding the inflight budget
+   *pauses reads* instead: the reactor drops the connection's read
+   interest (or the channel pump parks on a gate), so backpressure
+   propagates through TCP flow control rather than through buffering.
+2. **dispatcher** — bounded per-shard deques plus a global queue cap
+   (queue-based load leveling) and bulkhead-style per-target quotas so
+   one hot object cannot occupy every worker.  Overflow sheds with
+   BUSY.
+3. **write backlog** — the cork that buffers replies toward a
+   non-reading peer is capped; overflow aborts the connection with
+   :class:`~repro.errors.CommFailure` (a peer that will not read its
+   replies cannot be shed politely).
+
+Credits flow one way: ``admit`` charges at decode, ``release`` credits
+when the request's task finishes (inline fast-lane calls release
+immediately).  When a paused connection drains below the low-water
+mark (``resume_ratio``) reads resume.
+
+Lock order: ``_ConnectionGauge._lock`` and
+``AdmissionController._lock`` are leaves — nothing else is ever
+acquired under them, and they are never held across a callback into
+the reactor or dispatcher.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Dict, Hashable, Optional
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "busy_backoff",
+    "retry_busy",
+]
+
+
+class AdmissionConfig:
+    """Knobs for the ingress pipeline (``Space(admission=...)``).
+
+    ``None`` disables the corresponding budget.  The defaults are
+    deliberately generous: ordinary workloads never notice them, only
+    floods do.
+    """
+
+    __slots__ = (
+        "max_inflight_frames", "max_inflight_bytes", "resume_ratio",
+        "rate", "burst",
+        "max_queued", "shard_queue_max",
+        "bulkhead_quota",
+        "write_backlog_max",
+        "retry_after_ms", "busy_strikes",
+    )
+
+    def __init__(
+        self,
+        *,
+        max_inflight_frames: Optional[int] = 512,
+        max_inflight_bytes: Optional[int] = 16 * 1024 * 1024,
+        resume_ratio: float = 0.5,
+        rate: Optional[float] = None,
+        burst: Optional[int] = None,
+        max_queued: Optional[int] = 4096,
+        shard_queue_max: Optional[int] = 1024,
+        bulkhead_quota: Optional[int] = None,
+        write_backlog_max: Optional[int] = 8 * 1024 * 1024,
+        retry_after_ms: int = 50,
+        busy_strikes: int = 3,
+    ):
+        #: Pause reads when this many frames from one connection are
+        #: decoded-but-unfinished.
+        self.max_inflight_frames = max_inflight_frames
+        #: ... or when their payload bytes exceed this.
+        self.max_inflight_bytes = max_inflight_bytes
+        #: Resume reads when both gauges drop below ratio × budget.
+        self.resume_ratio = resume_ratio
+        #: Token-bucket refill rate (frames/second) per connection;
+        #: ``None`` disables rate policing.
+        self.rate = rate
+        #: Token-bucket capacity (defaults to ``rate`` when unset).
+        self.burst = burst
+        #: Global cap on queued-but-unstarted dispatcher tasks.
+        self.max_queued = max_queued
+        #: Per-shard deque cap; overflow spills to the shared queue.
+        self.shard_queue_max = shard_queue_max
+        #: Max concurrent+queued requests per target object (bulkhead);
+        #: ``None`` disables per-target quotas.
+        self.bulkhead_quota = bulkhead_quota
+        #: Cap on a connection's buffered unsent reply bytes (the
+        #: reactor cork).  Overflow disconnects the slow consumer.
+        self.write_backlog_max = write_backlog_max
+        #: Backoff hint carried inside BUSY frames, milliseconds.
+        self.retry_after_ms = retry_after_ms
+        #: Consecutive BUSY replies from one endpoint before the
+        #: ConnectionCache demotes it in multi-endpoint ordering.
+        self.busy_strikes = busy_strikes
+
+
+class _ConnectionGauge:
+    """Per-connection credit account.
+
+    ``admit``/``release`` are called from the reactor thread (frame
+    decode) and from dispatcher workers (task completion), so the
+    few integers live under a small leaf lock.  The pause/resume
+    callbacks are invoked *outside* the lock and must not block (they
+    post to the reactor or flip a pump gate).
+    """
+
+    __slots__ = (
+        "_controller", "_config", "_lock",
+        "_frames", "_bytes", "_paused",
+        "_tokens", "_token_stamp",
+        "_pause", "_resume", "_closed",
+    )
+
+    def __init__(self, controller: "AdmissionController",
+                 pause: Callable[[], None], resume: Callable[[], None]):
+        self._controller = controller
+        self._config = controller.config
+        self._lock = threading.Lock()
+        self._frames = 0
+        self._bytes = 0
+        self._paused = False
+        config = self._config
+        burst = config.burst if config.burst is not None else config.rate
+        self._tokens = float(burst or 0)
+        self._token_stamp = time.monotonic()
+        self._pause = pause
+        self._resume = resume
+        self._closed = False
+
+    def admit(self, nbytes: int, police: bool = True) -> Optional[str]:
+        """Charge one inbound request frame of ``nbytes``.
+
+        Returns ``None`` when admitted, or a shed-reason string when
+        the caller must refuse the frame (rate policing).  Exceeding
+        the inflight budget never sheds — it pauses reads, which is
+        invisible to a well-behaved peer.  ``police=False`` charges
+        the inflight budget without consuming a rate token (the GC
+        control plane is bounded, never refused).
+        """
+        config = self._config
+        pause = False
+        with self._lock:
+            if police and config.rate is not None:
+                now = time.monotonic()
+                burst = config.burst if config.burst is not None \
+                    else config.rate
+                self._tokens = min(
+                    float(burst),
+                    self._tokens + (now - self._token_stamp) * config.rate,
+                )
+                self._token_stamp = now
+                if self._tokens < 1.0:
+                    # The caller sheds (and counts shed_rate).
+                    return "rate limit"
+                self._tokens -= 1.0
+            self._frames += 1
+            self._bytes += nbytes
+            if not self._paused and self._over_budget_locked():
+                self._paused = True
+                pause = True
+        self._controller.count("admitted")
+        if pause:
+            self._controller.count("read_pauses")
+            self._pause()
+        return None
+
+    def release(self, nbytes: int) -> None:
+        """Credit back one admitted frame once its work is done."""
+        resume = False
+        with self._lock:
+            self._frames -= 1
+            self._bytes -= nbytes
+            if self._paused and not self._closed \
+                    and self._below_low_water_locked():
+                self._paused = False
+                resume = True
+        if resume:
+            self._controller.count("read_resumes")
+            self._resume()
+
+    def close(self) -> None:
+        """Drop the gauge: no further resume callbacks will fire."""
+        with self._lock:
+            self._closed = True
+
+    def _over_budget_locked(self) -> bool:
+        config = self._config
+        if config.max_inflight_frames is not None \
+                and self._frames >= config.max_inflight_frames:
+            return True
+        return (config.max_inflight_bytes is not None
+                and self._bytes >= config.max_inflight_bytes)
+
+    def _below_low_water_locked(self) -> bool:
+        config = self._config
+        ratio = config.resume_ratio
+        if config.max_inflight_frames is not None \
+                and self._frames > config.max_inflight_frames * ratio:
+            return False
+        return not (config.max_inflight_bytes is not None
+                    and self._bytes > config.max_inflight_bytes * ratio)
+
+
+class AdmissionController:
+    """One per :class:`~repro.core.space.Space`: hands out gauges,
+    arbitrates bulkhead quotas, and aggregates the counters that
+    surface as ``Space.stats()["admission"]``."""
+
+    _COUNTERS = (
+        "admitted", "shed_rate", "shed_queue", "shed_bulkhead",
+        "shed_shutdown", "read_pauses", "read_resumes",
+        "backlog_sheds", "busy_received",
+    )
+
+    def __init__(self, config: Optional[AdmissionConfig] = None):
+        self.config = config if config is not None else AdmissionConfig()
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {name: 0 for name in self._COUNTERS}
+        self._bulkhead: Dict[Hashable, int] = {}
+
+    # -- gauges ----------------------------------------------------------
+
+    def attach(self, pause: Callable[[], None],
+               resume: Callable[[], None]) -> _ConnectionGauge:
+        """Create the credit account for one connection."""
+        return _ConnectionGauge(self, pause, resume)
+
+    # -- counters --------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + n
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            out = dict(self._counts)
+        out["shed"] = (out["shed_rate"] + out["shed_queue"]
+                       + out["shed_bulkhead"] + out["shed_shutdown"])
+        return out
+
+    # -- bulkhead --------------------------------------------------------
+
+    def bulkhead_enter(self, key: Hashable) -> bool:
+        """Reserve a worker slot for ``key``; False when its quota is
+        exhausted (the request must be shed)."""
+        quota = self.config.bulkhead_quota
+        if quota is None:
+            return True
+        with self._lock:
+            active = self._bulkhead.get(key, 0)
+            if active >= quota:
+                return False
+            self._bulkhead[key] = active + 1
+        return True
+
+    def bulkhead_leave(self, key: Hashable) -> None:
+        with self._lock:
+            active = self._bulkhead.get(key, 0)
+            if active <= 1:
+                self._bulkhead.pop(key, None)
+            else:
+                self._bulkhead[key] = active - 1
+
+
+def busy_backoff(retry_after: float, attempt: int) -> float:
+    """Jittered exponential backoff for a shed idempotent request.
+
+    ``retry_after`` is the server's hint (seconds); ``attempt`` counts
+    from 0.  Full jitter in ``[0.5, 1.5) × hint × 2^attempt``, capped
+    at one second so a stale hint cannot stall a caller.
+    """
+    base = max(retry_after, 0.001) * (1 << attempt)
+    return min(base, 1.0) * (0.5 + random.random())
+
+
+def retry_busy(fn, attempts: int = 3):
+    """Run ``fn`` retrying on :class:`~repro.errors.ServerBusy`.
+
+    Only for *idempotent* traffic — ``@reads`` methods, lease
+    acquires, seqno-guarded collector cleans.  The final attempt's
+    ServerBusy propagates to the caller.
+    """
+    from repro.errors import ServerBusy
+
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except ServerBusy as busy:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(busy_backoff(busy.retry_after, attempt))
+    raise AssertionError("unreachable")

@@ -60,6 +60,48 @@ class ConnectionCache:
         self.dials = 0
         #: Dials that landed on the upgraded (e.g. shm) endpoint.
         self.upgraded_dials = 0
+        #: Endpoint-health strikes: consecutive ServerBusy replies per
+        #: endpoint (reset by the first non-busy completion).  Read by
+        #: :meth:`healthy_order` to demote overloaded endpoints.
+        self._busy_strikes: Dict[str, int] = {}
+        #: How many strikes demote an endpoint (mirrors
+        #: ``AdmissionConfig.busy_strikes``; the space sets it).
+        self.busy_strike_limit = 3
+        #: Times an endpoint crossed the strike limit.
+        self.busy_demotions = 0
+
+    # -- endpoint health -------------------------------------------------
+
+    def note_busy(self, endpoint: Optional[str]) -> None:
+        """Record a ServerBusy from ``endpoint``; repeated strikes
+        demote it in :meth:`healthy_order`."""
+        if endpoint is None:
+            return
+        with self._lock:
+            strikes = self._busy_strikes.get(endpoint, 0) + 1
+            self._busy_strikes[endpoint] = strikes
+            if strikes == self.busy_strike_limit:
+                self.busy_demotions += 1
+
+    def note_ok(self, endpoint: Optional[str]) -> None:
+        """A successful completion clears the endpoint's strikes."""
+        if endpoint is None or not self._busy_strikes:
+            return
+        with self._lock:
+            self._busy_strikes.pop(endpoint, None)
+
+    def healthy_order(self, endpoints):
+        """Stable-sort ``endpoints``, demoted (strike-limit) ones
+        last — callers with replica choice try healthy replicas
+        first."""
+        if not self._busy_strikes or len(endpoints) < 2:
+            return list(endpoints)
+        with self._lock:
+            limit = self.busy_strike_limit
+            return sorted(
+                endpoints,
+                key=lambda e: self._busy_strikes.get(e, 0) >= limit,
+            )
 
     def get(self, endpoint: str) -> Connection:
         """Return a live cached connection, creating one if needed."""
@@ -91,6 +133,10 @@ class ConnectionCache:
                     if endpoint not in self._connections:
                         self._locks.pop(endpoint, None)
                 raise
+            # Attribute the connection to the endpoint asked for (even
+            # when the dial upgraded to a side door) so BUSY replies
+            # demote the right name in healthy_order.
+            connection.endpoint = endpoint
             self.dials += 1
             with self._lock:
                 if not self._shutdown:
@@ -227,6 +273,11 @@ class ConnectionCache:
                 "dials": self.dials,
                 "idle_reaped": self.idle_reaped,
                 "upgraded_dials": self.upgraded_dials,
+                "busy_endpoints": sum(
+                    1 for s in self._busy_strikes.values()
+                    if s >= self.busy_strike_limit
+                ),
+                "busy_demotions": self.busy_demotions,
             }
 
     def __len__(self) -> int:

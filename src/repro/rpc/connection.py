@@ -42,11 +42,12 @@ import threading
 import time
 from typing import Callable, Optional
 
-from repro.errors import CommFailure, ConnectionClosed, ProtocolError
+from repro.errors import CommFailure, ConnectionClosed, ProtocolError, ServerBusy
 from repro.rpc import messages
+from repro.rpc.admission import AdmissionController
 from repro.rpc.dispatcher import Dispatcher
 from repro.rpc.futures import CallFuture
-from repro.transport.base import Channel
+from repro.transport.base import Channel, SelectableChannel
 from repro.transport.reactor import ChannelPump, Reactor
 from repro.wire import protocol
 from repro.wire.framing import BufferPool, finish_frame
@@ -65,6 +66,28 @@ DEFAULT_FLUSH_TIMEOUT = 1.0
 #: forever.  Only the blocking path recycles: a future handed out by
 #: ``call_buffer_async`` belongs to its caller.
 _MAX_FREE_PENDING = 8
+
+#: The collector's control plane.  These frames are *bounded* by the
+#: per-connection inflight gauge (reads pause) but never *refused* by
+#: the queue cap, rate bucket, or bulkheads: refusing a DIRTY/CLEAN
+#: would break the reference-listing invariants, and refusing a PING
+#: makes a busy-but-live client look dead to the pinger (which would
+#: then purge its dirty entries — a GC-safety violation, not a
+#: liveness hiccup).  The plane is low-rate and seqno-guarded, so the
+#: exemption cannot be used to flood past admission.
+_GC_PLANE_TAGS = frozenset({
+    protocol.DIRTY, protocol.CLEAN, protocol.CLEAN_BATCH, protocol.PING,
+})
+
+#: Request tags whose *pre-v6* reply handlers digest a FAULT: the call
+#: plane raises it as RemoteError, and a LEASE_REQ caller treats any
+#: non-grant reply as a per-RPC fallback.  Every other pre-v6 plane
+#: asserts on its expected ack type, so a shed there must be answered
+#: by silence (the peer's own timeout/retry machinery recovers).
+_FAULT_OK_TAGS = frozenset({
+    protocol.CALL, protocol.CALL_BIND, protocol.CALL_BOUND,
+    protocol.CALL_FAST, protocol.LEASE_REQ,
+})
 
 
 class Connection:
@@ -95,6 +118,7 @@ class Connection:
             Callable[["Connection", messages.Message], bool]
         ] = None,
         profile=None,
+        admission: Optional[AdmissionController] = None,
     ):
         self._channel = channel
         self._local_id = local_id
@@ -135,8 +159,27 @@ class Connection:
         #: Slot for the owning space's per-connection codec context
         #: (set lazily by Space; the connection itself never reads it).
         self.marshal_ctx: Optional[object] = None
+        #: The endpoint this connection was dialed to (set by
+        #: ConnectionCache.get); lets BUSY replies demote the endpoint
+        #: in multi-endpoint health ordering.  None for inbound.
+        self.endpoint: Optional[str] = None
+        #: Read-throttle gate for pumped (non-selectable) transports:
+        #: cleared = pump parked, set = frames flow.  Read by
+        #: ``Reactor.register`` when it builds the ChannelPump.
+        self.recv_gate = threading.Event()
+        self.recv_gate.set()
+        self._admission = admission
+        #: Per-connection credit account; assigned after registration,
+        #: so the first few frames of a very fast peer may slip past
+        #: admission — a benign, bounded slip.
+        self._gauge = None
 
         self._handshake(outbound, handshake_timeout)
+        if admission is not None \
+                and admission.config.write_backlog_max is not None:
+            channel.write_backlog_limit = admission.config.write_backlog_max
+            channel.on_backlog_overflow = \
+                lambda: admission.count("backlog_sheds")
         if reactor is not None and reactor.alive:
             # ``register`` returns the concrete reactor — the chosen
             # shard when ``reactor`` is a ReactorPool — so send-side
@@ -150,8 +193,20 @@ class Connection:
             # old one-reader-per-connection behaviour for direct users.
             self._reactor = None
             ChannelPump(
-                channel, self, name=f"conn-reader-{self.peer_id}"
+                channel, self, name=f"conn-reader-{self.peer_id}",
+                gate=self.recv_gate,
             ).start()
+        if admission is not None:
+            if self._reactor is not None \
+                    and isinstance(channel, SelectableChannel):
+                # Late-bound: self._reactor is the concrete shard here.
+                shard = self._reactor
+                pause = lambda: shard.pause_read(channel)   # noqa: E731
+                resume = lambda: shard.resume_read(channel)  # noqa: E731
+            else:
+                pause = self.recv_gate.clear
+                resume = self.recv_gate.set
+            self._gauge = admission.attach(pause, resume)
 
     # -- handshake ------------------------------------------------------------
 
@@ -398,27 +453,85 @@ class Connection:
         if message.tag in messages.REPLY_TAGS:
             self._complete(message)
             return
+        # Admission: charge the frame against this connection's credit
+        # budget before any work is queued for it.  Rate policing sheds
+        # here; inflight-budget exhaustion pauses reads instead (the
+        # gauge's pause callback) — invisible to a well-behaved peer.
+        gauge = self._gauge
+        gc_plane = message.tag in _GC_PLANE_TAGS
+        nbytes = 0
+        if gauge is not None:
+            nbytes = len(frame)
+            reason = gauge.admit(nbytes, police=not gc_plane)
+            if reason is not None:
+                self._shed(message, reason, "shed_rate")
+                return
         # The v5 inline fast lane: let the owning space run a bound
         # typed call right here on the delivering thread (budgeted —
         # see Reactor.try_acquire_inline).  False means "dispatch
         # normally"; the handler itself never blocks unboundedly.
         inline = self._inline_handler
         if inline is not None and inline(self, message):
+            if gauge is not None:
+                gauge.release(nbytes)
             return
+        admission = self._admission
+        bkey = None
+        if gauge is not None and not gc_plane \
+                and admission.config.bulkhead_quota is not None:
+            bkey = self._bulkhead_key(message)
+            if bkey is not None and not admission.bulkhead_enter(bkey):
+                gauge.release(nbytes)
+                self._shed(message, "target quota", "shed_bulkhead")
+                return
         if profile is None:
-            self._dispatcher.submit(
-                lambda m=message: self._handle_request(self, m),
-                shard=self._shard,
-            )
+            base_task = lambda m=message: self._handle_request(self, m)  # noqa: E731
         else:
             submitted = time.perf_counter_ns()
 
-            def task(m=message):
+            def base_task(m=message):
                 profile.dispatch_ns += time.perf_counter_ns() - submitted
                 profile.dispatch_calls += 1
                 self._handle_request(self, m)
 
-            self._dispatcher.submit(task, shard=self._shard)
+        if gauge is None:
+            # No credit account (admission off, or a frame that raced
+            # ahead of gauge attachment): skip the charging, never the
+            # refusal — a dropped request would strand the caller
+            # until its timeout.
+            if not self._dispatcher.submit(base_task, shard=self._shard,
+                                           force=gc_plane):
+                self._shed(message, "queue full", "shed_queue")
+            return
+
+        def task(inner=base_task):
+            try:
+                inner()
+            finally:
+                gauge.release(nbytes)
+                if bkey is not None:
+                    admission.bulkhead_leave(bkey)
+
+        call_id = getattr(message, "call_id", None)
+        tag = message.tag
+
+        def on_shed():
+            # Fired by a draining shutdown for queued-but-unstarted
+            # tasks: credit back and answer BUSY so a waiting caller
+            # fails fast instead of timing out against a dead space.
+            gauge.release(nbytes)
+            if bkey is not None:
+                admission.bulkhead_leave(bkey)
+            admission.count("shed_shutdown")
+            self._send_shed_reply(call_id, "shutting down", tag)
+
+        task.on_shed = on_shed
+        if not self._dispatcher.submit(task, shard=self._shard,
+                                       force=gc_plane):
+            gauge.release(nbytes)
+            if bkey is not None:
+                admission.bulkhead_leave(bkey)
+            self._shed(message, "queue full", "shed_queue")
 
     def on_closed(self, failure: Optional[Exception]) -> None:
         if failure is None:
@@ -426,16 +539,76 @@ class Connection:
             failure = CommFailure("connection closed by peer")
         self._teardown(failure)
 
+    def _bulkhead_key(self, message: messages.Message):
+        """The per-target quota bucket a request counts against: the
+        wireRep for classic envelopes, the (connection, method id)
+        pair for bound/fast calls whose target lives in the binding."""
+        target = getattr(message, "target", None)
+        if target is not None:
+            return target
+        method_id = getattr(message, "method_id", None)
+        if method_id is not None:
+            return (id(self), method_id)
+        return None
+
+    def _shed(self, message: messages.Message, reason: str,
+              counter: str) -> None:
+        """Refuse ``message``: count it and answer BUSY (or the FAULT
+        fallback) when the request carries a call id."""
+        admission = self._admission
+        if admission is not None:
+            admission.count(counter)
+        self._send_shed_reply(getattr(message, "call_id", None), reason,
+                              message.tag)
+
+    def _send_shed_reply(self, call_id: Optional[int], reason: str,
+                         tag: Optional[int] = None) -> None:
+        if call_id is None:
+            return  # a one-way message is shed by silence
+        config = self._admission.config if self._admission is not None \
+            else None
+        retry_ms = config.retry_after_ms if config is not None else 50
+        try:
+            if self.version >= protocol.BUSY_VERSION:
+                self.send(messages.Busy(call_id, reason, retry_ms))
+            elif tag is None or tag in _FAULT_OK_TAGS:
+                # Pre-v6 peers would tear the connection down on an
+                # unknown tag; FAULT has existed since the floor and
+                # our own clients map kind "ServerBusy" back to the
+                # same exception (see ``_complete``).
+                self.send(messages.Fault(call_id, "ServerBusy", reason, ""))
+            # else: a pre-v6 plane whose reply handler expects exactly
+            # its ack type (dirty/clean-batch assert on it) — shed by
+            # silence and let the peer's retry machinery recover.
+        except CommFailure:
+            pass
+
     def _complete(self, reply: messages.Message) -> None:
         # Fields are set and the event raised *under* the lock: slot
         # recycling in ``call_buffer`` depends on completion being
         # atomic with respect to the pending table.  Done callbacks run
         # after the lock is released (they may issue new calls).
+        #
+        # Shed notices — BUSY frames, or their FAULT fallback from a
+        # peer that negotiated below v6 — complete the future with a
+        # ServerBusy *failure* here, in the one place both blocking
+        # and async callers converge.
+        failure: Optional[Exception] = None
+        rtype = type(reply)
+        if rtype is messages.Busy:
+            failure = ServerBusy(reply.reason, reply.retry_after_ms / 1000.0)
+        elif rtype is messages.Fault and reply.kind == "ServerBusy":
+            failure = ServerBusy(reply.message or "server busy")
+        if failure is not None and self._admission is not None:
+            self._admission.count("busy_received")
         with self._pending_lock:
             future = self._pending.pop(reply.call_id, None)
             if future is None:
                 return  # reply to an abandoned call; dropped silently
-            callbacks = future._complete(reply, None)
+            if failure is None:
+                callbacks = future._complete(reply, None)
+            else:
+                callbacks = future._complete(None, failure)
         future._run_callbacks(callbacks)
 
     # -- teardown -------------------------------------------------------------
@@ -511,6 +684,11 @@ class Connection:
         if self._closed.is_set():
             return
         self._closed.set()
+        # A parked pump must wake to observe the close; a paused gauge
+        # must never resume a dead channel.
+        self.recv_gate.set()
+        if self._gauge is not None:
+            self._gauge.close()
         self._channel.close()
         # Method bindings die with the connection (ids are
         # per-connection); drop them eagerly so server-side binding

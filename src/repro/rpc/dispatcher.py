@@ -75,10 +75,19 @@ class Dispatcher:
     """
 
     def __init__(self, name: str = "dispatcher", max_workers: int = 256,
-                 idle_timeout: float = 5.0, shards: int = 0):
+                 idle_timeout: float = 5.0, shards: int = 0,
+                 max_queued: Optional[int] = None,
+                 shard_queue_max: Optional[int] = None):
         self.name = name
         self.max_workers = max_workers
         self.idle_timeout = idle_timeout
+        #: Global cap on queued-but-untaken tasks; ``None`` = unbounded.
+        #: At the cap ``submit`` refuses (returns False) — queue-based
+        #: load leveling, the caller sheds with BUSY.
+        self.max_queued = max_queued
+        #: Per-shard deque cap; an over-full shard spills to the shared
+        #: queue (still counted against ``max_queued``).
+        self.shard_queue_max = shard_queue_max
         # SimpleQueue: C-implemented put/get, no unfinished-task
         # bookkeeping — this queue is crossed once per incoming call.
         self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
@@ -99,29 +108,55 @@ class Dispatcher:
         self.shard_submits = 0
         #: Submits that wanted a fresh worker but found the pool at
         #: ``max_workers`` — the saturation signal admission control
-        #: will key off (the task still runs, later).
+        #: keys off (the task still runs, later).
         self.saturated_submits = 0
+        #: Submits refused at the ``max_queued`` cap.
+        self.shed_submits = 0
+        #: Shard-deque overflows that spilled to the shared queue.
+        self.shard_spills = 0
+        #: Queued-but-unstarted tasks discarded by a draining shutdown.
+        self.discarded_tasks = 0
 
-    def submit(self, task: Task, shard: Optional[int] = None) -> None:
+    def submit(self, task: Task, shard: Optional[int] = None,
+               force: bool = False) -> bool:
         """Run ``task`` promptly on some worker thread.
 
         ``shard`` routes the task to that reactor shard's local deque
         (mod the configured shard count); ``None`` — or an unsharded
         pool — uses the shared queue.
+
+        Returns False — and does not hold the task — when the pool has
+        shut down or the ``max_queued`` cap is reached; the caller
+        decides how to refuse (typically a BUSY reply).  ``force``
+        exempts the task from the queue cap (never from shutdown):
+        the collector's control plane must not be refused, or a live
+        peer could be mistaken for a dead one.
         """
         if self._shutdown:
-            return
+            return False
         # The put happens under the lock so a worker whose idle wait
         # timed out cannot observe ``_queued == 0`` after this task
         # was counted against its park and retire past it.
         with self._lock:
             if self._shutdown:
-                return
+                return False
+            if not force and self.max_queued is not None and \
+                    self._queued >= self.max_queued:
+                self.shed_submits += 1
+                return False
             if shard is not None and self._shards:
                 index = shard % len(self._shards)
-                self._shards[index].append(task)
-                self._tasks.put(_ShardToken(index))
-                self.shard_submits += 1
+                bucket = self._shards[index]
+                if self.shard_queue_max is not None and \
+                        len(bucket) >= self.shard_queue_max:
+                    # Over-full shard: spill to the shared queue so one
+                    # hot I/O shard levels across every worker.
+                    self.shard_spills += 1
+                    self._tasks.put(task)
+                else:
+                    bucket.append(task)
+                    self._tasks.put(_ShardToken(index))
+                    self.shard_submits += 1
             else:
                 self._tasks.put(task)
             self._queued += 1
@@ -140,6 +175,7 @@ class Dispatcher:
                 target=self._worker, args=(self._spawned,),
                 name=f"{self.name}-worker", daemon=True,
             ).start()
+        return True
 
     def stats(self) -> dict:
         """Snapshot of pool gauges (surfaced via ``Space.stats()``)."""
@@ -153,20 +189,68 @@ class Dispatcher:
                 "shard_submits": self.shard_submits,
                 "stolen_tasks": self.stolen_tasks,
                 "saturated_submits": self.saturated_submits,
+                "shed_submits": self.shed_submits,
+                "shard_spills": self.shard_spills,
+                "discarded_tasks": self.discarded_tasks,
                 "max_workers": self.max_workers,
+                "max_queued": self.max_queued,
             }
 
-    def shutdown(self) -> None:
-        """Stop accepting tasks and release idle workers."""
+    def shutdown(self, discard_pending: bool = False) -> int:
+        """Stop accepting tasks and release idle workers.
+
+        With ``discard_pending`` queued-but-unstarted tasks are
+        dropped instead of run — the bounded-drain shutdown path: a
+        space quitting under overload must not execute a full backlog
+        first.  Each discarded task's ``on_shed`` attribute (if any)
+        is invoked so a waiting caller gets a BUSY reply rather than
+        silence-until-timeout.  Returns the number discarded.
+        """
         with self._lock:
             if self._shutdown:
-                return
+                return 0
             self._shutdown = True
             workers = self._workers
+        discarded = 0
+        if discard_pending:
+            discarded = self._discard_pending()
         # Sentinels bypass the ``_queued`` count: they are addressed to
         # the workers themselves, not claimable work.
         for _ in range(workers):
             self._tasks.put(_STOP)
+        return discarded
+
+    def _discard_pending(self) -> int:
+        """Drain every queued-but-untaken task (deques + shared queue),
+        firing ``on_shed`` hooks.  Workers racing us may still take
+        some tasks — that is fine, the goal is promptness, not an
+        exact cut."""
+        dropped: List[Task] = []
+        with self._lock:
+            for bucket in self._shards:
+                while bucket:
+                    dropped.append(bucket.popleft())
+                    self._queued -= 1
+            while True:
+                try:
+                    item = self._tasks.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _STOP or type(item) is _ShardToken:
+                    # Tokens' tasks were drained above; stray sentinels
+                    # (a prior shutdown call) address nobody now.
+                    continue
+                dropped.append(item)
+                self._queued -= 1
+            self.discarded_tasks += len(dropped)
+        for task in dropped:
+            on_shed = getattr(task, "on_shed", None)
+            if on_shed is not None:
+                try:
+                    on_shed()
+                except Exception:  # noqa: BLE001 - shedding must not fail shutdown
+                    logger.exception("%s: on_shed hook raised", self.name)
+        return len(dropped)
 
     def _take_sharded(self, prefer: Optional[int]) -> Optional[Task]:
         """Pop a task from the shard deques — home shard first, then

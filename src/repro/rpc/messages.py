@@ -476,6 +476,37 @@ class Fault(_Encodable):
 
 
 @dataclass(frozen=True)
+class Busy(_Encodable):
+    """The request was shed under admission control (v6).
+
+    A *reply* frame: it completes the caller's pending future with a
+    :class:`~repro.errors.ServerBusy` failure instead of a result.
+    ``retry_after_ms`` is the server's backoff hint.  Never emitted to
+    a peer whose negotiated version is below
+    :data:`~repro.wire.protocol.BUSY_VERSION` — such peers get a FAULT
+    with kind ``"ServerBusy"`` instead.
+    """
+
+    call_id: int
+    reason: str
+    retry_after_ms: int
+    tag = protocol.BUSY
+
+    def encode_into(self, out: bytearray) -> None:
+        out.append(self.tag)
+        write_uvarint(out, self.call_id)
+        _write_str(out, self.reason)
+        write_uvarint(out, self.retry_after_ms)
+
+    @classmethod
+    def decode(cls, data, offset: int) -> "Busy":
+        call_id, offset = read_uvarint(data, offset)
+        reason, offset = _read_str(data, offset)
+        retry_after_ms, offset = read_uvarint(data, offset)
+        return cls(call_id, reason, retry_after_ms)
+
+
+@dataclass(frozen=True)
 class Dirty(_Encodable):
     """Dirty call: register the sender in the object's dirty set.
 
@@ -907,7 +938,7 @@ class LeaseInvalidateAck(_Encodable):
 
 
 Message = Union[
-    Hello, HelloAck, Bye, Call, Result, Fault,
+    Hello, HelloAck, Bye, Call, Result, Fault, Busy,
     BindCall, BoundCall, FastCall, FastResult,
     Dirty, DirtyAck, Clean, CleanAck, CleanBatch, CleanBatchAck,
     CopyAck, Ping, PingAck,
@@ -926,6 +957,7 @@ _DECODERS = {
     protocol.CALL_BOUND: BoundCall.decode,
     protocol.CALL_FAST: FastCall.decode,
     protocol.RESULT_FAST: FastResult.decode,
+    protocol.BUSY: Busy.decode,
     protocol.DIRTY: Dirty.decode,
     protocol.DIRTY_ACK: DirtyAck.decode,
     protocol.CLEAN: Clean.decode,
@@ -946,6 +978,7 @@ _DECODERS = {
 #: Replies carry a ``call_id`` matched against the issuer's pending table.
 REPLY_TAGS = frozenset(
     {protocol.RESULT, protocol.RESULT_FAST, protocol.FAULT,
+     protocol.BUSY,
      protocol.DIRTY_ACK, protocol.CLEAN_ACK, protocol.CLEAN_BATCH_ACK,
      protocol.PING_ACK, protocol.LEASE_GRANT,
      protocol.LEASE_INVALIDATE_ACK}

@@ -31,6 +31,17 @@ class Channel(ABC):
     must copy it.
     """
 
+    #: Admission control's cap on buffered unsent output bytes (the
+    #: reactor-mode write backlog).  ``None`` = unbounded.  Set by the
+    #: owning connection at registration; transports that buffer
+    #: output (tcp cork, shm cork) enforce it by aborting the channel
+    #: with :class:`~repro.errors.CommFailure` — a peer that will not
+    #: read its replies cannot be shed politely.
+    write_backlog_limit: Optional[int] = None
+    #: Invoked (once, no args) when the backlog cap trips, before the
+    #: channel closes — lets admission control count the shed.
+    on_backlog_overflow: Optional[Callable[[], None]] = None
+
     @abstractmethod
     def send(self, payload) -> None: ...
 

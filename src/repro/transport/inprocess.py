@@ -2,14 +2,20 @@
 
 This is both the unit-test workhorse and the "same address space is
 cheap" end of the latency spectrum in the E1 experiment.  Each
-connection is a pair of unbounded queues; ``close`` wakes the peer
-with a sentinel so readers terminate promptly.
+connection is a pair of *bounded* queues (:class:`_Pipe`): a sender
+that outruns its receiver first blocks briefly, then fails with
+:class:`~repro.errors.CommFailure` — the same budgeted-backlog
+semantics the reactor path enforces on TCP corks, so sim/inproc tests
+exercise admission control too.  ``close`` wakes the peer with a
+sentinel (which bypasses the bound: teardown never blocks) so readers
+terminate promptly.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Dict, Optional
 
 from repro.errors import CommFailure
@@ -17,12 +23,71 @@ from repro.transport.base import Channel, Listener, OnConnect, Transport, split_
 
 _EOF = object()
 
+#: Default per-direction frame budget.  Generous — ordinary request /
+#: reply traffic never queues more than its pipelining depth — but a
+#: peer that has stopped reading hits it quickly.
+DEFAULT_PIPE_CAPACITY = 1024
+
+#: How long a sender may wait for the peer to drain before the send
+#: fails.  Short: an in-process peer that cannot drain within this is
+#: wedged, not slow.
+DEFAULT_SEND_TIMEOUT = 5.0
+
+
+class _Pipe:
+    """One direction of a channel pair: a ``SimpleQueue`` with a
+    budget.
+
+    The hot path stays the C-implemented ``SimpleQueue`` put/get (this
+    pipe sits under every E1 in-process measurement); the bound is
+    enforced with a ``qsize`` check, and only a sender that actually
+    finds the pipe full pays for the condition dance.  The budget is
+    approximate under concurrent senders — by one or two frames, which
+    is all a backlog cap needs to be.
+    """
+
+    __slots__ = ("q", "capacity", "_cond", "_waiters")
+
+    def __init__(self, capacity: int = DEFAULT_PIPE_CAPACITY):
+        self.q: "queue.SimpleQueue" = queue.SimpleQueue()
+        self.capacity = capacity
+        self._cond = threading.Condition()
+        self._waiters = 0
+
+    def wait_for_space(self, timeout: float, abandoned) -> bool:
+        """Block until ``qsize`` drops below capacity; False on
+        timeout.  ``abandoned()`` short-circuits the wait (channel
+        closed under us)."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            self._waiters += 1
+            try:
+                while self.q.qsize() >= self.capacity:
+                    if abandoned():
+                        return True  # the send will fail on the closed check
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(min(remaining, 0.05))
+                return True
+            finally:
+                self._waiters -= 1
+
+    def notify_drain(self) -> None:
+        """Called by the receiver after each get; only locks when a
+        sender is actually parked."""
+        if self._waiters:
+            with self._cond:
+                self._cond.notify_all()
+
 
 class QueueChannel(Channel):
-    """One direction-pair of in-process queues."""
-    def __init__(self, inbox: "queue.SimpleQueue", outbox: "queue.SimpleQueue"):
+    """One direction-pair of in-process pipes."""
+    def __init__(self, inbox: _Pipe, outbox: _Pipe,
+                 send_timeout: float = DEFAULT_SEND_TIMEOUT):
         self._inbox = inbox
         self._outbox = outbox
+        self._send_timeout = send_timeout
         self._closed = threading.Event()
         self._peer_closed = threading.Event()
 
@@ -32,15 +97,28 @@ class QueueChannel(Channel):
         # go through ``send_framed``, which copies exactly once.
         if self._closed.is_set() or self._peer_closed.is_set():
             raise CommFailure("channel is closed")
-        self._outbox.put(payload)
+        outbox = self._outbox
+        if outbox.q.qsize() >= outbox.capacity:
+            if not outbox.wait_for_space(
+                self._send_timeout,
+                lambda: self._closed.is_set() or self._peer_closed.is_set(),
+            ):
+                raise CommFailure(
+                    f"in-process send backlog exceeded {outbox.capacity} "
+                    f"frames (peer not reading)"
+                )
+            if self._closed.is_set() or self._peer_closed.is_set():
+                raise CommFailure("channel is closed")
+        outbox.q.put(payload)
 
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
         if self._closed.is_set():
             return None
         try:
-            item = self._inbox.get(timeout=timeout)
+            item = self._inbox.q.get(timeout=timeout)
         except queue.Empty:
             raise CommFailure("recv timed out") from None
+        self._inbox.notify_drain()
         if item is _EOF:
             self._peer_closed.set()
             return None
@@ -50,25 +128,33 @@ class QueueChannel(Channel):
         if self._closed.is_set():
             return
         self._closed.set()
-        self._outbox.put(_EOF)
+        # EOF bypasses the budget: teardown must never block behind a
+        # full pipe, and the pipes' waiters re-check closed state.
+        self._outbox.q.put(_EOF)
         # Unblock our own reader too.
-        self._inbox.put(_EOF)
+        self._inbox.q.put(_EOF)
 
     @property
     def closed(self) -> bool:
         return self._closed.is_set()
 
 
-def channel_pair() -> "tuple[QueueChannel, QueueChannel]":
+def channel_pair(
+    capacity: int = DEFAULT_PIPE_CAPACITY,
+    send_timeout: float = DEFAULT_SEND_TIMEOUT,
+) -> "tuple[QueueChannel, QueueChannel]":
     """A connected pair of channels (useful directly in tests).
 
-    ``SimpleQueue`` rather than ``Queue``: the C implementation costs a
-    fraction of a ``Condition`` dance per put/get, and this channel sits
-    under every E1 in-process measurement.
+    ``capacity``/``send_timeout`` tune the per-direction budget —
+    tests drop them to a handful of frames to provoke the backlog
+    failure deterministically.
     """
-    a_to_b: "queue.SimpleQueue" = queue.SimpleQueue()
-    b_to_a: "queue.SimpleQueue" = queue.SimpleQueue()
-    return QueueChannel(b_to_a, a_to_b), QueueChannel(a_to_b, b_to_a)
+    a_to_b = _Pipe(capacity)
+    b_to_a = _Pipe(capacity)
+    return (
+        QueueChannel(b_to_a, a_to_b, send_timeout),
+        QueueChannel(a_to_b, b_to_a, send_timeout),
+    )
 
 
 class _InProcListener(Listener):

@@ -130,10 +130,17 @@ class ChannelPump:
     """
 
     def __init__(self, channel: Channel, sink, name: str = "pump",
-                 reactor: Optional["Reactor"] = None):
+                 reactor: Optional["Reactor"] = None,
+                 gate: Optional[threading.Event] = None):
         self._channel = channel
         self._sink = sink
         self._reactor = reactor
+        # Admission control's read-throttle for pumped transports: when
+        # the sink's credit budget is exhausted the gate is cleared and
+        # the pump parks here instead of pulling more frames — the
+        # pumped-path analogue of dropping selector read interest.
+        # Teardown must set the gate so a parked pump can exit.
+        self._gate = gate
         self._thread = threading.Thread(
             target=self._run, name=f"{name}-pump", daemon=True
         )
@@ -144,8 +151,11 @@ class ChannelPump:
     def _run(self) -> None:
         failure: Optional[Exception] = None
         reactor = self._reactor
+        gate = self._gate
         try:
             while True:
+                if gate is not None and not gate.is_set():
+                    gate.wait()
                 frame = self._channel.recv()
                 if frame is None:
                     break
@@ -195,6 +205,12 @@ class Reactor:
         self._timers: List = []  # heap of (deadline, seq, Timer)
         self._timer_seq = itertools.count()
         self._interest: Dict[SelectableChannel, int] = {}
+        # Channels whose read interest is dropped by admission control.
+        # A fully-quiet channel (paused, nothing to write) cannot stay
+        # in the selector with an empty mask — selectors reject a zero
+        # event set — so it is *unregistered* while remaining in
+        # ``_interest`` with mask 0, and re-registered on resume.
+        self._read_paused: set = set()
         self._pumps: set = set()
         self._stopped = threading.Event()
         self._thread = threading.Thread(
@@ -248,7 +264,8 @@ class Reactor:
                 with self._lock:
                     self._assigned -= 1
         else:
-            pump = ChannelPump(channel, sink, name=name, reactor=self)
+            pump = ChannelPump(channel, sink, name=name, reactor=self,
+                               gate=getattr(sink, "recv_gate", None))
             with self._lock:
                 self._pumps.add(pump)
             pump.start()
@@ -289,6 +306,24 @@ class Reactor:
         ``wants_write`` goes False)."""
         self.call_soon(lambda: self._update_interest(channel))
 
+    def pause_read(self, channel: SelectableChannel) -> None:
+        """Admission control: stop reading ``channel`` until
+        :meth:`resume_read`.  Unread bytes back up in the kernel socket
+        buffer and flow-control the peer through TCP — the reactor
+        buffers nothing.  Idempotent; safe from any thread."""
+        def apply():
+            self._read_paused.add(channel)
+            self._update_interest(channel)
+        self.call_soon(apply)
+
+    def resume_read(self, channel: SelectableChannel) -> None:
+        """Undo :meth:`pause_read` once the connection's queued work
+        drains below its low-water mark."""
+        def apply():
+            self._read_paused.discard(channel)
+            self._update_interest(channel)
+        self.call_soon(apply)
+
     def forget(self, channel: SelectableChannel,
                and_then: Optional[Callable[[], None]] = None) -> bool:
         """Unregister ``channel`` on the reactor thread, then run
@@ -322,6 +357,7 @@ class Reactor:
             "wakeups": self.wakeups,
             "inline_dispatches": self.inline_dispatches,
             "active_connections": self.active_connections,
+            "paused_reads": len(self._read_paused),
         }
 
     # -- inline-dispatch budget (any frame-delivering thread) -----------------
@@ -414,14 +450,24 @@ class Reactor:
                 logger.exception("reactor %s: readable handler failed",
                                  self.name)
 
+    def _wanted_events(self, channel: SelectableChannel) -> int:
+        events = 0
+        if channel not in self._read_paused:
+            events |= selectors.EVENT_READ
+        if channel.wants_write():
+            events |= selectors.EVENT_WRITE
+        return events
+
     def _register_on_thread(self, channel: SelectableChannel) -> None:
+        events = self._wanted_events(channel)
         with self._lock:
             if channel in self._interest:
                 return
-            events = selectors.EVENT_READ
-            if channel.wants_write():
-                events |= selectors.EVENT_WRITE
             self._interest[channel] = events
+        if events == 0:
+            # Paused before it ever joined the selector: tracked with
+            # an empty mask, registered for real on resume.
+            return
         try:
             self._selector.register(channel, events, channel)
         except (ValueError, OSError) as exc:
@@ -431,11 +477,14 @@ class Reactor:
             logger.debug("reactor %s: register failed: %s", self.name, exc)
 
     def _unregister_on_thread(self, channel: SelectableChannel) -> None:
+        self._read_paused.discard(channel)
         with self._lock:
-            present = self._interest.pop(channel, None) is not None
-            if present:
+            current = self._interest.pop(channel, None)
+            if current is not None:
                 self._assigned -= 1
-        if not present:
+        if not current:
+            # Unknown, or tracked with an empty mask (read-paused and
+            # nothing to write) — not in the selector either way.
             return
         try:
             self._selector.unregister(channel)
@@ -443,16 +492,21 @@ class Reactor:
             pass
 
     def _update_interest(self, channel: SelectableChannel) -> None:
-        wanted = selectors.EVENT_READ
-        if channel.wants_write():
-            wanted |= selectors.EVENT_WRITE
+        wanted = self._wanted_events(channel)
         with self._lock:
             current = self._interest.get(channel)
             if current is None or current == wanted:
                 return
             self._interest[channel] = wanted
+        # A selector entry cannot carry an empty event mask, so the
+        # zero transitions are register/unregister, not modify.
         try:
-            self._selector.modify(channel, wanted, channel)
+            if current == 0:
+                self._selector.register(channel, wanted, channel)
+            elif wanted == 0:
+                self._selector.unregister(channel)
+            else:
+                self._selector.modify(channel, wanted, channel)
         except (KeyError, ValueError, OSError):  # pragma: no cover - raced
             pass
 
@@ -616,6 +670,7 @@ class ReactorPool:
             "active_connections": sum(
                 s["active_connections"] for s in per_shard
             ),
+            "paused_reads": sum(s["paused_reads"] for s in per_shard),
             "shards": len(per_shard),
             "per_shard": per_shard,
         }

@@ -245,22 +245,38 @@ class ShmChannel(SelectableChannel):
 
     def _send_nonblocking(self, frame) -> None:
         """Reactor-mode send: never blocks the caller; whatever does
-        not fit in the ring is corked for the ``\\x02`` doorbell."""
+        not fit in the ring is corked for the ``\\x02`` doorbell.
+        ``write_backlog_limit`` caps the cork — a peer that stops
+        draining its ring is disconnected, not buffered for."""
+        limit = self.write_backlog_limit
         with self._send_lock:
             if self._closed.is_set():
                 raise CommFailure("channel is closed")
             if self._cork:
-                self._cork += frame
+                if limit is not None and len(self._cork) + len(frame) > limit:
+                    self._cork.clear()
+                    self._drained.set()
+                else:
+                    self._cork += frame
+                    self._ring_bell(_DATA_BELL)
+                    return
+            else:
+                view = memoryview(frame)
+                wrote = self._out.produce(view)
+                if wrote < len(view):
+                    # Copy the tail: the caller recycles its buffer.
+                    self._cork += view[wrote:]
+                    self._out.need_space = True
+                    self._drained.clear()
                 self._ring_bell(_DATA_BELL)
                 return
-            view = memoryview(frame)
-            wrote = self._out.produce(view)
-            if wrote < len(view):
-                # Copy the tail: the caller recycles its buffer.
-                self._cork += view[wrote:]
-                self._out.need_space = True
-                self._drained.clear()
-        self._ring_bell(_DATA_BELL)
+        hook = self.on_backlog_overflow
+        if hook is not None:
+            hook()
+        self.close()
+        raise CommFailure(
+            f"write backlog exceeded {limit} bytes (peer not draining)"
+        )
 
     def _flush_cork(self) -> None:
         """Reactor thread (``\\x02`` received): push corked bytes."""

@@ -124,27 +124,48 @@ class SocketChannel(SelectableChannel):
             raise CommFailure(f"send failed: {exc}") from exc
 
     def _send_nonblocking(self, frame) -> None:
-        """Reactor-mode send: never blocks the calling thread."""
+        """Reactor-mode send: never blocks the calling thread.
+
+        The cork doubles as the write backlog toward a peer that is
+        not reading; ``write_backlog_limit`` caps it.  A send that
+        would grow the backlog past the cap disconnects the slow
+        consumer instead of buffering without bound.
+        """
+        limit = self.write_backlog_limit
         with self._cork_lock:
             if self._closed.is_set():
                 raise CommFailure("channel is closed")
+            overflow = False
             if self._cork:
-                # Order: everything already corked goes first.
-                self._cork += frame
-                self.frames_coalesced += 1
-                return
-            try:
-                sent = self._sock.send(frame)
-            except (BlockingIOError, InterruptedError):
-                sent = 0
-            except OSError as exc:
-                self._abort_cork_locked()
-                raise CommFailure(f"send failed: {exc}") from exc
-            if sent == len(frame):
-                return
-            # Copy the unsent tail: the caller recycles its buffer.
-            self._cork += memoryview(frame)[sent:]
-            self._drained.clear()
+                if limit is not None and len(self._cork) + len(frame) > limit:
+                    self._abort_cork_locked()
+                    overflow = True
+                else:
+                    # Order: everything already corked goes first.
+                    self._cork += frame
+                    self.frames_coalesced += 1
+                    return
+            else:
+                try:
+                    sent = self._sock.send(frame)
+                except (BlockingIOError, InterruptedError):
+                    sent = 0
+                except OSError as exc:
+                    self._abort_cork_locked()
+                    raise CommFailure(f"send failed: {exc}") from exc
+                if sent == len(frame):
+                    return
+                # Copy the unsent tail: the caller recycles its buffer.
+                self._cork += memoryview(frame)[sent:]
+                self._drained.clear()
+        if overflow:
+            hook = self.on_backlog_overflow
+            if hook is not None:
+                hook()
+            self.close()
+            raise CommFailure(
+                f"write backlog exceeded {limit} bytes (peer not reading)"
+            )
         self._reactor.request_write(self)
 
     def _abort_cork_locked(self) -> None:

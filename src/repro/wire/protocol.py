@@ -9,15 +9,17 @@ ordinary messages on the same channels as method invocations.
 
 from __future__ import annotations
 
-#: Version 5: the call fast lane — method-id interning
-#: (CALL_BIND/CALL_BOUND), typed scalar argument/result frames
-#: (CALL_FAST/RESULT_FAST) that bypass the pickler, and inline reactor
-#: dispatch for ``@quick`` methods.  Version 4 added the read-lease
-#: frames (LEASE_REQ .. LEASE_INVALIDATE_ACK).  Version 3 added
-#: CLEAN_BATCH/CLEAN_BATCH_ACK (batched collector traffic).  Version 2
-#: introduced trailing pickles on CALL/RESULT (no varint length
-#: prefix), enabling single-buffer encode.
-PROTOCOL_VERSION = 5
+#: Version 6: admission control — the BUSY shed frame, a reply that
+#: tells the caller the request was refused (not failed) with a
+#: retry-after hint.  Version 5 added the call fast lane — method-id
+#: interning (CALL_BIND/CALL_BOUND), typed scalar argument/result
+#: frames (CALL_FAST/RESULT_FAST) that bypass the pickler, and inline
+#: reactor dispatch for ``@quick`` methods.  Version 4 added the
+#: read-lease frames (LEASE_REQ .. LEASE_INVALIDATE_ACK).  Version 3
+#: added CLEAN_BATCH/CLEAN_BATCH_ACK (batched collector traffic).
+#: Version 2 introduced trailing pickles on CALL/RESULT (no varint
+#: length prefix), enabling single-buffer encode.
+PROTOCOL_VERSION = 6
 
 #: Oldest version we still speak.  HELLO negotiates down to
 #: ``min(ours, peer's)``; below this floor the handshake is rejected.
@@ -40,6 +42,9 @@ CALL_BIND = 0x13      # first call through a binding: METHOD_BIND piggybacked
 CALL_BOUND = 0x14     # steady-state bound call: call_id + method_id + pickle
 CALL_FAST = 0x15      # bound call with typed scalar args (no pickle)
 RESULT_FAST = 0x16    # typed scalar result (no pickle)
+
+# --- admission control (v6) ------------------------------------------------
+BUSY = 0x17           # request shed under overload: reason + retry-after hint
 
 # --- distributed garbage collector ----------------------------------------
 DIRTY = 0x20          # client registers itself in the owner's dirty set
@@ -71,6 +76,7 @@ _NAMES = {
     CALL_BOUND: "CALL_BOUND",
     CALL_FAST: "CALL_FAST",
     RESULT_FAST: "RESULT_FAST",
+    BUSY: "BUSY",
     DIRTY: "DIRTY",
     DIRTY_ACK: "DIRTY_ACK",
     CLEAN: "CLEAN",
@@ -102,6 +108,13 @@ LEASE_TAGS = frozenset({LEASE_REQ, LEASE_GRANT, LEASE_RENEW, LEASE_RELEASE,
 #: negotiated version is below 5 — calls toward such a peer stay
 #: classic CALL/RESULT frames.
 FASTLANE_TAGS = frozenset({CALL_BIND, CALL_BOUND, CALL_FAST, RESULT_FAST})
+
+#: First protocol version that understands the BUSY shed frame.  To an
+#: older peer an unknown tag is a protocol violation (the decoder
+#: raises and the connection is torn down), so sheds toward pre-v6
+#: peers travel as a FAULT with kind ``"ServerBusy"`` instead — every
+#: version since the floor understands FAULT.
+BUSY_VERSION = 6
 
 
 def tag_name(tag: int) -> str:

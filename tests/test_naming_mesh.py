@@ -358,3 +358,68 @@ class TestVersionedMergeUnit:
     def test_record_wire_round_trip(self):
         record = _Record((4, 2), "value", False, 0.0)
         assert record.wire("name") == ("name", (4, 2), "value", False)
+
+
+class TestReplicaIdAssignment:
+    """``MeshAgent(replica_id=None)``: leader-granted ids at join."""
+
+    def test_first_replica_without_seeds_takes_id_one(self, request):
+        tag = request.node.name
+        agent = MeshAgent(config=fast_config())
+        assert agent.replica_id is None
+        space = Space(
+            f"mesh-auto1-{tag}", listen=[f"inproc://mesh-{tag}-a"],
+            gc=GcConfig(ping_interval=None), agent=agent,
+        )
+        try:
+            agent.activate(join=())
+            assert agent.replica_id == 1
+            assert agent.naming_stats()["replica_id"] == 1
+        finally:
+            space.shutdown()
+
+    def test_joiner_is_granted_next_id_above_manual_ones(self, request):
+        # Replicas 1 and 2 exist; an auto-id joiner asking the
+        # *non-leader* seed still ends up with a leader-granted 3,
+        # exercising the forward path.
+        tag = request.node.name
+        mesh = Mesh(2, tag)
+        try:
+            assert wait_until(
+                lambda: len({a._leader for a in mesh.agents}) == 1
+                and mesh.agents[0]._leader is not None,
+                timeout=5,
+            )
+            leader = mesh.agents[0]._leader
+            non_leader = next(
+                i for i, a in enumerate(mesh.agents)
+                if a.replica_id != leader
+            )
+            agent = MeshAgent(config=fast_config())
+            space = Space(
+                f"mesh-auto-{tag}", listen=[f"inproc://mesh-{tag}-auto"],
+                gc=GcConfig(ping_interval=None), agent=agent,
+            )
+            try:
+                agent.activate(join=[mesh.endpoints[non_leader]])
+                assert agent.replica_id == 3
+                # The granted replica is a full participant: its write
+                # converges on every manually-numbered replica.
+                agent.put("granted", 42)
+                assert wait_until(
+                    lambda: mesh.converged("granted", lambda v: v == 42),
+                    timeout=5,
+                )
+            finally:
+                space.shutdown()
+        finally:
+            mesh.shutdown()
+
+    def test_grants_are_distinct_before_roster_registration(self):
+        # Two joiners served back-to-back, neither yet in the roster:
+        # the grantor's _granted_ids memory keeps the ids unique.
+        agent = MeshAgent(5, config=fast_config())
+        first = agent._handle_assign_id([])
+        second = agent._handle_assign_id([])
+        assert first == 6
+        assert second == 7

@@ -122,11 +122,17 @@ class TestCli:
         assert err.startswith("netobjd: cannot listen on")
         assert len(err.strip().splitlines()) == 1
 
-    def test_join_requires_replica_id(self, capsys):
-        with pytest.raises(SystemExit) as excinfo:
-            netobjd.main(["--join", "tcp://127.0.0.1:1"])
-        assert excinfo.value.code != 0
-        assert "--join requires --replica-id" in capsys.readouterr().err
+    def test_join_without_replica_id_is_accepted(self, monkeypatch):
+        # --join alone is valid: serve() gets replica_id=None and the
+        # mesh leader grants a fresh id at activation.
+        seen = {}
+        monkeypatch.setattr(
+            netobjd, "serve",
+            lambda endpoints, **kwargs: seen.update(kwargs),
+        )
+        assert netobjd.main(["--join", "tcp://127.0.0.1:1"]) == 0
+        assert seen["replica_id"] is None
+        assert seen["join"] == ["tcp://127.0.0.1:1"]
 
     def test_main_passes_args_to_serve(self, monkeypatch):
         seen = {}
@@ -218,8 +224,35 @@ class TestServeLifecycle:
         finally:
             blocker.close()
 
-    def test_join_without_replica_id_is_rejected(self):
-        with pytest.raises(ValueError):
+    def test_join_without_replica_id_gets_granted_one(self):
+        # A daemon started with only --join acquires a leader-granted
+        # replica id before it appears in the roster.
+        seed_stop, joiner_stop = threading.Event(), threading.Event()
+        seed_ready = threading.Event()
+        state = {}
+
+        def run_seed():
             netobjd.serve(
-                ["tcp://127.0.0.1:0"], join=["tcp://127.0.0.1:9"],
+                ["tcp://127.0.0.1:0"], ping_interval=None, replica_id=1,
+                ready=lambda s: (state.update(seed=s.endpoints[0]),
+                                 seed_ready.set()),
+                stop_event=seed_stop, gossip_interval=0.05,
             )
+
+        def joiner_ready(space):
+            state["granted"] = space.agent.replica_id
+            joiner_stop.set()
+
+        seed_thread = threading.Thread(target=run_seed, daemon=True)
+        seed_thread.start()
+        try:
+            assert seed_ready.wait(10)
+            netobjd.serve(
+                ["tcp://127.0.0.1:0"], ping_interval=None,
+                join=[state["seed"]], ready=joiner_ready,
+                stop_event=joiner_stop, gossip_interval=0.05,
+            )
+            assert state["granted"] == 2
+        finally:
+            seed_stop.set()
+            seed_thread.join(timeout=10)

@@ -396,10 +396,14 @@ class TestSpaceStats:
             assert echo.echo("x") == "x"
             stats = client.stats()
             assert set(stats) == {
-                "naming", "gc", "dispatcher", "cache", "reactor",
-                "marshal", "leases", "fastlane", "hotpath",
+                "admission", "naming", "gc", "dispatcher", "cache",
+                "reactor", "marshal", "leases", "fastlane", "hotpath",
             }
             assert stats["naming"]["mode"] == "single"
+            # Replies are never charged against admission budgets, so
+            # the *server* admits the call frames this test sent.
+            assert stats["admission"]["shed"] == 0
+            assert server.stats()["admission"]["admitted"] >= 1
             assert set(stats["fastlane"]) == {
                 "methods_bound", "fastlane_calls", "fastlane_fallbacks",
                 "inline_dispatches", "inline_demotions",
